@@ -1,0 +1,130 @@
+package eve
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each one
+// evaluates the same configuration under both settings of an accounting
+// convention and reports the two results as metrics, making the sensitivity
+// of the model to the convention visible in one bench run.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/esql"
+	"repro/internal/relation"
+	"repro/internal/scenario"
+	"repro/internal/space"
+	"repro/internal/synchronize"
+)
+
+// CondWithConstant builds a local constant clause over R1 for the
+// selectivity ablation.
+func CondWithConstant() esql.CondItem {
+	return esql.CondItem{Clause: esql.Clause{
+		Left:  esql.AttrRef{Rel: "R1", Attr: "K"},
+		Op:    relation.OpGT,
+		Const: relation.Int(0),
+	}}
+}
+
+// BenchmarkAblationIOBound contrasts Appendix A's lower and upper I/O
+// bounds on the Table 1 single-site configuration (31 vs 62 I/Os).
+func BenchmarkAblationIOBound(b *testing.B) {
+	u := core.UpdateAtFirstScenario([]int{6}, 400, 100, 0.5)
+	var lower, upper float64
+	for i := 0; i < b.N; i++ {
+		cm := core.DefaultCostModel()
+		cm.Bound = core.IOLower
+		lower = cm.IO(u)
+		cm.Bound = core.IOUpper
+		upper = cm.IO(u)
+	}
+	b.ReportMetric(lower, "IO-lower")
+	b.ReportMetric(upper, "IO-upper")
+}
+
+// BenchmarkAblationNotification contrasts CF_M with and without the update
+// notification message (the convention the paper's tables use vs the bare
+// Section 6.2 formula).
+func BenchmarkAblationNotification(b *testing.B) {
+	u := core.UpdateAtFirstScenario([]int{2, 2, 2}, 400, 100, 0.5)
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		cm := core.DefaultCostModel()
+		cm.CountNotification = true
+		with = cm.Messages(u)
+		cm.CountNotification = false
+		without = cm.Messages(u)
+	}
+	b.ReportMetric(with, "CF_M-with-notify")
+	b.ReportMetric(without, "CF_M-bare")
+}
+
+// BenchmarkAblationDeltaWriteIO contrasts the I/O model with and without
+// charging delta materialization at each visited site (the term that gives
+// Figure 13(c) its slope).
+func BenchmarkAblationDeltaWriteIO(b *testing.B) {
+	u := core.UpdateAtFirstScenario([]int{1, 1, 1, 1, 1, 1}, 400, 100, 0.5)
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		cm := core.DefaultCostModel()
+		cm.Bound = core.IOLower
+		without = cm.IO(u)
+		cm.DeltaWriteIO = true
+		with = cm.IO(u)
+	}
+	b.ReportMetric(without, "IO-join-only")
+	b.ReportMetric(with, "IO-with-delta-writes")
+}
+
+// BenchmarkAblationDropVariants contrasts the SVS-style rewriting count
+// with the CVS-style spectrum that also drops proper subsets of dispensable
+// attributes.
+func BenchmarkAblationDropVariants(b *testing.B) {
+	sp, err := scenario.Exp4Space(1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	orig := scenario.Exp4View()
+	c := space.Change{Kind: space.DeleteRelation, Rel: "R2"}
+	var baseN, cvsN int
+	for i := 0; i < b.N; i++ {
+		sy := synchronize.New(sp.MKB())
+		rws, err := sy.Synchronize(orig, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseN = len(rws)
+		sy.EnumerateDropVariants = true
+		rws, err = sy.Synchronize(orig, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cvsN = len(rws)
+	}
+	b.ReportMetric(float64(baseN), "rewritings-SVS")
+	b.ReportMetric(float64(cvsN), "rewritings-CVS-spectrum")
+}
+
+// BenchmarkAblationSelectivityInExtents contrasts the extent estimator with
+// and without local-selectivity application on a dropped-condition
+// rewriting (Experiment 3's σ distinction).
+func BenchmarkAblationSelectivityInExtents(b *testing.B) {
+	sp, err := scenario.Exp4Space(1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Experiment 4's view plus a local condition on R1 so σ has something
+	// to act on (a pure join view is σ-invariant).
+	orig := scenario.Exp4View()
+	orig.Where = append(orig.Where, CondWithConstant())
+	preCards := map[string]int{"R1": 400, "R2": 4000}
+	var plain, withSigma float64
+	for i := 0; i < b.N; i++ {
+		est := core.NewEstimator(sp.MKB())
+		plain = est.ViewSize(orig, preCards)
+		est.ApplySelectivities = true
+		withSigma = est.ViewSize(orig, preCards)
+	}
+	b.ReportMetric(plain, "viewsize-js-only")
+	b.ReportMetric(withSigma, "viewsize-with-sigma")
+}

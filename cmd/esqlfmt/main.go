@@ -1,0 +1,89 @@
+// Command esqlfmt parses E-SQL view definitions and pretty-prints them in
+// canonical form, reporting syntax errors with offsets. It reads from files
+// given as arguments, or from standard input when none are given.
+//
+// Usage:
+//
+//	esqlfmt view.esql
+//	echo "CREATE VIEW V AS SELECT R.A FROM R" | esqlfmt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/esql"
+)
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+
+	var inputs []string
+	if flag.NArg() == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatalf("esqlfmt: reading stdin: %v", err)
+		}
+		inputs = append(inputs, string(data))
+	} else {
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatalf("esqlfmt: %v", err)
+			}
+			inputs = append(inputs, string(data))
+		}
+	}
+
+	exit := 0
+	for _, src := range inputs {
+		// A file may contain several statements separated by blank lines
+		// or semicolons; parse each CREATE VIEW independently.
+		for _, stmt := range splitStatements(src) {
+			v, err := esql.Parse(stmt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
+				continue
+			}
+			fmt.Println(esql.Print(v))
+			fmt.Println()
+		}
+	}
+	os.Exit(exit)
+}
+
+// splitStatements separates a source blob into CREATE VIEW statements.
+func splitStatements(src string) []string {
+	var out []string
+	upper := strings.ToUpper(src)
+	starts := []int{}
+	for i := 0; i+11 <= len(upper); i++ {
+		if strings.HasPrefix(upper[i:], "CREATE VIEW") {
+			starts = append(starts, i)
+		}
+	}
+	if len(starts) == 0 {
+		if strings.TrimSpace(src) != "" {
+			out = append(out, src)
+		}
+		return out
+	}
+	for i, s := range starts {
+		end := len(src)
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		stmt := strings.TrimSpace(src[s:end])
+		stmt = strings.TrimSuffix(stmt, ";")
+		if stmt != "" {
+			out = append(out, stmt)
+		}
+	}
+	return out
+}

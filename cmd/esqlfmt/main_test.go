@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestSplitStatements(t *testing.T) {
+	src := `
+CREATE VIEW A AS SELECT R.X FROM R;
+
+create view B as select S.Y from S
+`
+	stmts := splitStatements(src)
+	if len(stmts) != 2 {
+		t.Fatalf("statements = %d, want 2", len(stmts))
+	}
+	if stmts[0][:11] != "CREATE VIEW" {
+		t.Errorf("first = %q", stmts[0])
+	}
+}
+
+func TestSplitStatementsNoMarker(t *testing.T) {
+	got := splitStatements("just some text")
+	if len(got) != 1 {
+		t.Fatalf("passthrough failed: %v", got)
+	}
+	if len(splitStatements("   ")) != 0 {
+		t.Error("blank input should yield nothing")
+	}
+}
+
+func TestSplitStatementsTrimsSemicolons(t *testing.T) {
+	got := splitStatements("CREATE VIEW A AS SELECT R.X FROM R;")
+	if len(got) != 1 || got[0][len(got[0])-1] == ';' {
+		t.Errorf("semicolon not trimmed: %v", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Command experiments regenerates every table and figure from the paper's
+// evaluation section (Section 7) using the analytic QC-Model, printing the
+// same rows and series the paper reports.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -exp 4     # run one experiment (1..6; 6 = heuristics)
+//	experiments -empirical # add the empirical (materialized-extent) checks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	exp := flag.Int("exp", 0, "experiment to run (1-7; 6 = heuristics, 7 = analytic-vs-measured cross-validation); 0 = all")
+	empirical := flag.Bool("empirical", false, "also run empirical (materialized-extent) validation for experiment 4")
+	charts := flag.Bool("charts", false, "render the figures as ASCII charts in addition to the data tables")
+	flag.Parse()
+
+	run := func(n int) bool { return *exp == 0 || *exp == n }
+
+	if run(1) {
+		r, err := experiments.RunExp1()
+		fail(err)
+		fmt.Println(r)
+	}
+	if run(2) {
+		r := experiments.RunExp2(scenario.DefaultParams(), core.DefaultCostModel())
+		fmt.Println(r)
+		if *charts {
+			fmt.Println(r.Figure())
+		}
+	}
+	if run(3) {
+		for _, js := range []float64{0.001, 0.0022, 0.005} {
+			r := experiments.RunExp3(scenario.DefaultParams(), js, core.DefaultCostModel())
+			fmt.Println(r)
+			if *charts {
+				fmt.Println(r.Figure())
+			}
+		}
+	}
+	if run(4) {
+		r, err := experiments.RunExp4()
+		fail(err)
+		fmt.Println(r)
+		if *charts {
+			fmt.Println(r.Figure())
+		}
+		if *empirical {
+			rows, err := experiments.Exp4Empirical(1)
+			fail(err)
+			fmt.Println("Experiment 4 — empirical divergences from materialized extents")
+			fmt.Printf("%-6s %8s %8s %8s\n", "rw", "DDattr", "DDext", "DD")
+			for _, row := range rows {
+				fmt.Printf("%-6s %8.4f %8.4f %8.4f\n", row.Name, row.DDAttr, row.DDExt, row.DD)
+			}
+			fmt.Println()
+		}
+	}
+	if run(5) {
+		r, err := experiments.RunExp5()
+		fail(err)
+		fmt.Println(r)
+		if *charts {
+			fmt.Println(r.Figure())
+		}
+	}
+	if run(6) {
+		r, err := experiments.RunHeuristics()
+		fail(err)
+		fmt.Println(r)
+	}
+	if run(7) {
+		r, err := experiments.RunCrossValidation(1, 20)
+		fail(err)
+		fmt.Println(r)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,215 @@
+// Package eve is the public API of the EVE / QC-Model reproduction: an
+// evolvable view environment that keeps materialized views alive when the
+// information sources underneath them change their schemas, and ranks the
+// alternative (generally non-equivalent) query rewritings by trading off
+// quality (degree of divergence from the original view) against long-term
+// incremental maintenance cost.
+//
+// The implementation follows Lee, Koeller, Nica, and Rundensteiner,
+// "Data Warehouse Evolution: Trade-offs between Quality and Cost of Query
+// Rewritings" (WPI-CS-TR-98-2 / ICDE 1999).
+//
+// # Quickstart
+//
+//	sys := eve.NewSystem()
+//	src, _ := sys.AddSource("IS1")
+//	_ = src // relations are added through the system
+//	...
+//	view, _ := sys.DefineView(`CREATE VIEW V (VE = ~) AS
+//	    SELECT R.A (AD = true, AR = true) FROM R (RR = true)`)
+//	results, _ := sys.ApplyChange(eve.DeleteRelation("R"))
+//
+// See the examples/ directory for complete programs.
+package eve
+
+import (
+	"repro/internal/core"
+	"repro/internal/esql"
+	"repro/internal/exec"
+	"repro/internal/maintain"
+	"repro/internal/misd"
+	"repro/internal/relation"
+	"repro/internal/space"
+	"repro/internal/synchronize"
+	"repro/internal/warehouse"
+)
+
+// Re-exported core types. The internal packages remain the source of truth;
+// these aliases give library users one import path.
+type (
+	// System is the assembled EVE instance: information space + MKB +
+	// view knowledge base + synchronizer + QC ranker + maintainer.
+	System = warehouse.Warehouse
+	// View is a registered materialized view.
+	View = warehouse.View
+	// SyncResult reports one view's outcome for a capability change.
+	SyncResult = warehouse.SyncResult
+
+	// ViewDef is a parsed E-SQL view definition.
+	ViewDef = esql.ViewDef
+	// ExtentParam is the VE view-evolution parameter.
+	ExtentParam = esql.ExtentParam
+
+	// Change is a capability (schema) change at an information source.
+	Change = space.Change
+	// Space is the information space.
+	Space = space.Space
+	// Source is one information source.
+	Source = space.Source
+
+	// Relation is an in-memory set of tuples over a schema.
+	Relation = relation.Relation
+	// Schema describes a relation's attributes.
+	Schema = relation.Schema
+	// Attribute is one schema column.
+	Attribute = relation.Attribute
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Value is one typed attribute value.
+	Value = relation.Value
+
+	// MKB is the meta knowledge base of source descriptions.
+	MKB = misd.MKB
+	// PCConstraint is a partial/complete information constraint.
+	PCConstraint = misd.PCConstraint
+	// JoinConstraint describes how two relations join meaningfully.
+	JoinConstraint = misd.JoinConstraint
+	// Fragment is one side of a PC constraint.
+	Fragment = misd.Fragment
+	// RelRef names a base relation.
+	RelRef = misd.RelRef
+
+	// Rewriting is one legal rewriting of a view.
+	Rewriting = synchronize.Rewriting
+	// Synchronizer generates legal rewritings.
+	Synchronizer = synchronize.Synchronizer
+
+	// Tradeoff holds the QC-Model's weights and trade-off parameters.
+	Tradeoff = core.Tradeoff
+	// CostModel holds the maintenance-cost statistics and conventions.
+	CostModel = core.CostModel
+	// Candidate is a scored rewriting.
+	Candidate = core.Candidate
+	// Ranking is the QC-ordered set of candidates.
+	Ranking = core.Ranking
+	// Workload is a configured workload model (M1–M4).
+	Workload = core.Workload
+	// Update is one base-data change routed through view maintenance.
+	Update = maintain.Update
+	// Metrics are measured maintenance costs.
+	Metrics = maintain.Metrics
+)
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = relation.Int
+	// Float builds a floating-point value.
+	Float = relation.Float
+	// Str builds a string value.
+	Str = relation.String
+	// Bool builds a boolean value.
+	Bool = relation.Bool
+)
+
+// Workload model identifiers (Section 6.6).
+const (
+	M1 = core.M1
+	M2 = core.M2
+	M3 = core.M3
+	M4 = core.M4
+)
+
+// VE parameter values (Figure 3).
+const (
+	ExtentAny      = esql.ExtentAny
+	ExtentEqual    = esql.ExtentEqual
+	ExtentSuperset = esql.ExtentSuperset
+	ExtentSubset   = esql.ExtentSubset
+)
+
+// PC containment relations.
+const (
+	Subset   = misd.Subset
+	Equal    = misd.Equal
+	Superset = misd.Superset
+)
+
+// Attribute types.
+const (
+	TypeInt    = relation.TypeInt
+	TypeFloat  = relation.TypeFloat
+	TypeString = relation.TypeString
+	TypeBool   = relation.TypeBool
+)
+
+// NewSystem creates an EVE system over a fresh information space with the
+// paper's default trade-off parameters and cost model.
+func NewSystem() *System { return warehouse.New(space.New()) }
+
+// NewSystemOver creates an EVE system over an existing information space
+// (e.g. one built by a scenario generator).
+func NewSystemOver(sp *Space) *System { return warehouse.New(sp) }
+
+// NewSpace creates an empty information space with its MKB.
+func NewSpace() *Space { return space.New() }
+
+// NewSchema builds a schema; it panics on duplicate attribute names.
+func NewSchema(attrs ...Attribute) *Schema { return relation.NewSchema(attrs...) }
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, schema *Schema) *Relation { return relation.New(name, schema) }
+
+// ParseView parses an E-SQL CREATE VIEW statement.
+func ParseView(src string) (*ViewDef, error) { return esql.Parse(src) }
+
+// MustParseView is ParseView that panics on error, for fixtures and tests.
+func MustParseView(src string) *ViewDef { return esql.MustParse(src) }
+
+// PrintView renders a view definition back to E-SQL.
+func PrintView(v *ViewDef) string { return esql.Print(v) }
+
+// Evaluate materializes a view over a space (the Query Executor).
+func Evaluate(v *ViewDef, sp *Space) (*Relation, error) { return exec.Evaluate(v, sp) }
+
+// DefaultTradeoff returns the paper's default parameters.
+func DefaultTradeoff() Tradeoff { return core.DefaultTradeoff() }
+
+// DefaultCostModel returns Table 1's statistics with the paper's accounting
+// conventions.
+func DefaultCostModel() CostModel { return core.DefaultCostModel() }
+
+// DeleteRelation builds a delete-relation capability change.
+func DeleteRelation(rel string) Change {
+	return Change{Kind: space.DeleteRelation, Rel: rel}
+}
+
+// DeleteAttribute builds a delete-attribute capability change.
+func DeleteAttribute(rel, attr string) Change {
+	return Change{Kind: space.DeleteAttribute, Rel: rel, Attr: attr}
+}
+
+// RenameRelation builds a change-relation-name capability change.
+func RenameRelation(rel, newName string) Change {
+	return Change{Kind: space.RenameRelation, Rel: rel, NewName: newName}
+}
+
+// RenameAttribute builds a change-attribute-name capability change.
+func RenameAttribute(rel, attr, newName string) Change {
+	return Change{Kind: space.RenameAttribute, Rel: rel, Attr: attr, NewName: newName}
+}
+
+// AddAttribute builds an add-attribute capability change.
+func AddAttribute(rel, attr string, t relation.Type) Change {
+	return Change{Kind: space.AddAttribute, Rel: rel, Attr: attr, AttrType: t}
+}
+
+// InsertTuple builds an insert data update for routing through maintenance.
+func InsertTuple(rel string, t Tuple) Update {
+	return Update{Kind: maintain.Insert, Rel: rel, Tuple: t}
+}
+
+// DeleteTuple builds a delete data update.
+func DeleteTuple(rel string, t Tuple) Update {
+	return Update{Kind: maintain.Delete, Rel: rel, Tuple: t}
+}

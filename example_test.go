@@ -1,0 +1,90 @@
+package eve_test
+
+import (
+	"fmt"
+
+	eve "repro"
+)
+
+// buildSpace assembles a two-source space with a replica and the PC
+// constraint describing it.
+func buildSpace() *eve.Space {
+	sp := eve.NewSpace()
+	sp.AddSource("IS1") //nolint:errcheck
+	sp.AddSource("IS2") //nolint:errcheck
+	orders := eve.NewRelation("Orders", eve.NewSchema(
+		eve.Attribute{Name: "ID", Type: eve.TypeInt},
+		eve.Attribute{Name: "Item", Type: eve.TypeString},
+	))
+	archive := eve.NewRelation("Archive", eve.NewSchema(
+		eve.Attribute{Name: "OID", Type: eve.TypeInt},
+		eve.Attribute{Name: "What", Type: eve.TypeString},
+	))
+	for i, item := range []string{"anvil", "rocket", "magnet"} {
+		id := eve.Int(int64(i + 1))
+		orders.Insert(eve.Tuple{id, eve.Str(item)})  //nolint:errcheck
+		archive.Insert(eve.Tuple{id, eve.Str(item)}) //nolint:errcheck
+	}
+	sp.AddRelation("IS1", orders)              //nolint:errcheck
+	sp.AddRelation("IS2", archive)             //nolint:errcheck
+	sp.MKB().AddPCConstraint(eve.PCConstraint{ //nolint:errcheck
+		Left:  eve.Fragment{Rel: eve.RelRef{Rel: "Orders"}, Attrs: []string{"ID", "Item"}},
+		Right: eve.Fragment{Rel: eve.RelRef{Rel: "Archive"}, Attrs: []string{"OID", "What"}},
+		Rel:   eve.Equal,
+	})
+	return sp
+}
+
+// Example demonstrates the full lifecycle: define an evolvable view, lose
+// its base relation, and let the QC-Model pick the replacement.
+func Example() {
+	sys := eve.NewSystemOver(buildSpace())
+	view, err := sys.DefineView(`
+		CREATE VIEW Open (VE = ~) AS
+		SELECT O.ID (AR = true), O.Item (AR = true)
+		FROM Orders O (RR = true)`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("tuples before:", view.Extent.Card())
+
+	results, err := sys.ApplyChange(eve.DeleteRelation("Orders"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("rewritings:", len(results[0].Ranking.Candidates))
+	fmt.Println("adopted:", view.Def.From[0].Rel)
+	fmt.Println("tuples after:", view.Extent.Card())
+	// Output:
+	// tuples before: 3
+	// rewritings: 1
+	// adopted: Archive
+	// tuples after: 3
+}
+
+// ExampleParseView shows E-SQL parsing and canonical printing.
+func ExampleParseView() {
+	v, err := eve.ParseView(`CREATE VIEW V (VE = <=) AS
+		SELECT R.A (AD = true, AR = true) FROM R (RR = true) WHERE R.A > 10 (CD = true)`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(eve.PrintView(v))
+	// Output:
+	// CREATE VIEW V (VE = <=) AS
+	// SELECT R.A (AD = true, AR = true)
+	// FROM R (RR = true)
+	// WHERE (R.A > 10) (CD = true)
+}
+
+// ExampleDefaultTradeoff shows the paper's default QC-Model parameters.
+func ExampleDefaultTradeoff() {
+	t := eve.DefaultTradeoff()
+	fmt.Printf("w1=%.1f w2=%.1f rho_quality=%.1f rho_cost=%.1f\n",
+		t.W1, t.W2, t.RhoQuality, t.RhoCost)
+	// Output:
+	// w1=0.7 w2=0.3 rho_quality=0.9 rho_cost=0.1
+}

@@ -1,0 +1,121 @@
+// Package chart renders small ASCII bar and line charts for the experiment
+// drivers, so `cmd/experiments` can show the figures' shapes directly in a
+// terminal, not just their data tables.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar renders a horizontal bar chart: one labeled row per value, bars
+// scaled to width characters. Values must be non-negative.
+func Bar(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if i < len(labels) && len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(v / maxVal * float64(width)))
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %s\n", maxLabel, label, strings.Repeat("#", n), formatNum(v))
+	}
+	return b.String()
+}
+
+// Line renders a crude line/scatter chart of y over evenly spaced x labels,
+// rows top-down from max to min. Height is the number of rows.
+func Line(title string, xLabels []string, ys []float64, height int) string {
+	if height <= 0 {
+		height = 10
+	}
+	if len(ys) == 0 {
+		return title + "\n(no data)\n"
+	}
+	minY, maxY := ys[0], ys[0]
+	for _, y := range ys {
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	span := maxY - minY
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(ys)*4))
+	}
+	for i, y := range ys {
+		row := int(math.Round((maxY - y) / span * float64(height-1)))
+		col := i * 4
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for r, row := range grid {
+		prefix := "        "
+		switch r {
+		case 0:
+			prefix = fmt.Sprintf("%7s ", formatNum(maxY))
+		case height - 1:
+			prefix = fmt.Sprintf("%7s ", formatNum(minY))
+		}
+		b.WriteString(prefix + "|" + string(row) + "\n")
+	}
+	b.WriteString("        +" + strings.Repeat("-", len(ys)*4) + "\n")
+	b.WriteString("         ")
+	for _, l := range xLabels {
+		fmt.Fprintf(&b, "%-4s", truncate(l, 3))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,79 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarBasic(t *testing.T) {
+	out := Bar("title", []string{"a", "bb"}, []float64{10, 5}, 10)
+	if !strings.Contains(out, "title") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The larger value gets the full width, the smaller half of it.
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Errorf("max bar wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], strings.Repeat("#", 5)) || strings.Contains(lines[2], strings.Repeat("#", 6)) {
+		t.Errorf("half bar wrong: %q", lines[2])
+	}
+}
+
+func TestBarZeroAndTiny(t *testing.T) {
+	out := Bar("", []string{"zero", "tiny", "big"}, []float64{0, 0.001, 1000}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Contains(lines[0], "#") {
+		t.Errorf("zero value should have no bar: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("positive value should have at least one mark: %q", lines[1])
+	}
+}
+
+func TestBarDefaultWidth(t *testing.T) {
+	out := Bar("", []string{"x"}, []float64{1}, 0)
+	if !strings.Contains(out, strings.Repeat("#", 50)) {
+		t.Error("default width not applied")
+	}
+}
+
+func TestLineBasic(t *testing.T) {
+	out := Line("series", []string{"1", "2", "3"}, []float64{1, 2, 3}, 5)
+	if !strings.Contains(out, "series") || !strings.Contains(out, "*") {
+		t.Errorf("line chart malformed:\n%s", out)
+	}
+	// Max label on the top row, min on the bottom.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "3") {
+		t.Errorf("max label missing: %q", lines[1])
+	}
+}
+
+func TestLineFlatAndEmpty(t *testing.T) {
+	out := Line("", []string{"a", "b"}, []float64{5, 5}, 4)
+	if !strings.Contains(out, "*") {
+		t.Error("flat series should still plot")
+	}
+	empty := Line("t", nil, nil, 4)
+	if !strings.Contains(empty, "no data") {
+		t.Error("empty series should say so")
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		2.5:     "2.50",
+		12000:   "12k",
+		3400000: "3.4M",
+	}
+	for v, want := range cases {
+		if got := formatNum(v); got != want {
+			t.Errorf("formatNum(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// table1Scenario builds the Experiments' uniform 6-relation configuration
+// with the update at the first IS of the given distribution.
+func table1Scenario(dist []int) UpdateScenario {
+	return UpdateAtFirstScenario(dist, 400, 100, 0.5)
+}
+
+func table1Model() CostModel {
+	cm := DefaultCostModel()
+	cm.JoinSelectivity = 0.005
+	cm.BlockingFactor = 10
+	return cm
+}
+
+func TestMessagesFormula(t *testing.T) {
+	cm := table1Model()
+	cm.CountNotification = false // Section 6.2's bare formula
+	cases := []struct {
+		dist []int
+		want float64
+	}{
+		{[]int{1}, 0},                 // m=1, n1=0 (update relation alone)
+		{[]int{6}, 2},                 // m=1, n1=5
+		{[]int{1, 5}, 2},              // m=2, n1=0 → 2(m−1)
+		{[]int{2, 4}, 4},              // m=2, n1=1 → 2m
+		{[]int{1, 1, 4}, 4},           // m=3, n1=0 → 4
+		{[]int{2, 2, 2}, 6},           // m=3, n1=1 → 6
+		{[]int{1, 1, 1, 1, 1, 1}, 10}, // m=6, n1=0 → 10
+	}
+	for _, c := range cases {
+		got := cm.Messages(table1Scenario(c.dist))
+		if got != c.want {
+			t.Errorf("Messages(%v) = %g, want %g", c.dist, got, c.want)
+		}
+	}
+	// With the notification counted (the experiments' convention) each
+	// case gains one message.
+	cm.CountNotification = true
+	if got := cm.Messages(table1Scenario([]int{6})); got != 3 {
+		t.Errorf("Messages with notification = %g, want 3", got)
+	}
+}
+
+// TestBytesSingleSite verifies the m=1 closed form with Table 1 parameters:
+// 2s + σ^5·(js·|R|)^5·s·6 = 200 + 600 = 800 bytes per update, matching
+// Table 6's 8000 bytes for 10 updates.
+func TestBytesSingleSite(t *testing.T) {
+	cm := table1Model()
+	got := cm.Bytes(table1Scenario([]int{6}))
+	if got != 800 {
+		t.Errorf("CF_T([6]) = %g, want 800", got)
+	}
+}
+
+// TestBytesSixSites verifies the m=6 case: 3600 bytes per update,
+// matching Table 6's 216000 for 60 updates.
+func TestBytesSixSites(t *testing.T) {
+	cm := table1Model()
+	got := cm.Bytes(table1Scenario([]int{1, 1, 1, 1, 1, 1}))
+	if got != 3600 {
+		t.Errorf("CF_T([1×6]) = %g, want 3600", got)
+	}
+}
+
+// TestBytesSkipsEmptySites checks the n1 = 0 convention: no query is sent
+// to the update-originating site when it holds no other view relations.
+func TestBytesSkipsEmptySites(t *testing.T) {
+	cm := table1Model()
+	// Distribution (1,5): update site holds nothing else; one visit to the
+	// 5-relation site: notify 100 + in 100 + out 600 = 800.
+	got := cm.Bytes(table1Scenario([]int{1, 5}))
+	if got != 800 {
+		t.Errorf("CF_T([1,5]) = %g, want 800", got)
+	}
+}
+
+// TestIOLowerBoundTable6 verifies Appendix A's lower bound on the single-
+// site Table 1 configuration: Σ min(40, 2^{i−1}·1) for i = 1..5 = 31,
+// matching Table 6's 310 for 10 updates.
+func TestIOLowerBoundTable6(t *testing.T) {
+	cm := table1Model()
+	cm.Bound = IOLower
+	got := cm.IO(table1Scenario([]int{6}))
+	if got != 31 {
+		t.Errorf("CF_I/O lower = %g, want 31", got)
+	}
+	// The I/O count is site-distribution independent (local work only).
+	got6 := cm.IO(table1Scenario([]int{1, 1, 1, 1, 1, 1}))
+	if got6 != 31 {
+		t.Errorf("CF_I/O lower (6 sites) = %g, want 31", got6)
+	}
+}
+
+// TestIOUpperBound verifies the upper bound: Σ min(40, 2^i) = 2+4+8+16+32 = 62.
+func TestIOUpperBound(t *testing.T) {
+	cm := table1Model()
+	cm.Bound = IOUpper
+	if got := cm.IO(table1Scenario([]int{6})); got != 62 {
+		t.Errorf("CF_I/O upper = %g, want 62", got)
+	}
+}
+
+// TestIOExp4Convention verifies Experiment 4's I/O: a single substitute
+// relation of cardinality C joined through a non-clustered index costs
+// js·C I/Os (upper bound), e.g. 10 for C = 2000.
+func TestIOExp4Convention(t *testing.T) {
+	cm := DefaultCostModel()
+	u := UpdateScenario{
+		UpdatedTupleSize: 100,
+		Sites: []SiteLoad{
+			{},
+			{Relations: []RelStats{{Card: 2000, TupleSize: 100, Selectivity: 0.5}}},
+		},
+	}
+	if got := cm.IO(u); got != 10 {
+		t.Errorf("Exp4 I/O = %g, want 10", got)
+	}
+}
+
+// TestExp4CostColumn reproduces Table 4's cost column exactly:
+// 842.3, 1193.3, 1544.3, 1895.3, 2246.3 for substitutes of cardinality
+// 2000..6000 with prices (0.1, 0.7, 0.2).
+func TestExp4CostColumn(t *testing.T) {
+	tr := DefaultTradeoff()
+	cm := DefaultCostModel()
+	want := []float64{842.3, 1193.3, 1544.3, 1895.3, 2246.3}
+	for i, card := range []int{2000, 3000, 4000, 5000, 6000} {
+		u := UpdateScenario{
+			UpdatedTupleSize: 100,
+			Sites: []SiteLoad{
+				{},
+				{Relations: []RelStats{{Card: card, TupleSize: 100, Selectivity: 0.5}}},
+			},
+		}
+		got := cm.Factors(u).Total(tr)
+		if math.Abs(got-want[i]) > 1e-9 {
+			t.Errorf("cost(|S|=%d) = %g, want %g", card, got, want[i])
+		}
+	}
+}
+
+func TestDeltaWriteIO(t *testing.T) {
+	cm := table1Model()
+	cm.Bound = IOLower
+	base := cm.IO(table1Scenario([]int{1, 1, 1, 1, 1, 1}))
+	cm.DeltaWriteIO = true
+	withWrites := cm.IO(table1Scenario([]int{1, 1, 1, 1, 1, 1}))
+	// Five visited sites (the update site holds nothing else); incoming
+	// delta sizes are 1, 2, 4, 8, 16 tuples, costing ⌈n/bfr⌉ = 1,1,1,1,2.
+	if withWrites != base+6 {
+		t.Errorf("delta-write I/O = %g, want %g", withWrites, base+6)
+	}
+}
+
+func TestCostFactorsArithmetic(t *testing.T) {
+	a := CostFactors{Messages: 1, Bytes: 10, IO: 2}
+	b := CostFactors{Messages: 2, Bytes: 20, IO: 3}
+	a.Add(b)
+	if a.Messages != 3 || a.Bytes != 30 || a.IO != 5 {
+		t.Errorf("Add = %+v", a)
+	}
+	s := a.Scale(2)
+	if s.Messages != 6 || s.Bytes != 60 || s.IO != 10 {
+		t.Errorf("Scale = %+v", s)
+	}
+	tr := Tradeoff{CostM: 1, CostT: 2, CostIO: 3}
+	if got := s.Total(tr); got != 6+120+30 {
+		t.Errorf("Total = %g", got)
+	}
+}
+
+func TestUniformScenarioShapes(t *testing.T) {
+	u := UniformScenario([]int{2, 3}, 400, 100, 0.5)
+	if u.NumSites() != 2 || u.N1() != 2 {
+		t.Errorf("UniformScenario shape: m=%d n1=%d", u.NumSites(), u.N1())
+	}
+	uf := UpdateAtFirstScenario([]int{2, 3}, 400, 100, 0.5)
+	if uf.N1() != 1 {
+		t.Errorf("UpdateAtFirstScenario n1 = %d, want 1", uf.N1())
+	}
+	empty := UpdateAtFirstScenario(nil, 400, 100, 0.5)
+	if empty.NumSites() != 0 {
+		t.Error("empty distribution should produce empty scenario")
+	}
+}
+
+// Property: CF_T grows monotonically when a relation moves to its own new
+// site (more round trips for the same joins).
+func TestBytesMonotoneInSites(t *testing.T) {
+	cm := table1Model()
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%5) + 2 // 2..6 relations
+		oneSite := make([]int, 1)
+		oneSite[0] = n
+		spread := make([]int, n)
+		for i := range spread {
+			spread[i] = 1
+		}
+		b1 := cm.Bytes(table1Scenario(oneSite))
+		bn := cm.Bytes(table1Scenario(spread))
+		return bn >= b1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all cost factors are non-negative for arbitrary configurations.
+func TestCostFactorsNonNegative(t *testing.T) {
+	cm := table1Model()
+	f := func(cards []uint16, split uint8) bool {
+		if len(cards) == 0 {
+			return true
+		}
+		if len(cards) > 8 {
+			cards = cards[:8]
+		}
+		var sites []SiteLoad
+		var cur SiteLoad
+		for i, c := range cards {
+			cur.Relations = append(cur.Relations, RelStats{Card: int(c % 1000), TupleSize: 100, Selectivity: 0.5})
+			if i%int(split%3+1) == 0 {
+				sites = append(sites, cur)
+				cur = SiteLoad{}
+			}
+		}
+		if len(cur.Relations) > 0 {
+			sites = append(sites, cur)
+		}
+		u := UpdateScenario{UpdatedTupleSize: 100, Sites: sites}
+		fac := cm.Factors(u)
+		return fac.Messages >= 0 && fac.Bytes >= 0 && fac.IO >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadModels(t *testing.T) {
+	u := UniformScenario([]int{2, 3}, 400, 100, 0.5) // 5 relations, 2 sites
+	cases := []struct {
+		w    Workload
+		want float64
+	}{
+		{Workload{Model: M1, P: 0.01}, 0.01 * 5 * 400}, // 20
+		{Workload{Model: M2, U: 3}, 15},
+		{Workload{Model: M3, U: 10}, 20},
+		{Workload{Model: M4, U: 7}, 7},
+	}
+	for _, c := range cases {
+		if got := c.w.Updates(u); got != c.want {
+			t.Errorf("%s updates = %g, want %g", c.w.Model, got, c.want)
+		}
+	}
+	if (Workload{}).Updates(u) != 1 {
+		t.Error("zero workload should default to a single update")
+	}
+}
+
+func TestNormalizeCosts(t *testing.T) {
+	got := NormalizeCosts([]float64{842.3, 1193.3, 1544.3, 1895.3, 2246.3})
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("norm[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if NormalizeCosts(nil) != nil {
+		t.Error("nil input should give nil")
+	}
+	same := NormalizeCosts([]float64{5, 5, 5})
+	for _, v := range same {
+		if v != 0 {
+			t.Error("equal costs should normalize to 0")
+		}
+	}
+}
+
+// Property: normalized costs are within [0,1], preserve order, and hit both
+// endpoints when costs differ.
+func TestNormalizeCostsProperties(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		costs := make([]float64, len(raw))
+		for i, r := range raw {
+			costs[i] = float64(r % 100000)
+		}
+		norm := NormalizeCosts(costs)
+		sawZero, sawOne := false, false
+		allEqual := true
+		for i := range norm {
+			if norm[i] < 0 || norm[i] > 1 {
+				return false
+			}
+			if norm[i] == 0 {
+				sawZero = true
+			}
+			if norm[i] == 1 {
+				sawOne = true
+			}
+			if costs[i] != costs[0] {
+				allEqual = false
+			}
+			for j := range norm {
+				if costs[i] < costs[j] && norm[i] > norm[j] {
+					return false
+				}
+			}
+		}
+		if allEqual {
+			return sawZero
+		}
+		return sawZero && sawOne
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

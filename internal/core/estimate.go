@@ -1,0 +1,195 @@
+package core
+
+import (
+	"repro/internal/esql"
+	"repro/internal/misd"
+	"repro/internal/synchronize"
+)
+
+// Estimator derives ExtentSizes analytically from MKB statistics, following
+// Section 5.4.3: view extents are approximated as
+//
+//	|V| ≈ js^(k−1) · |R1| · … · |Rk|
+//
+// for a k-way join, and the overlap between the original view and a
+// rewriting that replaced relation R with T is approximated by substituting
+// |R ∩≈ T| (from the PC constraint, Figures 9/10) for |R|:
+//
+//	|V ∩≈ Vi| ≈ js^(k−1) · |R ∩≈ T| · Π(other |Rj|)
+//
+// With no PC constraint available the overlap is taken as 0, per the paper.
+type Estimator struct {
+	MKB *misd.MKB
+	// ApplySelectivities, when true, multiplies view-size estimates by the
+	// local selectivities of non-join WHERE clauses. The paper's worked
+	// example omits them (they cancel in the D1/D2 ratios when the WHERE
+	// clause is preserved); dropped-condition rewritings need them.
+	ApplySelectivities bool
+}
+
+// NewEstimator returns an Estimator over the MKB.
+func NewEstimator(mkb *misd.MKB) *Estimator { return &Estimator{MKB: mkb} }
+
+// js returns the uniform join selectivity.
+func (e *Estimator) js() float64 {
+	if e.MKB != nil && e.MKB.DefaultJoinSelectivity > 0 {
+		return e.MKB.DefaultJoinSelectivity
+	}
+	return 0.005
+}
+
+// cardOf returns the advertised cardinality of a relation, defaulting to 0
+// for unknown relations (a deleted relation's card must be passed through
+// knownCards).
+func (e *Estimator) cardOf(rel string, knownCards map[string]int) float64 {
+	if c, ok := knownCards[rel]; ok {
+		return float64(c)
+	}
+	if info := e.MKB.Relation(rel); info != nil {
+		return float64(info.Card)
+	}
+	return 0
+}
+
+// ViewSize estimates |V| ≈ js^(k−1)·Π|Ri| (optionally × local
+// selectivities). knownCards supplies cardinalities for relations no longer
+// registered (the dropped one).
+func (e *Estimator) ViewSize(v *esql.ViewDef, knownCards map[string]int) float64 {
+	size := 1.0
+	k := 0
+	for _, f := range v.From {
+		size *= e.cardOf(f.Rel, knownCards)
+		k++
+	}
+	for i := 1; i < k; i++ {
+		size *= e.js()
+	}
+	if e.ApplySelectivities {
+		size *= e.selectionFactor(v)
+	}
+	return size
+}
+
+// selectionFactor multiplies the selectivities of non-join clauses.
+func (e *Estimator) selectionFactor(v *esql.ViewDef) float64 {
+	f := 1.0
+	for _, w := range v.Where {
+		if w.Clause.IsJoin() {
+			continue
+		}
+		sigma := e.MKB.DefaultSelectivity
+		if sigma <= 0 || sigma > 1 {
+			sigma = 0.5
+		}
+		f *= sigma
+	}
+	return f
+}
+
+// Sizes estimates the three DD_ext cardinalities for a rewriting produced by
+// the synchronizer. origCards carries the pre-change cardinalities of the
+// original view's relations (including the dropped one, which the MKB no
+// longer knows).
+func (e *Estimator) Sizes(orig *esql.ViewDef, rw *synchronize.Rewriting, origCards map[string]int) ExtentSizes {
+	sz := ExtentSizes{
+		Orig: e.ViewSize(orig, origCards),
+		New:  e.ViewSize(rw.View, origCards),
+	}
+
+	// Overlap: start from the original size and swap each replaced
+	// relation's cardinality for the PC-estimated overlap with its
+	// replacement. Whole-relation replacements have keys without a dot;
+	// attribute patches ("R.A" keys) keep the relation so the overlap is
+	// unchanged by them.
+	overlap := 1.0
+	k := 0
+	replacedBy := map[string]string{}
+	for from, to := range rw.Replacements {
+		if !containsDot(from) {
+			replacedBy[from] = to
+		}
+	}
+	origRels := map[string]bool{}
+	for _, f := range orig.From {
+		origRels[f.Rel] = true
+		k++
+		if to, ok := replacedBy[f.Rel]; ok {
+			ov := e.overlapCard(f.Rel, to, origCards)
+			overlap *= ov
+			continue
+		}
+		// A relation dropped without replacement contributes its full
+		// cardinality to the original but leaves the rewriting's extent
+		// related only through the remaining join; the overlap on the
+		// common attribute subset is bounded by the original size, so we
+		// keep the factor.
+		overlap *= e.cardOf(f.Rel, origCards)
+	}
+	for i := 1; i < k; i++ {
+		overlap *= e.js()
+	}
+	if e.ApplySelectivities {
+		overlap *= e.selectionFactor(orig)
+	}
+
+	// Relations newly joined in (attribute patches) multiply the new size
+	// but do not shrink the overlap beyond the join factor already present
+	// in New; the overlap cannot exceed either side.
+	if overlap > sz.Orig {
+		overlap = sz.Orig
+	}
+	if overlap > sz.New {
+		overlap = sz.New
+	}
+	// Rewritings that only dropped interface attributes (no replacement,
+	// same FROM/WHERE) preserve the projected extent exactly.
+	if len(replacedBy) == 0 && sameFromWhere(orig, rw.View) {
+		m := sz.Orig
+		if sz.New < m {
+			m = sz.New
+		}
+		overlap = m
+	}
+	sz.Overlap = overlap
+	return sz
+}
+
+// overlapCard estimates |R ∩≈ T| from the PC constraint between the dropped
+// relation and its replacement.
+func (e *Estimator) overlapCard(dropped, repl string, origCards map[string]int) float64 {
+	pc, ok := e.MKB.PCBetween(dropped, repl)
+	if !ok {
+		return 0
+	}
+	c1 := int(e.cardOf(dropped, origCards))
+	c2 := int(e.cardOf(repl, origCards))
+	return misd.EstimateOverlap(pc, c1, c2).Size
+}
+
+// sameFromWhere reports whether two views share identical FROM and WHERE
+// clauses (ignoring evolution parameters).
+func sameFromWhere(a, b *esql.ViewDef) bool {
+	if len(a.From) != len(b.From) || len(a.Where) != len(b.Where) {
+		return false
+	}
+	for i := range a.From {
+		if a.From[i].Rel != b.From[i].Rel || a.From[i].Binding() != b.From[i].Binding() {
+			return false
+		}
+	}
+	for i := range a.Where {
+		if a.Where[i].Clause.String() != b.Where[i].Clause.String() {
+			return false
+		}
+	}
+	return true
+}
+
+func containsDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}

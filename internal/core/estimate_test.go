@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/esql"
+	"repro/internal/misd"
+	"repro/internal/relation"
+	"repro/internal/synchronize"
+)
+
+// estimatorMKB: R(A,B) card 400, T(A,B) card 1000 with R ⊆ T, U(K) card 50.
+func estimatorMKB(t *testing.T) *misd.MKB {
+	t.Helper()
+	m := misd.NewMKB()
+	reg := func(name string, card int, attrs ...string) {
+		if err := m.RegisterRelation(misd.RelationInfo{
+			Ref:    misd.RelRef{Rel: name},
+			Schema: relation.MustSchema(relation.TypeInt, attrs...),
+			Card:   card,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg("R", 400, "A", "B")
+	reg("T", 1000, "A", "B")
+	reg("U", 50, "K")
+	if err := m.AddPCConstraint(misd.PCConstraint{
+		Left:  misd.Fragment{Rel: misd.RelRef{Rel: "R"}, Attrs: []string{"A", "B"}},
+		Right: misd.Fragment{Rel: misd.RelRef{Rel: "T"}, Attrs: []string{"A", "B"}},
+		Rel:   misd.Subset,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func estView() *esql.ViewDef {
+	return &esql.ViewDef{
+		Name: "V",
+		Select: []esql.SelectItem{
+			{Attr: esql.AttrRef{Rel: "R", Attr: "A"}, Dispensable: true, Replaceable: true},
+			{Attr: esql.AttrRef{Rel: "U", Attr: "K"}, Dispensable: true, Replaceable: true},
+		},
+		From: []esql.FromItem{
+			{Rel: "R", Replaceable: true},
+			{Rel: "U"},
+		},
+		Where: []esql.CondItem{{
+			Clause: esql.Clause{
+				Left:  esql.AttrRef{Rel: "R", Attr: "A"},
+				Op:    relation.OpEQ,
+				Right: esql.AttrRef{Rel: "U", Attr: "K"},
+			},
+			Replaceable: true,
+		}},
+	}
+}
+
+func TestViewSizeJoinFormula(t *testing.T) {
+	m := estimatorMKB(t)
+	est := NewEstimator(m)
+	v := estView()
+	// js^(k−1)·Π|Ri| = 0.005 · 400 · 50 = 100.
+	got := est.ViewSize(v, nil)
+	if math.Abs(got-100) > 1e-9 {
+		t.Errorf("ViewSize = %g, want 100", got)
+	}
+	// knownCards override the MKB for missing relations.
+	m.UnregisterRelation("R")
+	got = est.ViewSize(v, map[string]int{"R": 400})
+	if math.Abs(got-100) > 1e-9 {
+		t.Errorf("ViewSize with knownCards = %g, want 100", got)
+	}
+	// Unknown relation with no override collapses the estimate.
+	if est.ViewSize(v, nil) != 0 {
+		t.Error("missing relation should yield zero size")
+	}
+}
+
+func TestViewSizeSelectivities(t *testing.T) {
+	m := estimatorMKB(t)
+	est := NewEstimator(m)
+	v := estView()
+	v.Where = append(v.Where, esql.CondItem{Clause: esql.Clause{
+		Left:  esql.AttrRef{Rel: "R", Attr: "B"},
+		Op:    relation.OpGT,
+		Const: relation.Int(0),
+	}})
+	plain := est.ViewSize(v, nil)
+	est.ApplySelectivities = true
+	withSigma := est.ViewSize(v, nil)
+	if math.Abs(withSigma-plain*0.5) > 1e-9 {
+		t.Errorf("σ application: %g vs %g·0.5", withSigma, plain)
+	}
+}
+
+// TestSizesSubstitution reproduces the paper's Section 5.4.3 worked example
+// shape: replacing R (400) by its superset T (1000) in a join with U gives
+// overlap js·|R∩T|·|U| = js·400·50, original js·400·50, new js·1000·50
+// ⇒ D1 = 0, D2 = 0.6.
+func TestSizesSubstitution(t *testing.T) {
+	m := estimatorMKB(t)
+	est := NewEstimator(m)
+	orig := estView()
+	sy := synchronize.New(m)
+	// Build the substitution rewriting by hand to keep the test focused.
+	rw := &synchronize.Rewriting{
+		View:         orig.Clone(),
+		Replacements: map[string]string{"R": "T"},
+		Extent:       synchronize.ExtentSuperset,
+	}
+	rw.View.From[0].Rel = "T"
+	rw.View.Select[0].Attr.Rel = "T"
+	rw.View.Where[0].Clause.Left.Rel = "T"
+	_ = sy
+
+	sizes := est.Sizes(orig, rw, map[string]int{"R": 400})
+	if math.Abs(sizes.Orig-100) > 1e-9 {
+		t.Errorf("Orig = %g, want 100", sizes.Orig)
+	}
+	if math.Abs(sizes.New-250) > 1e-9 {
+		t.Errorf("New = %g, want 250 (0.005·1000·50)", sizes.New)
+	}
+	if math.Abs(sizes.Overlap-100) > 1e-9 {
+		t.Errorf("Overlap = %g, want 100", sizes.Overlap)
+	}
+	tr := DefaultTradeoff()
+	if d1 := sizes.DDExtD1(); d1 != 0 {
+		t.Errorf("D1 = %g, want 0", d1)
+	}
+	if d2 := sizes.DDExtD2(); math.Abs(d2-0.6) > 1e-9 {
+		t.Errorf("D2 = %g, want 0.6", d2)
+	}
+	_ = tr
+}
+
+// TestSizesNoPCConstraint: without a PC constraint between dropped and
+// replacement relations the paper prescribes assuming zero overlap.
+func TestSizesNoPCConstraint(t *testing.T) {
+	m := estimatorMKB(t)
+	est := NewEstimator(m)
+	orig := estView()
+	rw := &synchronize.Rewriting{
+		View:         orig.Clone(),
+		Replacements: map[string]string{"R": "U2"},
+	}
+	rw.View.From[0].Rel = "U2"
+	rw.View.Select[0].Attr.Rel = "U2"
+	rw.View.Where[0].Clause.Left.Rel = "U2"
+	m.RegisterRelation(misd.RelationInfo{ //nolint:errcheck
+		Ref:    misd.RelRef{Rel: "U2"},
+		Schema: relation.MustSchema(relation.TypeInt, "A", "B"),
+		Card:   400,
+	})
+	sizes := est.Sizes(orig, rw, map[string]int{"R": 400})
+	if sizes.Overlap != 0 {
+		t.Errorf("Overlap = %g, want 0 without a PC constraint", sizes.Overlap)
+	}
+	tr := DefaultTradeoff()
+	if dd := DDExt(sizes, tr); dd != 1 {
+		t.Errorf("DDExt = %g, want 1 (complete divergence)", dd)
+	}
+}
+
+// TestSizesDropOnlyRewriting: dropping interface attributes without
+// touching FROM/WHERE preserves the projected extent exactly.
+func TestSizesDropOnlyRewriting(t *testing.T) {
+	m := estimatorMKB(t)
+	est := NewEstimator(m)
+	orig := estView()
+	rw := &synchronize.Rewriting{
+		View:         orig.Clone(),
+		Replacements: map[string]string{},
+		DroppedAttrs: []string{"U.K"},
+	}
+	rw.View.Select = rw.View.Select[:1]
+	sizes := est.Sizes(orig, rw, nil)
+	if sizes.Overlap != sizes.Orig || sizes.Overlap != sizes.New {
+		t.Errorf("drop-only rewriting should have full overlap: %+v", sizes)
+	}
+	tr := DefaultTradeoff()
+	if dd := DDExt(sizes, tr); dd != 0 {
+		t.Errorf("DDExt = %g, want 0", dd)
+	}
+}
+
+// TestSizesOverlapNeverExceedsSides guards the clamping logic.
+func TestSizesOverlapNeverExceedsSides(t *testing.T) {
+	m := estimatorMKB(t)
+	est := NewEstimator(m)
+	orig := estView()
+	rw := &synchronize.Rewriting{
+		View:         orig.Clone(),
+		Replacements: map[string]string{"R": "T"},
+	}
+	rw.View.From[0].Rel = "T"
+	rw.View.Select[0].Attr.Rel = "T"
+	rw.View.Where[0].Clause.Left.Rel = "T"
+	for _, cards := range []map[string]int{
+		{"R": 400}, {"R": 10}, {"R": 100000},
+	} {
+		s := est.Sizes(orig, rw, cards)
+		if s.Overlap > s.Orig+1e-9 || s.Overlap > s.New+1e-9 {
+			t.Errorf("cards %v: overlap %g exceeds sides (%g, %g)", cards, s.Overlap, s.Orig, s.New)
+		}
+	}
+}
+
+func TestRankOrdersByQC(t *testing.T) {
+	orig := estView()
+	mk := func(dd ExtentSizes, card int) *Candidate {
+		return &Candidate{
+			Rewriting: &synchronize.Rewriting{View: orig.Clone(), Replacements: map[string]string{}},
+			Sizes:     dd,
+			Scenario: UpdateScenario{
+				UpdatedTupleSize: 100,
+				Sites:            []SiteLoad{{}, {Relations: []RelStats{{Card: card, TupleSize: 100, Selectivity: 0.5}}}},
+			},
+		}
+	}
+	// Candidate A: perfect quality, expensive. B: half quality, cheap.
+	a := mk(ExtentSizes{Orig: 100, New: 100, Overlap: 100}, 10000)
+	b := mk(ExtentSizes{Orig: 100, New: 100, Overlap: 50}, 100)
+	tr := DefaultTradeoff() // quality-dominant 0.9/0.1
+	ranking, err := Rank(orig, []*Candidate{a, b}, tr, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranking.Best() != a {
+		t.Error("quality-dominant weights should prefer the lossless candidate")
+	}
+	// Cost-dominant weights flip the order.
+	tr.RhoQuality, tr.RhoCost = 0.1, 0.9
+	ranking, err = Rank(orig, []*Candidate{a, b}, tr, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranking.Best() != b {
+		t.Error("cost-dominant weights should prefer the cheap candidate")
+	}
+}
+
+func TestRankEmptyAndInvalid(t *testing.T) {
+	orig := estView()
+	r, err := Rank(orig, nil, DefaultTradeoff(), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Best() != nil {
+		t.Error("empty ranking should have no best")
+	}
+	bad := DefaultTradeoff()
+	bad.RhoQuality = 0.2 // sums to 0.3 with RhoCost 0.1
+	if _, err := Rank(orig, nil, bad, DefaultCostModel()); err == nil {
+		t.Error("invalid tradeoff should be rejected")
+	}
+}
+
+func TestRankTableRendering(t *testing.T) {
+	orig := estView()
+	c := &Candidate{
+		Rewriting: &synchronize.Rewriting{View: orig.Clone(), Replacements: map[string]string{}},
+		Sizes:     ExtentSizes{Orig: 10, New: 10, Overlap: 10},
+		Scenario:  UniformScenario([]int{1}, 100, 100, 0.5),
+	}
+	ranking, err := Rank(orig, []*Candidate{c}, DefaultTradeoff(), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := ranking.Table([]string{"custom"})
+	if !containsAll(table, "custom", "QC", "Rating") {
+		t.Errorf("table rendering:\n%s", table)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQCBoundsProperty: QC always lands in [0,1] for arbitrary candidates.
+func TestQCBoundsProperty(t *testing.T) {
+	orig := estView()
+	tr := DefaultTradeoff()
+	cm := DefaultCostModel()
+	for seed := 0; seed < 100; seed++ {
+		o := float64((seed * 37) % 500)
+		n := float64((seed * 53) % 500)
+		ov := float64((seed * 71) % 500)
+		card := (seed*97)%5000 + 1
+		c := &Candidate{
+			Rewriting: &synchronize.Rewriting{View: orig.Clone(), Replacements: map[string]string{}},
+			Sizes:     ExtentSizes{Orig: o, New: n, Overlap: ov},
+			Scenario:  UniformScenario([]int{1, 2}, card, 100, 0.5),
+			Workload:  Workload{Model: M3, U: float64(seed % 20)},
+		}
+		ranking, err := Rank(orig, []*Candidate{c}, tr, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qc := ranking.Best().QC
+		if qc < 0 || qc > 1 {
+			t.Fatalf("seed %d: QC = %g outside [0,1]", seed, qc)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/esql"
+	"repro/internal/synchronize"
+)
+
+// Candidate pairs a legal rewriting with the inputs the QC-Model needs to
+// score it: the extent sizes (estimated or measured) and the maintenance
+// cost scenario. The ranker fills in the derived measures.
+type Candidate struct {
+	Rewriting *synchronize.Rewriting
+	// Sizes feeds DD_ext. Leave zero and set NoExtent for rewritings whose
+	// extent divergence should be ignored (ρext effectively redistributed
+	// is NOT done; DD_ext is just 0).
+	Sizes ExtentSizes
+	// Scenario describes one representative data update for the cost
+	// factors.
+	Scenario UpdateScenario
+	// Workload converts per-update cost into per-time-unit cost. A zero
+	// workload means a single update (M4 with U=1).
+	Workload Workload
+
+	// Derived measures, filled by Rank.
+	DDAttr   float64
+	DDExt    float64
+	DD       float64
+	Factors  CostFactors
+	Updates  float64
+	RawCost  float64
+	NormCost float64
+	QC       float64
+}
+
+// Ranking is the scored, ordered result of evaluating candidates.
+type Ranking struct {
+	Tradeoff  Tradeoff
+	CostModel CostModel
+	// Candidates are sorted by QC descending (rank 1 first). Ties keep the
+	// generation order, which the synchronizer makes deterministic.
+	Candidates []*Candidate
+}
+
+// Rank scores every candidate rewriting of the original view and orders them
+// by descending QC (Equation 26). It implements the full pipeline:
+// DD_attr (Eq. 12), DD_ext (Eqs. 13–17), DD (Eq. 20), cost factors
+// (Section 6.2–6.4), workload scaling (Section 6.6), min-max normalization
+// (Eq. 25), and the final efficiency score.
+func Rank(orig *esql.ViewDef, cands []*Candidate, t Tradeoff, cm CostModel) (*Ranking, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return &Ranking{Tradeoff: t, CostModel: cm}, nil
+	}
+	costs := make([]float64, len(cands))
+	for i, c := range cands {
+		c.DDAttr = DDAttr(orig, c.Rewriting.View, t)
+		c.DDExt = DDExt(c.Sizes, t)
+		c.DD = DD(c.DDAttr, c.DDExt, t)
+		c.Factors = cm.Factors(c.Scenario)
+		w := c.Workload
+		if w.Model == 0 {
+			w = Workload{Model: M4, U: 1}
+		}
+		c.Updates = w.Updates(c.Scenario)
+		c.RawCost = c.Factors.Scale(c.Updates).Total(t)
+		costs[i] = c.RawCost
+	}
+	for i, n := range NormalizeCosts(costs) {
+		cands[i].NormCost = n
+	}
+	for _, c := range cands {
+		c.QC = clamp01(1 - (t.RhoQuality*c.DD + t.RhoCost*c.NormCost))
+	}
+	sorted := append([]*Candidate(nil), cands...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].QC > sorted[j].QC })
+	return &Ranking{Tradeoff: t, CostModel: cm, Candidates: sorted}, nil
+}
+
+// Best returns the top-ranked candidate, or nil when the ranking is empty.
+func (r *Ranking) Best() *Candidate {
+	if len(r.Candidates) == 0 {
+		return nil
+	}
+	return r.Candidates[0]
+}
+
+// Table renders the ranking in the layout of the paper's Table 4:
+// per rewriting, DD_attr, DD_ext, DD, raw cost (normalized cost), QC, and
+// the 1-based rating.
+func (r *Ranking) Table(names []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %12s %10s %8s %6s\n",
+		"Rewriting", "DDattr", "DDext", "DD", "Cost", "NormCost", "QC", "Rating")
+	for i, c := range r.Candidates {
+		name := fmt.Sprintf("V%d", i+1)
+		if names != nil && i < len(names) {
+			name = names[i]
+		}
+		fmt.Fprintf(&b, "%-12s %8.4f %8.4f %8.4f %12.1f %10.4f %8.5f %6d\n",
+			name, c.DDAttr, c.DDExt, c.DD, c.RawCost, c.NormCost, c.QC, i+1)
+	}
+	return b.String()
+}

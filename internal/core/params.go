@@ -1,0 +1,104 @@
+// Package core implements the paper's primary contribution: the QC-Model,
+// an efficiency model that ranks non-equivalent legal rewritings of a view
+// by combining a quality measure (degree of divergence from the original
+// view, Section 5) with a cost measure (long-term incremental view
+// maintenance cost, Section 6) into a single score (Equation 26):
+//
+//	QC(Vi) = 1 − (ρ_quality·DD(Vi) + ρ_cost·COST*(Vi))
+//
+// All equations (12)–(26), the PC-constraint overlap estimator hooks, the
+// three cost factors CF_M / CF_T / CF_I/O (with Appendix A's I/O bounds),
+// and the workload models M1–M4 live here.
+package core
+
+import "fmt"
+
+// Tradeoff holds every user-settable weight and trade-off parameter of the
+// QC-Model, with the paper's defaults. The zero value is NOT usable; start
+// from DefaultTradeoff.
+type Tradeoff struct {
+	// W1, W2 weight preserved attributes of categories 1 (dispensable,
+	// replaceable) and 2 (dispensable, non-replaceable) in the interface
+	// quality Q_V (Equation 12). Default (0.7, 0.3); the paper argues
+	// w1 > w2 favors future evolvability (Experiment 1).
+	W1, W2 float64
+	// RhoD1, RhoD2 trade off lost tuples (D1) against surplus tuples (D2)
+	// in DD_ext (Equation 15). They must sum to 1. Default (0.5, 0.5).
+	RhoD1, RhoD2 float64
+	// RhoAttr, RhoExt combine interface and extent divergence into the
+	// total DD (Equation 20). They must sum to 1.
+	RhoAttr, RhoExt float64
+	// CostM, CostT, CostIO are the unit prices for one message, one
+	// transferred byte, and one disk I/O (Equation 24). Experiment 4 uses
+	// (0.1, 0.7, 0.2).
+	CostM, CostT, CostIO float64
+	// RhoQuality, RhoCost trade quality against cost in the final score
+	// (Equation 26). They must sum to 1. Experiment 4's Case 1 is
+	// (0.9, 0.1).
+	RhoQuality, RhoCost float64
+}
+
+// DefaultTradeoff returns the paper's default parameter setting (Section
+// 5.2, Section 5.4.2, and Experiment 4's unit prices and Case-1 trade-off).
+func DefaultTradeoff() Tradeoff {
+	return Tradeoff{
+		W1: 0.7, W2: 0.3,
+		RhoD1: 0.5, RhoD2: 0.5,
+		RhoAttr: 0.7, RhoExt: 0.3,
+		CostM: 0.1, CostT: 0.7, CostIO: 0.2,
+		RhoQuality: 0.9, RhoCost: 0.1,
+	}
+}
+
+// Validate checks the pairwise-sum-to-one constraints and ranges.
+func (t Tradeoff) Validate() error {
+	check01 := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("core: %s = %g outside [0,1]", name, v)
+		}
+		return nil
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"W1", t.W1}, {"W2", t.W2},
+		{"RhoD1", t.RhoD1}, {"RhoD2", t.RhoD2},
+		{"RhoAttr", t.RhoAttr}, {"RhoExt", t.RhoExt},
+		{"RhoQuality", t.RhoQuality}, {"RhoCost", t.RhoCost},
+	} {
+		if err := check01(p.name, p.v); err != nil {
+			return err
+		}
+	}
+	sums := []struct {
+		name string
+		v    float64
+	}{
+		{"RhoD1+RhoD2", t.RhoD1 + t.RhoD2},
+		{"RhoAttr+RhoExt", t.RhoAttr + t.RhoExt},
+		{"RhoQuality+RhoCost", t.RhoQuality + t.RhoCost},
+	}
+	for _, s := range sums {
+		if s.v < 1-1e-9 || s.v > 1+1e-9 {
+			return fmt.Errorf("core: %s = %g, must equal 1", s.name, s.v)
+		}
+	}
+	if t.CostM < 0 || t.CostT < 0 || t.CostIO < 0 {
+		return fmt.Errorf("core: negative unit price")
+	}
+	return nil
+}
+
+// clamp01 bounds a divergence or normalized value into [0, 1]; estimation
+// error can push raw values slightly outside.
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/esql"
+	"repro/internal/relation"
+)
+
+func mkView(items ...esql.SelectItem) *esql.ViewDef {
+	return &esql.ViewDef{
+		Name:   "V",
+		Select: items,
+		From:   []esql.FromItem{{Rel: "R"}},
+	}
+}
+
+func sel(attr string, ad, ar bool) esql.SelectItem {
+	return esql.SelectItem{
+		Attr:        esql.AttrRef{Rel: "R", Attr: attr},
+		Dispensable: ad,
+		Replaceable: ar,
+	}
+}
+
+func TestInterfaceQuality(t *testing.T) {
+	tr := DefaultTradeoff() // w1=0.7, w2=0.3
+	// Two category-1 attrs, one category-2, one indispensable.
+	v := mkView(sel("A", true, true), sel("B", true, true), sel("C", true, false), sel("D", false, false))
+	got := InterfaceQuality(v, tr)
+	want := 2*0.7 + 0.3
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Q_V = %g, want %g", got, want)
+	}
+}
+
+// TestDDAttrExample3 reproduces the paper's Example 3: V selects A
+// (indispensable), B and C (both category 1). V1 keeps B; V2 keeps neither.
+// DD_attr(V1) = 0.5, DD_attr(V2) = 1.
+func TestDDAttrExample3(t *testing.T) {
+	tr := DefaultTradeoff()
+	v := mkView(sel("A", false, false), sel("B", true, true), sel("C", true, true))
+	v1 := mkView(sel("A", false, false), sel("B", true, true))
+	v2 := mkView(sel("A", false, false))
+	if got := DDAttr(v, v1, tr); got != 0.5 {
+		t.Errorf("DD_attr(V1) = %g, want 0.5", got)
+	}
+	if got := DDAttr(v, v2, tr); got != 1 {
+		t.Errorf("DD_attr(V2) = %g, want 1", got)
+	}
+}
+
+func TestDDAttrAllIndispensable(t *testing.T) {
+	tr := DefaultTradeoff()
+	v := mkView(sel("A", false, false), sel("B", false, true))
+	vi := mkView(sel("A", false, false), sel("B", false, true))
+	if got := DDAttr(v, vi, tr); got != 0 {
+		t.Errorf("Q_V = 0 case: DD_attr = %g, want 0", got)
+	}
+}
+
+func TestDDAttrIdentityIsZero(t *testing.T) {
+	tr := DefaultTradeoff()
+	v := mkView(sel("A", true, true), sel("B", true, false))
+	if got := DDAttr(v, v, tr); got != 0 {
+		t.Errorf("DD_attr(V, V) = %g", got)
+	}
+}
+
+func TestDDExtD1D2(t *testing.T) {
+	// Paper-style: |V|=4000, |Vi|=2000 (subset): D1=0.5, D2=0.
+	e := ExtentSizes{Orig: 4000, New: 2000, Overlap: 2000}
+	if got := e.DDExtD1(); got != 0.5 {
+		t.Errorf("D1 = %g, want 0.5", got)
+	}
+	if got := e.DDExtD2(); got != 0 {
+		t.Errorf("D2 = %g, want 0", got)
+	}
+	// Superset: |Vi|=5000, overlap=4000: D1=0, D2=0.2.
+	e = ExtentSizes{Orig: 4000, New: 5000, Overlap: 4000}
+	if got := e.DDExtD1(); got != 0 {
+		t.Errorf("superset D1 = %g", got)
+	}
+	if got := e.DDExtD2(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("superset D2 = %g, want 0.2", got)
+	}
+}
+
+func TestDDExtEmptyExtents(t *testing.T) {
+	if (ExtentSizes{}).DDExtD1() != 0 || (ExtentSizes{}).DDExtD2() != 0 {
+		t.Error("empty extents should diverge by 0")
+	}
+}
+
+func TestDDExtWeighting(t *testing.T) {
+	tr := DefaultTradeoff()
+	e := ExtentSizes{Orig: 100, New: 100, Overlap: 50}
+	// D1 = D2 = 0.5, equal weights → 0.5.
+	if got := DDExt(e, tr); got != 0.5 {
+		t.Errorf("DDExt = %g, want 0.5", got)
+	}
+	tr.RhoD1, tr.RhoD2 = 1, 0
+	if got := DDExt(e, tr); got != 0.5 {
+		t.Errorf("DDExt ρ1-only = %g", got)
+	}
+}
+
+func TestDDTotal(t *testing.T) {
+	tr := DefaultTradeoff() // ρattr=0.7 ρext=0.3
+	got := DD(0.5, 0.25, tr)
+	want := 0.7*0.5 + 0.3*0.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("DD = %g, want %g", got, want)
+	}
+}
+
+// Property: all divergence measures stay inside [0, 1] whatever the inputs.
+func TestDivergencesBounded(t *testing.T) {
+	tr := DefaultTradeoff()
+	f := func(o, n, ov uint32) bool {
+		e := ExtentSizes{Orig: float64(o % 10000), New: float64(n % 10000), Overlap: float64(ov % 10000)}
+		d1, d2, de := e.DDExtD1(), e.DDExtD2(), DDExt(e, tr)
+		for _, v := range []float64{d1, d2, de} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactExtentSizes(t *testing.T) {
+	orig := relation.MustFromRows("V", relation.MustSchema(relation.TypeInt, "A", "B"),
+		relation.IntRows([]int64{1, 1}, []int64{2, 2}, []int64{3, 3})...)
+	rw := relation.MustFromRows("Vi", relation.MustSchema(relation.TypeInt, "B", "C"),
+		relation.IntRows([]int64{2, 9}, []int64{3, 9}, []int64{4, 9})...)
+	sizes, err := ExactExtentSizes(orig, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes.Orig != 3 || sizes.New != 3 || sizes.Overlap != 2 {
+		t.Errorf("sizes = %+v, want 3/3/2", sizes)
+	}
+}
+
+func TestExactExtentSizesDisjointInterfaces(t *testing.T) {
+	orig := relation.MustFromRows("V", relation.MustSchema(relation.TypeInt, "A"),
+		relation.IntRows([]int64{1})...)
+	rw := relation.MustFromRows("Vi", relation.MustSchema(relation.TypeInt, "B"),
+		relation.IntRows([]int64{1}, []int64{2})...)
+	sizes, err := ExactExtentSizes(orig, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes.Overlap != 0 || sizes.Orig != 1 || sizes.New != 2 {
+		t.Errorf("disjoint sizes = %+v", sizes)
+	}
+}
+
+func TestTradeoffValidate(t *testing.T) {
+	good := DefaultTradeoff()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default tradeoff invalid: %v", err)
+	}
+	bad := good
+	bad.RhoD1, bad.RhoD2 = 0.5, 0.6
+	if err := bad.Validate(); err == nil {
+		t.Error("ρ1+ρ2 ≠ 1 not rejected")
+	}
+	bad = good
+	bad.W1 = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("w1 > 1 not rejected")
+	}
+	bad = good
+	bad.CostM = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative price not rejected")
+	}
+	bad = good
+	bad.RhoQuality, bad.RhoCost = 0.3, 0.3
+	if err := bad.Validate(); err == nil {
+		t.Error("ρq+ρc ≠ 1 not rejected")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if clamp01(-0.5) != 0 || clamp01(1.5) != 1 || clamp01(0.25) != 0.25 {
+		t.Error("clamp01 wrong")
+	}
+}

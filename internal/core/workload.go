@@ -1,0 +1,110 @@
+package core
+
+// WorkloadModel enumerates the four workload models of Section 6.6, which
+// determine how many data updates a view faces per time unit.
+type WorkloadModel uint8
+
+// Workload models M1–M4.
+const (
+	// M1: updates proportional to relation size — p percent of each
+	// relation's tuples are updated per time unit.
+	M1 WorkloadModel = iota + 1
+	// M2: a constant number of updates per relation per time unit.
+	M2
+	// M3: a constant number of updates per information source per time
+	// unit.
+	M3
+	// M4: a constant number of updates per legal rewriting per time unit.
+	M4
+)
+
+// String names the model.
+func (w WorkloadModel) String() string {
+	switch w {
+	case M1:
+		return "M1"
+	case M2:
+		return "M2"
+	case M3:
+		return "M3"
+	case M4:
+		return "M4"
+	default:
+		return "M?"
+	}
+}
+
+// Workload is a configured workload model.
+type Workload struct {
+	Model WorkloadModel
+	// P is M1's update fraction (updates per tuple per time unit), e.g.
+	// 0.01 for "1 update per 100 tuples" (Experiment 5).
+	P float64
+	// U is the constant update count for M2 (per relation), M3 (per IS),
+	// and M4 (per rewriting).
+	U float64
+}
+
+// Updates returns the number of data updates the view faces per time unit
+// under the workload, given the rewriting's relation cardinalities grouped
+// by site.
+func (w Workload) Updates(u UpdateScenario) float64 {
+	switch w.Model {
+	case M1:
+		total := 0.0
+		for _, s := range u.Sites {
+			for _, r := range s.Relations {
+				total += float64(r.Card)
+			}
+		}
+		return w.P * total
+	case M2:
+		n := 0
+		for _, s := range u.Sites {
+			n += len(s.Relations)
+		}
+		return w.U * float64(n)
+	case M3:
+		m := 0
+		for _, s := range u.Sites {
+			if len(s.Relations) > 0 {
+				m++
+			}
+		}
+		if m == 0 {
+			m = len(u.Sites)
+		}
+		return w.U * float64(m)
+	case M4:
+		return w.U
+	default:
+		return 1
+	}
+}
+
+// NormalizeCosts applies Equation 25's min-max normalization to a set of
+// total maintenance costs, mapping them into [0, 1]. When all costs are
+// equal every rewriting normalizes to 0 (the minimum), matching the
+// equation's convention of rewarding ties.
+func NormalizeCosts(costs []float64) []float64 {
+	if len(costs) == 0 {
+		return nil
+	}
+	min, max := costs[0], costs[0]
+	for _, c := range costs[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	out := make([]float64, len(costs))
+	if max == min {
+		return out
+	}
+	for i, c := range costs {
+		out[i] = clamp01((c - min) / (max - min))
+	}
+	return out
+}

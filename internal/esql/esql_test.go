@@ -1,0 +1,269 @@
+package esql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+const asiaCustomer = `
+CREATE VIEW AsiaCustomer (VE = ~) AS
+SELECT Name, Address, Phone (AD = true, AR = true)
+FROM Customer C (RR = true), FlightRes F
+WHERE (C.Name = F.PName) AND (F.Dest = 'Asia') (CD = true)
+`
+
+func TestParseAsiaCustomer(t *testing.T) {
+	v, err := Parse(asiaCustomer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name != "AsiaCustomer" {
+		t.Errorf("name = %q", v.Name)
+	}
+	if v.Extent != ExtentAny {
+		t.Errorf("extent = %v", v.Extent)
+	}
+	if len(v.Select) != 3 {
+		t.Fatalf("select items = %d", len(v.Select))
+	}
+	if v.Select[0].Dispensable || v.Select[0].Replaceable {
+		t.Error("Name should default to (false,false)")
+	}
+	if !v.Select[2].Dispensable || !v.Select[2].Replaceable {
+		t.Error("Phone should be (AD,AR)=(true,true)")
+	}
+	if len(v.From) != 2 {
+		t.Fatalf("from items = %d", len(v.From))
+	}
+	if v.From[0].Rel != "Customer" || v.From[0].Alias != "C" || !v.From[0].Replaceable {
+		t.Errorf("from[0] = %+v", v.From[0])
+	}
+	if len(v.Where) != 2 {
+		t.Fatalf("where items = %d", len(v.Where))
+	}
+	if !v.Where[0].Clause.IsJoin() {
+		t.Error("first clause should be a join")
+	}
+	if !v.Where[1].Dispensable || v.Where[1].Replaceable {
+		t.Error("second clause should be (CD,CR)=(true,false)")
+	}
+	if v.Where[1].Clause.Const.AsString() != "Asia" {
+		t.Errorf("const = %v", v.Where[1].Clause.Const)
+	}
+}
+
+func TestParseExtentParams(t *testing.T) {
+	for src, want := range map[string]ExtentParam{
+		"CREATE VIEW V (VE = ~) AS SELECT R.A FROM R":        ExtentAny,
+		"CREATE VIEW V (VE = ==) AS SELECT R.A FROM R":       ExtentEqual,
+		"CREATE VIEW V (VE = >=) AS SELECT R.A FROM R":       ExtentSuperset,
+		"CREATE VIEW V (VE = <=) AS SELECT R.A FROM R":       ExtentSubset,
+		"CREATE VIEW V (VE = subset) AS SELECT R.A FROM R":   ExtentSubset,
+		"CREATE VIEW V (VE = superset) AS SELECT R.A FROM R": ExtentSuperset,
+		"CREATE VIEW V AS SELECT R.A FROM R":                 ExtentAny,
+	} {
+		v, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if v.Extent != want {
+			t.Errorf("%s: extent = %v, want %v", src, v.Extent, want)
+		}
+	}
+}
+
+func TestParseNumericConstants(t *testing.T) {
+	v, err := Parse("CREATE VIEW V AS SELECT R.A FROM R WHERE R.A > 10 AND R.B <= 2.5 AND R.C <> -3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Where[0].Clause.Const; got.Type() != relation.TypeInt || got.AsInt() != 10 {
+		t.Errorf("int const = %v", got)
+	}
+	if got := v.Where[1].Clause.Const; got.Type() != relation.TypeFloat || got.AsFloat() != 2.5 {
+		t.Errorf("float const = %v", got)
+	}
+	if got := v.Where[2].Clause.Const; got.AsInt() != -3 {
+		t.Errorf("negative const = %v", got)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	v, err := Parse("CREATE VIEW V AS SELECT R.A FROM R WHERE R.A = 'O''Hare'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Where[0].Clause.Const.AsString(); got != "O'Hare" {
+		t.Errorf("escaped string = %q", got)
+	}
+}
+
+func TestParseAlias(t *testing.T) {
+	v, err := Parse("CREATE VIEW V AS SELECT R.A AS X (AD = true) FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Select[0].Alias != "X" || v.Select[0].OutputName() != "X" {
+		t.Errorf("alias = %+v", v.Select[0])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	v, err := Parse("CREATE VIEW V AS -- comment here\nSELECT R.A FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name != "V" {
+		t.Error("comment parsing broke the statement")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT R.A FROM R",
+		"CREATE VIEW V AS SELECT FROM R",
+		"CREATE VIEW V AS SELECT R.A",
+		"CREATE VIEW V AS SELECT R.A FROM R WHERE",
+		"CREATE VIEW V AS SELECT R.A FROM R WHERE R.A >",
+		"CREATE VIEW V (VE = ??) AS SELECT R.A FROM R",
+		"CREATE VIEW V AS SELECT R.A (XX = true) FROM R",
+		"CREATE VIEW V AS SELECT R.A (AD = maybe) FROM R",
+		"CREATE VIEW V AS SELECT R.A FROM R trailing garbage , ,",
+		"CREATE VIEW V AS SELECT S.A FROM R",           // unbound qualifier
+		"CREATE VIEW V AS SELECT R.A, R.A FROM R",      // duplicate output column
+		"CREATE VIEW V AS SELECT R.A FROM R, R",        // duplicate binding
+		"CREATE VIEW V AS SELECT R.A FROM R WHERE 'x'", // clause starts with constant
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseUnterminatedString(t *testing.T) {
+	if _, err := Parse("CREATE VIEW V AS SELECT R.A FROM R WHERE R.A = 'oops"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	sources := []string{
+		asiaCustomer,
+		"CREATE VIEW V (VE = ==) AS SELECT R.A (AD = true), R.B (AR = true) FROM R (RD = true) WHERE R.A > 10 (CD = true, CR = true)",
+		"CREATE VIEW W AS SELECT R.A AS X, S.B FROM R, S WHERE R.A = S.A",
+		"CREATE VIEW U (VE = <=) AS SELECT R.A FROM R WHERE R.N = 'Asia'",
+	}
+	for _, src := range sources {
+		v1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse 1 (%s): %v", src, err)
+		}
+		printed := Print(v1)
+		v2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("parse of printed output failed:\n%s\n%v", printed, err)
+		}
+		if v1.Signature() != v2.Signature() {
+			t.Errorf("round trip changed the view:\n%s\nvs\n%s", v1.Signature(), v2.Signature())
+		}
+	}
+}
+
+func TestCategory(t *testing.T) {
+	cases := []struct {
+		ad, ar bool
+		want   int
+	}{
+		{true, true, 1}, {true, false, 2}, {false, true, 3}, {false, false, 4},
+	}
+	for _, c := range cases {
+		s := SelectItem{Dispensable: c.ad, Replaceable: c.ar}
+		if got := s.Category(); got != c.want {
+			t.Errorf("Category(%v,%v) = %d, want %d", c.ad, c.ar, got, c.want)
+		}
+	}
+}
+
+func TestViewDefHelpers(t *testing.T) {
+	v := MustParse(asiaCustomer)
+	if v.FromBinding("C") == nil || v.FromBinding("Z") != nil {
+		t.Error("FromBinding wrong")
+	}
+	if got := v.OutputNames(); len(got) != 3 || got[0] != "Name" {
+		t.Errorf("OutputNames = %v", got)
+	}
+	if got := v.WhereFor("F"); len(got) != 2 {
+		t.Errorf("WhereFor(F) = %d clauses, want 2", len(got))
+	}
+	sel := v.SelectFor("C")
+	if len(sel) != 0 {
+		// Unqualified references are not attributed to C before Qualify.
+		t.Errorf("SelectFor(C) pre-qualification = %d", len(sel))
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := MustParse(asiaCustomer)
+	c := v.Clone()
+	c.Select[0].Alias = "Changed"
+	c.From[0].Rel = "Other"
+	if v.Select[0].Alias == "Changed" || v.From[0].Rel == "Other" {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestSignatureDistinguishes(t *testing.T) {
+	a := MustParse("CREATE VIEW V AS SELECT R.A FROM R")
+	b := MustParse("CREATE VIEW V AS SELECT R.B FROM R")
+	cOne := MustParse("CREATE VIEW V (VE = ==) AS SELECT R.A FROM R")
+	if a.Signature() == b.Signature() {
+		t.Error("different selects share signature")
+	}
+	if a.Signature() == cOne.Signature() {
+		t.Error("different VE share signature")
+	}
+}
+
+func TestValidateCatchesUnboundCondition(t *testing.T) {
+	v := &ViewDef{
+		Name:   "V",
+		Select: []SelectItem{{Attr: AttrRef{Rel: "R", Attr: "A"}}},
+		From:   []FromItem{{Rel: "R"}},
+		Where: []CondItem{{Clause: Clause{
+			Left: AttrRef{Rel: "Z", Attr: "X"}, Op: relation.OpEQ, Const: relation.Int(1),
+		}}},
+	}
+	if err := v.Validate(); err == nil {
+		t.Error("unbound condition reference should fail validation")
+	}
+}
+
+func TestPrintOmitsDefaults(t *testing.T) {
+	v := MustParse("CREATE VIEW V AS SELECT R.A FROM R")
+	out := Print(v)
+	if strings.Contains(out, "AD =") || strings.Contains(out, "VE =") {
+		t.Errorf("default parameters should be omitted:\n%s", out)
+	}
+}
+
+func TestExtentParamStrings(t *testing.T) {
+	for _, e := range []ExtentParam{ExtentAny, ExtentEqual, ExtentSubset, ExtentSuperset} {
+		round, err := ParseExtentParam(e.String())
+		if err != nil || round != e {
+			t.Errorf("extent round trip %v: %v, %v", e, round, err)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not sql")
+}

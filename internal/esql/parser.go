@@ -1,0 +1,384 @@
+package esql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Parse parses one E-SQL CREATE VIEW statement (Figure 2 syntax):
+//
+//	CREATE VIEW Asia-Customer (VE = ~) AS
+//	SELECT Name, Address, Phone (AD = true, AR = true)
+//	FROM Customer C (RR = true), FlightRes F
+//	WHERE C.Name = F.PName AND F.Dest = 'Asia' (CD = true)
+//
+// Evolution-parameter groups "(AD = true, AR = false)" may follow any select
+// item, from item, or where clause; omitted parameters default to false
+// (and VE defaults to ~, "no restriction"). The view name may contain
+// dashes only via quoting with underscores in this implementation; the
+// examples use identifiers.
+func Parse(src string) (*ViewDef, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	v, err := p.parseView()
+	if err != nil {
+		return nil, err
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(src string) *ViewDef {
+	v, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return token{kind: tokEOF}
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("esql: "+format+" (at offset %d)", append(args, p.cur().pos)...)
+}
+
+// keyword consumes an identifier matching kw case-insensitively.
+func (p *parser) keyword(kw string) error {
+	t := p.cur()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return p.errf("expected %s, found %s", kw, t)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return token{}, p.errf("expected %s, found %s", what, t)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) parseView() (*ViewDef, error) {
+	if err := p.keyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "view name")
+	if err != nil {
+		return nil, err
+	}
+	v := &ViewDef{Name: name.text}
+
+	// Optional "(VE = x)".
+	if p.cur().kind == tokLParen {
+		if err := p.parseExtentGroup(v); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.keyword("AS"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelect(v); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFrom(v); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("WHERE") {
+		p.advance()
+		if err := p.parseWhere(v); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().kind == tokSemi {
+		p.advance()
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input: %s", p.cur())
+	}
+	return v, nil
+}
+
+func (p *parser) parseExtentGroup(v *ViewDef) error {
+	p.advance() // (
+	if err := p.keyword("VE"); err != nil {
+		return err
+	}
+	if t := p.cur(); t.kind != tokOp || t.text != "=" {
+		return p.errf("expected = after VE, found %s", t)
+	}
+	p.advance()
+	t := p.cur()
+	var raw string
+	switch t.kind {
+	case tokOp:
+		raw = t.text
+	case tokIdent:
+		raw = strings.ToLower(t.text)
+	default:
+		return p.errf("expected VE value, found %s", t)
+	}
+	ve, err := ParseExtentParam(raw)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	v.Extent = ve
+	p.advance()
+	_, err = p.expect(tokRParen, ")")
+	return err
+}
+
+// parseParamGroup parses "(K = true|false, ...)" and returns the flags.
+func (p *parser) parseParamGroup(allowed ...string) (map[string]bool, error) {
+	p.advance() // (
+	flags := map[string]bool{}
+	for {
+		key, err := p.expect(tokIdent, "parameter name")
+		if err != nil {
+			return nil, err
+		}
+		kU := strings.ToUpper(key.text)
+		ok := false
+		for _, a := range allowed {
+			if kU == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, p.errf("parameter %s not allowed here (want one of %s)", key.text, strings.Join(allowed, ", "))
+		}
+		if t := p.cur(); t.kind != tokOp || t.text != "=" {
+			return nil, p.errf("expected = after %s, found %s", key.text, t)
+		}
+		p.advance()
+		val, err := p.expect(tokIdent, "true or false")
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(val.text) {
+		case "true":
+			flags[kU] = true
+		case "false":
+			flags[kU] = false
+		default:
+			return nil, p.errf("expected true or false, found %q", val.text)
+		}
+		if p.cur().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return flags, nil
+}
+
+func (p *parser) parseSelect(v *ViewDef) error {
+	for {
+		ref, err := p.parseAttrRef()
+		if err != nil {
+			return err
+		}
+		item := SelectItem{Attr: ref}
+		// Optional alias: "AS name" or bare identifier that is not a
+		// keyword and not the start of a parameter group.
+		if p.isKeyword("AS") {
+			p.advance()
+			a, err := p.expect(tokIdent, "alias")
+			if err != nil {
+				return err
+			}
+			item.Alias = a.text
+		}
+		if p.cur().kind == tokLParen {
+			flags, err := p.parseParamGroup("AD", "AR")
+			if err != nil {
+				return err
+			}
+			item.Dispensable = flags["AD"]
+			item.Replaceable = flags["AR"]
+		}
+		v.Select = append(v.Select, item)
+		if p.cur().kind == tokComma {
+			p.advance()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseFrom(v *ViewDef) error {
+	for {
+		name, err := p.expect(tokIdent, "relation name")
+		if err != nil {
+			return err
+		}
+		item := FromItem{Rel: name.text}
+		// Optional "IS.Rel" qualification.
+		if p.cur().kind == tokDot {
+			p.advance()
+			rel, err := p.expect(tokIdent, "relation name after source qualifier")
+			if err != nil {
+				return err
+			}
+			item.Source = item.Rel
+			item.Rel = rel.text
+		}
+		// Optional alias (bare identifier that is not WHERE).
+		if t := p.cur(); t.kind == tokIdent && !p.isKeyword("WHERE") {
+			item.Alias = t.text
+			p.advance()
+		}
+		if p.cur().kind == tokLParen {
+			flags, err := p.parseParamGroup("RD", "RR")
+			if err != nil {
+				return err
+			}
+			item.Dispensable = flags["RD"]
+			item.Replaceable = flags["RR"]
+		}
+		v.From = append(v.From, item)
+		if p.cur().kind == tokComma {
+			p.advance()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseWhere(v *ViewDef) error {
+	for {
+		// Clauses may be parenthesized: "(C.Name = F.PName)".
+		paren := false
+		if p.cur().kind == tokLParen {
+			paren = true
+			p.advance()
+		}
+		cl, err := p.parseClause()
+		if err != nil {
+			return err
+		}
+		if paren {
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return err
+			}
+		}
+		item := CondItem{Clause: cl}
+		if p.cur().kind == tokLParen && p.peek().kind == tokIdent &&
+			(strings.EqualFold(p.peek().text, "CD") || strings.EqualFold(p.peek().text, "CR")) {
+			flags, err := p.parseParamGroup("CD", "CR")
+			if err != nil {
+				return err
+			}
+			item.Dispensable = flags["CD"]
+			item.Replaceable = flags["CR"]
+		}
+		v.Where = append(v.Where, item)
+		if p.isKeyword("AND") {
+			p.advance()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseClause() (Clause, error) {
+	left, err := p.parseAttrRef()
+	if err != nil {
+		return Clause{}, err
+	}
+	opTok, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return Clause{}, err
+	}
+	op, err := relation.ParseOp(opTok.text)
+	if err != nil {
+		return Clause{}, p.errf("%v", err)
+	}
+	cl := Clause{Left: left, Op: op}
+	switch t := p.cur(); t.kind {
+	case tokIdent:
+		right, err := p.parseAttrRef()
+		if err != nil {
+			return Clause{}, err
+		}
+		cl.Right = right
+	case tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Clause{}, p.errf("bad number %q", t.text)
+			}
+			cl.Const = relation.Float(f)
+		} else {
+			i, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return Clause{}, p.errf("bad number %q", t.text)
+			}
+			cl.Const = relation.Int(i)
+		}
+	case tokString:
+		p.advance()
+		cl.Const = relation.String(t.text)
+	default:
+		return Clause{}, p.errf("expected attribute or constant, found %s", t)
+	}
+	return cl, nil
+}
+
+func (p *parser) parseAttrRef() (AttrRef, error) {
+	first, err := p.expect(tokIdent, "attribute reference")
+	if err != nil {
+		return AttrRef{}, err
+	}
+	if p.cur().kind == tokDot {
+		p.advance()
+		second, err := p.expect(tokIdent, "attribute name after qualifier")
+		if err != nil {
+			return AttrRef{}, err
+		}
+		return AttrRef{Rel: first.text, Attr: second.text}, nil
+	}
+	return AttrRef{Attr: first.text}, nil
+}

@@ -1,0 +1,68 @@
+package esql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a view definition back into parseable E-SQL surface syntax.
+// Default (false) evolution parameters are omitted, matching the paper's
+// convention ("with all evolution parameters set to false omitted").
+func Print(v *ViewDef) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE VIEW %s", v.Name)
+	if v.Extent != ExtentAny {
+		fmt.Fprintf(&b, " (VE = %s)", v.Extent)
+	}
+	b.WriteString(" AS\nSELECT ")
+	for i, s := range v.Select {
+		if i > 0 {
+			b.WriteString(",\n       ")
+		}
+		b.WriteString(s.Attr.String())
+		if s.Alias != "" {
+			b.WriteString(" AS " + s.Alias)
+		}
+		writeFlags(&b, [2]string{"AD", "AR"}, s.Dispensable, s.Replaceable)
+	}
+	b.WriteString("\nFROM ")
+	for i, f := range v.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if f.Source != "" {
+			b.WriteString(f.Source + "." + f.Rel)
+		} else {
+			b.WriteString(f.Rel)
+		}
+		if f.Alias != "" {
+			b.WriteString(" " + f.Alias)
+		}
+		writeFlags(&b, [2]string{"RD", "RR"}, f.Dispensable, f.Replaceable)
+	}
+	if len(v.Where) > 0 {
+		b.WriteString("\nWHERE ")
+		for i, c := range v.Where {
+			if i > 0 {
+				b.WriteString("\n  AND ")
+			}
+			b.WriteString("(" + c.Clause.String() + ")")
+			writeFlags(&b, [2]string{"CD", "CR"}, c.Dispensable, c.Replaceable)
+		}
+	}
+	return b.String()
+}
+
+func writeFlags(b *strings.Builder, names [2]string, dispensable, replaceable bool) {
+	if !dispensable && !replaceable {
+		return
+	}
+	var parts []string
+	if dispensable {
+		parts = append(parts, names[0]+" = true")
+	}
+	if replaceable {
+		parts = append(parts, names[1]+" = true")
+	}
+	b.WriteString(" (" + strings.Join(parts, ", ") + ")")
+}

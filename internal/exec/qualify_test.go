@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/esql"
+	"repro/internal/relation"
+)
+
+// TestQualifyWithCustomLookup exercises the lookup-injection variant the
+// synchronizer uses to qualify views against MKB schemas (e.g. for a
+// relation that has already been deleted from the space).
+func TestQualifyWithCustomLookup(t *testing.T) {
+	schemas := map[string]*relation.Schema{
+		"Gone":  relation.MustSchema(relation.TypeInt, "A", "B"),
+		"Still": relation.MustSchema(relation.TypeInt, "C"),
+	}
+	lookup := func(rel string) *relation.Schema { return schemas[rel] }
+
+	v := esql.MustParse("CREATE VIEW V AS SELECT A, C FROM Gone, Still WHERE B > 1")
+	q, err := QualifyWith(v, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[0].Attr.Rel != "Gone" || q.Select[1].Attr.Rel != "Still" {
+		t.Errorf("qualified selects = %+v", q.Select)
+	}
+	if q.Where[0].Clause.Left.Rel != "Gone" {
+		t.Errorf("qualified where = %+v", q.Where[0])
+	}
+}
+
+func TestQualifyWithNilSchemas(t *testing.T) {
+	v := esql.MustParse("CREATE VIEW V AS SELECT A FROM Ghost")
+	_, err := QualifyWith(v, func(string) *relation.Schema { return nil })
+	if err == nil {
+		t.Error("lookup returning nil schemas should fail resolution")
+	}
+}
+
+func TestQualifyAlreadyQualifiedPassesThrough(t *testing.T) {
+	v := esql.MustParse("CREATE VIEW V AS SELECT G.A FROM Gone G")
+	q, err := QualifyWith(v, func(string) *relation.Schema { return nil })
+	if err != nil {
+		t.Fatalf("fully qualified views need no schema lookup: %v", err)
+	}
+	if q.Select[0].Attr.Rel != "G" {
+		t.Errorf("qualified ref changed: %+v", q.Select[0])
+	}
+}
+
+func TestQualifyRejectsUnboundQualifier(t *testing.T) {
+	v := &esql.ViewDef{
+		Name:   "V",
+		Select: []esql.SelectItem{{Attr: esql.AttrRef{Rel: "Z", Attr: "A"}}},
+		From:   []esql.FromItem{{Rel: "R"}},
+	}
+	// Validate would reject this too, but QualifyWith must not mask it.
+	if _, err := QualifyWith(v, func(string) *relation.Schema {
+		return relation.MustSchema(relation.TypeInt, "A")
+	}); err == nil {
+		t.Error("reference to unbound relation should fail")
+	}
+}

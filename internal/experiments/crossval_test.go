@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCrossValidationMessagesExact: the analytic CF_M must equal the
+// simulator's measured per-update message count on every configuration —
+// the message protocol is deterministic, so any mismatch is a model bug.
+func TestCrossValidationMessagesExact(t *testing.T) {
+	res, err := RunCrossValidation(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.AnalyticMessages != r.MeasuredMessages {
+			t.Errorf("%s: CF_M analytic %g != measured %g", r.Label, r.AnalyticMessages, r.MeasuredMessages)
+		}
+	}
+}
+
+// TestCrossValidationBytesTrend: measured bytes must grow with the number
+// of sites, in the same direction as the analytic CF_T.
+func TestCrossValidationBytesTrend(t *testing.T) {
+	res, err := RunCrossValidation(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, three := res.Rows[0], res.Rows[2]
+	if three.MeasuredBytes <= one.MeasuredBytes {
+		t.Errorf("measured bytes should grow with sites: %g vs %g", one.MeasuredBytes, three.MeasuredBytes)
+	}
+	if three.AnalyticBytes <= one.AnalyticBytes {
+		t.Errorf("analytic bytes should grow with sites: %g vs %g", one.AnalyticBytes, three.AnalyticBytes)
+	}
+	if !strings.Contains(res.String(), "Cross-validation") {
+		t.Error("rendering missing title")
+	}
+}
+
+// TestCrossValidationDeterministic: same seed, same measurements.
+func TestCrossValidationDeterministic(t *testing.T) {
+	a, err := RunCrossValidation(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrossValidation(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Errorf("row %d differs across runs: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chart"
+)
+
+// Figure renders Experiment 2's three Figure 13 panels as ASCII line charts.
+func (r Exp2Result) Figure() string {
+	labels := make([]string, len(r.Rows))
+	msgs := make([]float64, len(r.Rows))
+	bytesT := make([]float64, len(r.Rows))
+	ios := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = fmt.Sprintf("%d", row.Sites)
+		msgs[i] = row.Messages
+		bytesT[i] = row.Bytes
+		ios[i] = row.IO
+	}
+	var b strings.Builder
+	b.WriteString(chart.Line("Figure 13(a) — messages exchanged vs sites", labels, msgs, 8))
+	b.WriteString("\n")
+	b.WriteString(chart.Line("Figure 13(b) — bytes transferred vs sites", labels, bytesT, 8))
+	b.WriteString("\n")
+	b.WriteString(chart.Line("Figure 13(c) — I/O operations vs sites", labels, ios, 8))
+	return b.String()
+}
+
+// Figure renders one Figure 14 panel as an ASCII bar chart.
+func (r Exp3Result) Figure() string {
+	labels := make([]string, len(r.Rows))
+	vals := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = fmt.Sprintf("%s (%d sites)", row.Label, row.Sites)
+		vals[i] = row.Bytes
+	}
+	title := fmt.Sprintf("Figure 14 — bytes transferred by distribution (js = %g)", r.JoinSelectivity)
+	return chart.Bar(title, labels, vals, 48)
+}
+
+// Figure renders Figure 15: QC score per rewriting for each trade-off case.
+func (r Exp4Result) Figure() string {
+	var b strings.Builder
+	for _, c := range r.Cases {
+		labels := make([]string, len(c.Rows))
+		vals := make([]float64, len(c.Rows))
+		for i, row := range c.Rows {
+			labels[i] = row.Name
+			vals[i] = row.QC
+		}
+		title := fmt.Sprintf("Figure 15 — overall goodness (ρ_quality=%.2f, ρ_cost=%.2f)", c.RhoQuality, c.RhoCost)
+		b.WriteString(chart.Bar(title, labels, vals, 48))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure renders Figure 16: the three workload-scaled cost factors.
+func (r Exp5Result) Figure() string {
+	labels := make([]string, len(r.M3))
+	msgs := make([]float64, len(r.M3))
+	bytesT := make([]float64, len(r.M3))
+	ios := make([]float64, len(r.M3))
+	for i, row := range r.M3 {
+		labels[i] = fmt.Sprintf("%d", row.Sites)
+		msgs[i] = row.Messages
+		bytesT[i] = row.Bytes
+		ios[i] = row.IO
+	}
+	var b strings.Builder
+	b.WriteString(chart.Line("Figure 16(a) — messages exchanged (M3 workload)", labels, msgs, 8))
+	b.WriteString("\n")
+	b.WriteString(chart.Line("Figure 16(b) — bytes transferred (M3 workload)", labels, bytesT, 8))
+	b.WriteString("\n")
+	b.WriteString(chart.Line("Figure 16(c) — I/O operations (M3 workload)", labels, ios, 8))
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func TestFigureRenderings(t *testing.T) {
+	e2 := RunExp2(scenario.DefaultParams(), core.DefaultCostModel())
+	fig := e2.Figure()
+	for _, want := range []string{"Figure 13(a)", "Figure 13(b)", "Figure 13(c)", "*"} {
+		if !strings.Contains(fig, want) {
+			t.Errorf("Exp2 figure missing %q", want)
+		}
+	}
+	e3 := RunExp3(scenario.DefaultParams(), 0.005, core.DefaultCostModel())
+	if !strings.Contains(e3.Figure(), "Figure 14") || !strings.Contains(e3.Figure(), "#") {
+		t.Error("Exp3 figure malformed")
+	}
+	e4, err := RunExp4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e4.Figure(), "Figure 15") {
+		t.Error("Exp4 figure malformed")
+	}
+	e5, err := RunExp5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e5.Figure(), "Figure 16(b)") {
+		t.Error("Exp5 figure malformed")
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// HeuristicCheck is one Section 7.6 heuristic with the model's verdict.
+type HeuristicCheck struct {
+	Name    string
+	Detail  string
+	Holds   bool
+	Measure string
+}
+
+// HeuristicsResult aggregates the ablation checks.
+type HeuristicsResult struct {
+	Checks []HeuristicCheck
+}
+
+// RunHeuristics validates the Section 7.6 heuristics against the analytic
+// model:
+//
+//  1. Fewer information sources cost less (messages and bytes).
+//  2. Smaller replacement relations cost less to maintain.
+//  3. The replacement closest in size to the original maximizes quality.
+//  4. Among superset replacements, the smallest superset always ranks best
+//     regardless of the trade-off parameters.
+//  5. Fewer relations in the FROM clause cost less.
+func RunHeuristics() (HeuristicsResult, error) {
+	var res HeuristicsResult
+	p := scenario.DefaultParams()
+	cm := core.DefaultCostModel()
+	cm.JoinSelectivity = p.JoinSelectivity
+	cm.BlockingFactor = p.BlockingFactor
+
+	// 1. Fewer sites cheaper.
+	e2 := RunExp2(p, cm)
+	monotone := true
+	for i := 1; i < len(e2.Rows); i++ {
+		if e2.Rows[i].Bytes < e2.Rows[i-1].Bytes || e2.Rows[i].Messages < e2.Rows[i-1].Messages {
+			monotone = false
+		}
+	}
+	res.Checks = append(res.Checks, HeuristicCheck{
+		Name:    "fewer-sites",
+		Detail:  "CF_M and CF_T increase with the number of sites",
+		Holds:   monotone,
+		Measure: fmt.Sprintf("bytes m=1..6: %.0f -> %.0f", e2.Rows[0].Bytes, e2.Rows[len(e2.Rows)-1].Bytes),
+	})
+
+	// 2. Smaller replacements cheaper: Experiment 4's cost column is
+	// increasing in substitute cardinality.
+	e4, err := runExp4Case(0.9, 0.1)
+	if err != nil {
+		return res, err
+	}
+	costInc := true
+	for i := 1; i < len(e4.Rows); i++ {
+		if e4.Rows[i].Cost < e4.Rows[i-1].Cost {
+			costInc = false
+		}
+	}
+	res.Checks = append(res.Checks, HeuristicCheck{
+		Name:    "smaller-replacement",
+		Detail:  "maintenance cost grows with substitute cardinality",
+		Holds:   costInc,
+		Measure: fmt.Sprintf("cost S1..S5: %.1f -> %.1f", e4.Rows[0].Cost, e4.Rows[len(e4.Rows)-1].Cost),
+	})
+
+	// 3. Size-matched replacement maximizes quality: V3 (|S3|=|R2|) has
+	// the minimum DD.
+	minDD, minName := e4.Rows[0].DD, e4.Rows[0].Name
+	for _, r := range e4.Rows[1:] {
+		if r.DD < minDD {
+			minDD, minName = r.DD, r.Name
+		}
+	}
+	res.Checks = append(res.Checks, HeuristicCheck{
+		Name:    "closest-size",
+		Detail:  "the size-matched substitute has the lowest divergence",
+		Holds:   minName == "V3",
+		Measure: fmt.Sprintf("min DD at %s (%.4f)", minName, minDD),
+	})
+
+	// 4. Among supersets (V3, V4, V5) the smallest superset wins for every
+	// trade-off case.
+	holds4 := true
+	var lastBest string
+	for _, rhos := range [][2]float64{{0.9, 0.1}, {0.75, 0.25}, {0.5, 0.5}} {
+		c, err := runExp4Case(rhos[0], rhos[1])
+		if err != nil {
+			return res, err
+		}
+		best, bestQC := "", -1.0
+		for _, r := range c.Rows {
+			if r.Name == "V3" || r.Name == "V4" || r.Name == "V5" {
+				if r.QC > bestQC {
+					best, bestQC = r.Name, r.QC
+				}
+			}
+		}
+		lastBest = best
+		if best != "V3" {
+			holds4 = false
+		}
+	}
+	res.Checks = append(res.Checks, HeuristicCheck{
+		Name:    "smallest-superset",
+		Detail:  "among superset substitutes the smallest always ranks best",
+		Holds:   holds4,
+		Measure: "best superset substitute: " + lastBest,
+	})
+
+	// 5. Fewer relations cheaper: compare the 6-relation chain against a
+	// 3-relation chain on one site.
+	six := core.UniformScenario([]int{6}, p.Card, p.TupleSize, p.Selectivity)
+	three := core.UniformScenario([]int{3}, p.Card, p.TupleSize, p.Selectivity)
+	b6, b3 := cm.Bytes(six), cm.Bytes(three)
+	res.Checks = append(res.Checks, HeuristicCheck{
+		Name:    "fewer-relations",
+		Detail:  "fewer FROM relations transfer fewer bytes",
+		Holds:   b3 < b6,
+		Measure: fmt.Sprintf("bytes: 3 rels %.0f vs 6 rels %.0f", b3, b6),
+	})
+	return res, nil
+}
+
+// String renders the checks.
+func (r HeuristicsResult) String() string {
+	var b strings.Builder
+	b.WriteString("Heuristic ablations (Section 7.6)\n")
+	for _, c := range r.Checks {
+		verdict := "HOLDS"
+		if !c.Holds {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "%-20s %-8s %s (%s)\n", c.Name, verdict, c.Detail, c.Measure)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package misd
+
+import "math"
+
+// OverlapEstimate is the result of estimating |R1 ∩≈ R2| from a PC
+// constraint (Section 5.4.3, Figures 9 and 10). Exact reports whether the
+// constraint pins the overlap down exactly; when false, Size is the minimal
+// (lower-bound) value marked with an asterisk in Figure 9.
+type OverlapEstimate struct {
+	Size  float64
+	Exact bool
+}
+
+// EstimateOverlap estimates the size of the overlapping projections of the
+// dropped relation R1 and the replacement relation R2 related by pc, given
+// their cardinalities. It implements the twelve cases of Figure 10:
+//
+//	                         θ = ≡           θ = ⊆            θ = ⊇
+//	no/no  (C1=⊤, C2=⊤)     |R1| = |R2|      |R1|             |R2|
+//	no/yes (C1=⊤, C2≠⊤)     |R1| = σ2|R2|    |R1| (*)         σ2|R2|
+//	yes/no (C1≠⊤, C2=⊤)     σ1|R1| = |R2|    σ1|R1|           |R2| (*)
+//	yes/yes                  σ1|R1| = σ2|R2|  σ1|R1| (*)       σ2|R2| (*)
+//
+// Cells marked (*) are inexact: the constraint only bounds the overlap from
+// below, so Exact is false. card1 and card2 are |R1| and |R2| (the full
+// relation cardinalities; the projections are assumed duplicate-preserving
+// as in the paper's analysis).
+func EstimateOverlap(pc PCConstraint, card1, card2 int) OverlapEstimate {
+	s1 := pc.Left.EffectiveSelectivity()
+	s2 := pc.Right.EffectiveSelectivity()
+	f1 := s1 * float64(card1) // |σ1(R1)|
+	f2 := s2 * float64(card2) // |σ2(R2)|
+	l := pc.Left.HasSelection()
+	r := pc.Right.HasSelection()
+
+	switch pc.Rel {
+	case Equal:
+		// The two fragments are identical; the overlap is the fragment
+		// size. When both sides advertise sizes we take the smaller, as
+		// registration-time statistics may disagree slightly.
+		return OverlapEstimate{Size: math.Min(f1, f2), Exact: true}
+	case Subset:
+		// Fragment(R1) ⊆ Fragment(R2): everything selected from R1 is in
+		// R2's fragment, so the overlap is |σ1(R1)| — exact only when R2
+		// contributes its whole projection (no selection on the right;
+		// Figure 9's no/yes and yes/yes subset cases carry asterisks).
+		//
+		// A subtlety from Figure 9: the inexactness comes from R1 tuples
+		// *outside* σ1 that may still appear in R2. The fragment overlap
+		// |σ1(R1)| is thus a minimum for the relation-level overlap.
+		exact := !l && !r
+		if l && !r {
+			exact = true // yes/no subset: σ1|R1| exact per Figure 10
+		}
+		return OverlapEstimate{Size: f1, Exact: exact}
+	default: // Superset
+		// Fragment(R1) ⊇ Fragment(R2): R2's fragment is fully inside R1,
+		// so the overlap is |σ2(R2)|; exact in the no/no and no/yes cases,
+		// minimal otherwise.
+		exact := !l && !r
+		if !l && r {
+			exact = true // no/yes superset: σ2|R2| exact per Figure 10
+		}
+		return OverlapEstimate{Size: f2, Exact: exact}
+	}
+}
+
+// EstimateOverlapByName looks up the PC constraint between dropped and
+// replacement in the MKB (using registered cardinalities) and estimates the
+// overlap. With no PC constraint the paper prescribes assuming the relations
+// do not overlap, so it returns {0, false}.
+func (m *MKB) EstimateOverlapByName(dropped, replacement string) OverlapEstimate {
+	pc, ok := m.PCBetween(dropped, replacement)
+	if !ok {
+		return OverlapEstimate{Size: 0, Exact: false}
+	}
+	c1, c2 := 0, 0
+	if info := m.Relation(dropped); info != nil {
+		c1 = info.Card
+	}
+	if info := m.Relation(replacement); info != nil {
+		c2 = info.Card
+	}
+	return EstimateOverlap(pc, c1, c2)
+}
+
+// ContainmentBetween derives the extent relationship implied by a PC
+// constraint between two whole relations: whether replacing r1 by r2 yields
+// an equal, subset, or superset extent. Returns (rel, true) only for PC
+// constraints with no selection on either side, since a selection breaks the
+// whole-relation containment.
+func (m *MKB) ContainmentBetween(r1, r2 string) (Rel, bool) {
+	pc, ok := m.PCBetween(r1, r2)
+	if !ok {
+		return Equal, false
+	}
+	if pc.Left.HasSelection() || pc.Right.HasSelection() {
+		return Equal, false
+	}
+	return pc.Rel, true
+}

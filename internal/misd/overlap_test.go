@@ -1,0 +1,149 @@
+package misd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+// fragment builders for the four Figure 9 selection cases.
+func fragNoSel(rel string) Fragment {
+	return Fragment{Rel: RelRef{Rel: rel}, Attrs: []string{"A"}}
+}
+
+func fragSel(rel string, sigma float64) Fragment {
+	return Fragment{
+		Rel:         RelRef{Rel: rel},
+		Attrs:       []string{"A"},
+		Cond:        relation.AttrConst("B", relation.OpGT, relation.Int(0)),
+		Selectivity: sigma,
+	}
+}
+
+// TestEstimateOverlapFigure10 exercises all twelve cells of Figure 10 with
+// |R1| = 400, |R2| = 1000, σ1 = 0.5, σ2 = 0.2.
+func TestEstimateOverlapFigure10(t *testing.T) {
+	const c1, c2 = 400, 1000
+	const s1, s2 = 0.5, 0.2
+	cases := []struct {
+		name      string
+		left      Fragment
+		right     Fragment
+		rel       Rel
+		wantSize  float64
+		wantExact bool
+	}{
+		// no/no row
+		{"no-no-equal", fragNoSel("R1"), fragNoSel("R2"), Equal, 400, true}, // min(|R1|,|R2|)
+		{"no-no-subset", fragNoSel("R1"), fragNoSel("R2"), Subset, 400, true},
+		{"no-no-superset", fragNoSel("R1"), fragNoSel("R2"), Superset, 1000, true},
+		// no/yes row
+		{"no-yes-equal", fragNoSel("R1"), fragSel("R2", s2), Equal, 200, true}, // min(400, 200)
+		{"no-yes-subset", fragNoSel("R1"), fragSel("R2", s2), Subset, 400, false},
+		{"no-yes-superset", fragNoSel("R1"), fragSel("R2", s2), Superset, 200, true},
+		// yes/no row
+		{"yes-no-equal", fragSel("R1", s1), fragNoSel("R2"), Equal, 200, true}, // min(200, 1000)
+		{"yes-no-subset", fragSel("R1", s1), fragNoSel("R2"), Subset, 200, true},
+		{"yes-no-superset", fragSel("R1", s1), fragNoSel("R2"), Superset, 1000, false},
+		// yes/yes row
+		{"yes-yes-equal", fragSel("R1", s1), fragSel("R2", s2), Equal, 200, true},
+		{"yes-yes-subset", fragSel("R1", s1), fragSel("R2", s2), Subset, 200, false},
+		{"yes-yes-superset", fragSel("R1", s1), fragSel("R2", s2), Superset, 200, false},
+	}
+	for _, c := range cases {
+		pc := PCConstraint{Left: c.left, Right: c.right, Rel: c.rel}
+		got := EstimateOverlap(pc, c1, c2)
+		if got.Size != c.wantSize {
+			t.Errorf("%s: size = %g, want %g", c.name, got.Size, c.wantSize)
+		}
+		if got.Exact != c.wantExact {
+			t.Errorf("%s: exact = %v, want %v", c.name, got.Exact, c.wantExact)
+		}
+	}
+}
+
+// Property: an overlap estimate never exceeds either side's fragment size.
+func TestEstimateOverlapBounded(t *testing.T) {
+	f := func(c1raw, c2raw uint16, relRaw uint8, selLeft, selRight bool) bool {
+		c1, c2 := int(c1raw%5000), int(c2raw%5000)
+		left, right := fragNoSel("R1"), fragNoSel("R2")
+		if selLeft {
+			left = fragSel("R1", 0.5)
+		}
+		if selRight {
+			right = fragSel("R2", 0.5)
+		}
+		pc := PCConstraint{Left: left, Right: right, Rel: Rel(relRaw % 3)}
+		got := EstimateOverlap(pc, c1, c2)
+		return got.Size >= 0 && got.Size <= float64(c1) && got.Size <= float64(c2)+1e-9 ||
+			// Superset cases bound by the right fragment (≤ c2), subset by
+			// the left (≤ c1); the generic claim is ≤ max side.
+			got.Size <= float64(max(c1, c2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestEstimateOverlapByName(t *testing.T) {
+	m := newTestMKB(t)
+	m.AddPCConstraint(pcEqual("R", "S", Equal)) //nolint:errcheck
+	got := m.EstimateOverlapByName("R", "S")
+	if !got.Exact || got.Size != 300 { // min(|R|=400, |S|=300)
+		t.Errorf("EstimateOverlapByName = %+v", got)
+	}
+	// No constraint: the paper prescribes assuming no overlap.
+	none := m.EstimateOverlapByName("R", "T")
+	if none.Size != 0 || none.Exact {
+		t.Errorf("unconstrained overlap = %+v, want {0,false}", none)
+	}
+}
+
+// TestOverlapAgainstMaterializedData validates the estimator against real
+// extents: build R1 ⊆ R2 by construction and compare the estimate with the
+// true intersection size.
+func TestOverlapAgainstMaterializedData(t *testing.T) {
+	r1 := relation.New("R1", relation.MustSchema(relation.TypeInt, "A"))
+	r2 := relation.New("R2", relation.MustSchema(relation.TypeInt, "A"))
+	for i := int64(0); i < 100; i++ {
+		r2.Insert(relation.Tuple{relation.Int(i)}) //nolint:errcheck
+		if i < 40 {
+			r1.Insert(relation.Tuple{relation.Int(i)}) //nolint:errcheck
+		}
+	}
+	pc := PCConstraint{Left: fragNoSel("R1"), Right: fragNoSel("R2"), Rel: Subset}
+	est := EstimateOverlap(pc, r1.Card(), r2.Card())
+	inter, err := r1.Intersect(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Size != float64(inter.Card()) {
+		t.Errorf("estimate %g != measured %d", est.Size, inter.Card())
+	}
+	if !est.Exact {
+		t.Error("whole-relation subset should be exact")
+	}
+}
+
+func TestPCStringAndReversed(t *testing.T) {
+	pc := PCConstraint{Left: fragNoSel("R1"), Right: fragSel("R2", 0.5), Rel: Subset}
+	rev := pc.Reversed()
+	if rev.Rel != Superset || rev.Left.Rel.Rel != "R2" {
+		t.Errorf("Reversed = %+v", rev)
+	}
+	if pc.String() == "" || rev.String() == "" {
+		t.Error("empty String rendering")
+	}
+	// Reversing twice restores the original relationship.
+	if back := rev.Reversed(); back.Rel != pc.Rel || back.Left.Rel.Rel != "R1" {
+		t.Error("double reverse not identity")
+	}
+}

@@ -1,0 +1,332 @@
+// Package persist serializes information spaces — sources, relations with
+// their extents, and the Meta Knowledge Base's constraints — to a JSON
+// document, so scenarios can be saved, shipped, and reloaded by the CLI
+// tools. The format is versioned and intentionally simple: one document per
+// space.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/misd"
+	"repro/internal/relation"
+	"repro/internal/space"
+)
+
+// FormatVersion identifies the document layout.
+const FormatVersion = 1
+
+// Doc is the on-disk representation of a space.
+type Doc struct {
+	Version   int          `json:"version"`
+	Sources   []SourceDoc  `json:"sources"`
+	Joins     []JoinDoc    `json:"joinConstraints,omitempty"`
+	PCs       []PCDoc      `json:"pcConstraints,omitempty"`
+	Stats     StatsDoc     `json:"stats"`
+	Relations []RelStatDoc `json:"relationStats,omitempty"`
+}
+
+// StatsDoc carries the MKB's global statistics.
+type StatsDoc struct {
+	JoinSelectivity float64 `json:"joinSelectivity"`
+	Selectivity     float64 `json:"selectivity"`
+	BlockingFactor  int     `json:"blockingFactor"`
+}
+
+// RelStatDoc carries per-relation statistics that are not derivable from
+// the extent (advertised cardinality for unpopulated relations, local
+// selectivity).
+type RelStatDoc struct {
+	Rel              string  `json:"rel"`
+	Card             int     `json:"card"`
+	LocalSelectivity float64 `json:"localSelectivity,omitempty"`
+}
+
+// SourceDoc is one information source.
+type SourceDoc struct {
+	Name      string        `json:"name"`
+	Relations []RelationDoc `json:"relations"`
+}
+
+// RelationDoc is one relation: schema plus tuples.
+type RelationDoc struct {
+	Name   string     `json:"name"`
+	Attrs  []AttrDoc  `json:"attrs"`
+	Tuples [][]string `json:"tuples,omitempty"`
+}
+
+// AttrDoc is one schema attribute.
+type AttrDoc struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Size int    `json:"size,omitempty"`
+}
+
+// JoinDoc is one join constraint.
+type JoinDoc struct {
+	R1      string          `json:"r1"`
+	R2      string          `json:"r2"`
+	Clauses []JoinClauseDoc `json:"clauses"`
+}
+
+// JoinClauseDoc is one clause of a join constraint.
+type JoinClauseDoc struct {
+	Attr1 string `json:"attr1"`
+	Op    string `json:"op"`
+	Attr2 string `json:"attr2"`
+}
+
+// PCDoc is one partial/complete constraint. Selections are serialized as
+// rendered condition strings only for display; constraints with selections
+// round-trip their selectivity but re-load as selection-free fragments with
+// that selectivity (the estimator consumes only σ).
+type PCDoc struct {
+	LeftRel   string   `json:"leftRel"`
+	LeftAttrs []string `json:"leftAttrs"`
+	LeftSel   float64  `json:"leftSelectivity,omitempty"`
+	Rel       string   `json:"rel"` // "<=", "==", ">="
+	RightRel  string   `json:"rightRel"`
+	RightAttr []string `json:"rightAttrs"`
+	RightSel  float64  `json:"rightSelectivity,omitempty"`
+}
+
+// Export converts a live space into a document.
+func Export(sp *space.Space) (*Doc, error) {
+	mkb := sp.MKB()
+	doc := &Doc{
+		Version: FormatVersion,
+		Stats: StatsDoc{
+			JoinSelectivity: mkb.DefaultJoinSelectivity,
+			Selectivity:     mkb.DefaultSelectivity,
+			BlockingFactor:  mkb.BlockingFactor,
+		},
+	}
+	for _, srcName := range sp.SourceNames() {
+		src := sp.Source(srcName)
+		sd := SourceDoc{Name: srcName}
+		for _, relName := range src.RelationNames() {
+			r := src.Relation(relName)
+			rd := RelationDoc{Name: relName}
+			for _, a := range r.Schema().Attrs() {
+				rd.Attrs = append(rd.Attrs, AttrDoc{Name: a.Name, Type: a.Type.String(), Size: a.Size})
+			}
+			for _, t := range r.Sorted() {
+				row := make([]string, len(t))
+				for i, v := range t {
+					row[i] = v.Text()
+				}
+				rd.Tuples = append(rd.Tuples, row)
+			}
+			sd.Relations = append(sd.Relations, rd)
+		}
+		doc.Sources = append(doc.Sources, sd)
+	}
+	for _, jc := range mkb.AllJoinConstraints() {
+		jd := JoinDoc{R1: jc.R1.Key(), R2: jc.R2.Key()}
+		for _, c := range jc.Clauses {
+			jd.Clauses = append(jd.Clauses, JoinClauseDoc{Attr1: c.Attr1, Op: c.Op.String(), Attr2: c.Attr2})
+		}
+		doc.Joins = append(doc.Joins, jd)
+	}
+	for _, pc := range mkb.AllPCConstraints() {
+		pd := PCDoc{
+			LeftRel:   pc.Left.Rel.Key(),
+			LeftAttrs: append([]string(nil), pc.Left.Attrs...),
+			Rel:       pc.Rel.String(),
+			RightRel:  pc.Right.Rel.Key(),
+			RightAttr: append([]string(nil), pc.Right.Attrs...),
+		}
+		if pc.Left.HasSelection() {
+			pd.LeftSel = pc.Left.EffectiveSelectivity()
+		}
+		if pc.Right.HasSelection() {
+			pd.RightSel = pc.Right.EffectiveSelectivity()
+		}
+		doc.PCs = append(doc.PCs, pd)
+	}
+	for _, info := range mkb.Relations() {
+		doc.Relations = append(doc.Relations, RelStatDoc{
+			Rel:              info.Ref.Rel,
+			Card:             info.Card,
+			LocalSelectivity: info.LocalSelectivity,
+		})
+	}
+	return doc, nil
+}
+
+// Import reconstructs a live space from a document.
+func Import(doc *Doc) (*space.Space, error) {
+	if doc.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported format version %d", doc.Version)
+	}
+	sp := space.New()
+	mkb := sp.MKB()
+	if doc.Stats.JoinSelectivity > 0 {
+		mkb.DefaultJoinSelectivity = doc.Stats.JoinSelectivity
+	}
+	if doc.Stats.Selectivity > 0 {
+		mkb.DefaultSelectivity = doc.Stats.Selectivity
+	}
+	if doc.Stats.BlockingFactor > 0 {
+		mkb.BlockingFactor = doc.Stats.BlockingFactor
+	}
+	for _, sd := range doc.Sources {
+		if _, err := sp.AddSource(sd.Name); err != nil {
+			return nil, err
+		}
+		for _, rd := range sd.Relations {
+			attrs := make([]relation.Attribute, len(rd.Attrs))
+			for i, a := range rd.Attrs {
+				t, err := relation.ParseType(a.Type)
+				if err != nil {
+					return nil, fmt.Errorf("persist: relation %s: %w", rd.Name, err)
+				}
+				attrs[i] = relation.Attribute{Name: a.Name, Type: t, Size: a.Size}
+			}
+			r := relation.New(rd.Name, relation.NewSchema(attrs...))
+			for _, row := range rd.Tuples {
+				if len(row) != len(attrs) {
+					return nil, fmt.Errorf("persist: relation %s: row arity %d != %d", rd.Name, len(row), len(attrs))
+				}
+				t := make(relation.Tuple, len(row))
+				for i, cell := range row {
+					v, err := parseValue(attrs[i].Type, cell)
+					if err != nil {
+						return nil, fmt.Errorf("persist: relation %s: %w", rd.Name, err)
+					}
+					t[i] = v
+				}
+				if err := r.Insert(t); err != nil {
+					return nil, err
+				}
+			}
+			if err := sp.AddRelation(sd.Name, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, jd := range doc.Joins {
+		jc := misd.JoinConstraint{R1: misd.RelRef{Rel: jd.R1}, R2: misd.RelRef{Rel: jd.R2}}
+		for _, c := range jd.Clauses {
+			op, err := relation.ParseOp(c.Op)
+			if err != nil {
+				return nil, fmt.Errorf("persist: join constraint %s-%s: %w", jd.R1, jd.R2, err)
+			}
+			jc.Clauses = append(jc.Clauses, misd.JoinClause{Attr1: c.Attr1, Op: op, Attr2: c.Attr2})
+		}
+		if err := mkb.AddJoinConstraint(jc); err != nil {
+			return nil, err
+		}
+	}
+	for _, pd := range doc.PCs {
+		rel, err := parseRel(pd.Rel)
+		if err != nil {
+			return nil, err
+		}
+		pc := misd.PCConstraint{
+			Left:  misd.Fragment{Rel: misd.RelRef{Rel: pd.LeftRel}, Attrs: pd.LeftAttrs, Selectivity: pd.LeftSel},
+			Right: misd.Fragment{Rel: misd.RelRef{Rel: pd.RightRel}, Attrs: pd.RightAttr, Selectivity: pd.RightSel},
+			Rel:   rel,
+		}
+		if pd.LeftSel > 0 && pd.LeftSel < 1 {
+			pc.Left.Cond = relation.True{} // selection lost; σ preserved
+		}
+		if err := mkb.AddPCConstraint(pc); err != nil {
+			return nil, err
+		}
+	}
+	for _, rs := range doc.Relations {
+		if info := mkb.Relation(rs.Rel); info != nil {
+			if rs.Card > info.Card {
+				info.Card = rs.Card
+			}
+			info.LocalSelectivity = rs.LocalSelectivity
+		}
+	}
+	return sp, nil
+}
+
+// Save writes the space as indented JSON.
+func Save(w io.Writer, sp *space.Space) error {
+	doc, err := Export(sp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Load reads a space document.
+func Load(r io.Reader) (*space.Space, error) {
+	var doc Doc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return Import(&doc)
+}
+
+// SaveFile writes the space to a file path.
+func SaveFile(path string, sp *space.Space) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Save(f, sp)
+}
+
+// LoadFile reads a space from a file path.
+func LoadFile(path string) (*space.Space, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func parseValue(t relation.Type, cell string) (relation.Value, error) {
+	if cell == "NULL" {
+		return relation.Null, nil
+	}
+	switch t {
+	case relation.TypeInt:
+		var v int64
+		if _, err := fmt.Sscanf(cell, "%d", &v); err != nil {
+			return relation.Null, fmt.Errorf("bad int %q", cell)
+		}
+		return relation.Int(v), nil
+	case relation.TypeFloat:
+		var v float64
+		if _, err := fmt.Sscanf(cell, "%g", &v); err != nil {
+			return relation.Null, fmt.Errorf("bad float %q", cell)
+		}
+		return relation.Float(v), nil
+	case relation.TypeBool:
+		switch cell {
+		case "true":
+			return relation.Bool(true), nil
+		case "false":
+			return relation.Bool(false), nil
+		}
+		return relation.Null, fmt.Errorf("bad bool %q", cell)
+	default:
+		return relation.String(cell), nil
+	}
+}
+
+func parseRel(s string) (misd.Rel, error) {
+	switch s {
+	case "<=":
+		return misd.Subset, nil
+	case "==":
+		return misd.Equal, nil
+	case ">=":
+		return misd.Superset, nil
+	}
+	return misd.Equal, fmt.Errorf("persist: unknown PC relation %q", s)
+}

@@ -1,0 +1,182 @@
+package persist
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/misd"
+	"repro/internal/scenario"
+	"repro/internal/space"
+)
+
+func TestRoundTripTravelSpace(t *testing.T) {
+	orig, err := scenario.TravelSpace(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sources and relations survive with extents intact.
+	if got, want := loaded.SourceNames(), orig.SourceNames(); len(got) != len(want) {
+		t.Fatalf("sources = %v, want %v", got, want)
+	}
+	for _, name := range orig.RelationNames() {
+		a, b := orig.Relation(name), loaded.Relation(name)
+		if b == nil {
+			t.Fatalf("relation %s lost", name)
+		}
+		if !a.Equal(b) {
+			t.Errorf("relation %s extent changed: %d vs %d tuples", name, a.Card(), b.Card())
+		}
+		if loaded.Home(name) != orig.Home(name) {
+			t.Errorf("relation %s home changed", name)
+		}
+	}
+	// Constraints survive.
+	if len(loaded.MKB().AllJoinConstraints()) != len(orig.MKB().AllJoinConstraints()) {
+		t.Error("join constraints lost")
+	}
+	if len(loaded.MKB().AllPCConstraints()) != len(orig.MKB().AllPCConstraints()) {
+		t.Error("PC constraints lost")
+	}
+	if _, ok := loaded.MKB().PCBetween("Customer", "Client"); !ok {
+		t.Error("Customer–Client PC constraint lost")
+	}
+	// Global statistics survive.
+	if loaded.MKB().DefaultJoinSelectivity != orig.MKB().DefaultJoinSelectivity {
+		t.Error("join selectivity lost")
+	}
+	if errs := loaded.MKB().CheckConsistency(); len(errs) != 0 {
+		t.Errorf("reloaded MKB inconsistent: %v", errs)
+	}
+}
+
+func TestRoundTripPreservesAdvertisedStats(t *testing.T) {
+	// Unpopulated Exp4 space advertises cardinalities through the MKB only.
+	orig, err := scenario.Exp4Space(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.MKB().Relation("S5").Card; got != 6000 {
+		t.Errorf("advertised card = %d, want 6000", got)
+	}
+	rel, ok := loaded.MKB().ContainmentBetween("R2", "S4")
+	if !ok || rel != misd.Subset {
+		t.Errorf("containment lost: %v, %v", rel, ok)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	sp, err := scenario.Exp1Space(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "space.json")
+	if err := SaveFile(path, sp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Relation("R").Card() != 100 {
+		t.Errorf("card = %d", loaded.Relation("R").Card())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestImportRejectsBadDocs(t *testing.T) {
+	bad := []string{
+		`{"version": 99}`,
+		`{"version": 1, "sources": [{"name": "S", "relations": [{"name": "R", "attrs": [{"name": "A", "type": "blob"}]}]}]}`,
+		`{"version": 1, "sources": [{"name": "S", "relations": [{"name": "R", "attrs": [{"name": "A", "type": "int"}], "tuples": [["1", "2"]]}]}]}`,
+		`{"version": 1, "sources": [{"name": "S", "relations": [{"name": "R", "attrs": [{"name": "A", "type": "int"}], "tuples": [["xyz"]]}]}]}`,
+		`not json`,
+	}
+	for _, doc := range bad {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("Load(%q) should fail", doc)
+		}
+	}
+}
+
+func TestValueRoundTripTypes(t *testing.T) {
+	doc := `{
+	  "version": 1,
+	  "sources": [{"name": "S", "relations": [{
+	    "name": "R",
+	    "attrs": [
+	      {"name": "I", "type": "int"},
+	      {"name": "F", "type": "float"},
+	      {"name": "T", "type": "string"},
+	      {"name": "B", "type": "bool"}
+	    ],
+	    "tuples": [["-4", "2.5", "hello", "true"]]
+	  }]}],
+	  "stats": {"joinSelectivity": 0.01, "selectivity": 0.3, "blockingFactor": 20}
+	}`
+	sp, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sp.Relation("R")
+	if r.Card() != 1 {
+		t.Fatalf("card = %d", r.Card())
+	}
+	tu := r.Tuples()[0]
+	if tu[0].AsInt() != -4 || tu[1].AsFloat() != 2.5 || tu[2].AsString() != "hello" || !tu[3].AsBool() {
+		t.Errorf("tuple = %v", tu)
+	}
+	if sp.MKB().DefaultJoinSelectivity != 0.01 || sp.MKB().BlockingFactor != 20 {
+		t.Error("stats not applied")
+	}
+}
+
+// TestRoundTripSurvivesChanges: a space restored from disk behaves like the
+// original under capability changes.
+func TestRoundTripSurvivesChanges(t *testing.T) {
+	orig, err := scenario.Exp1Space(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.ApplyChange(space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Relation("R").Schema().Has("A") {
+		t.Error("change not applied on restored space")
+	}
+	// The R–S and R–T PC constraints over A must have been pruned, the
+	// S–T replica constraint survives.
+	if len(loaded.MKB().PCConstraints("R")) != 0 {
+		t.Error("constraints over deleted attribute survived reload+change")
+	}
+	if _, ok := loaded.MKB().PCBetween("S", "T"); !ok {
+		t.Error("unrelated constraint lost")
+	}
+}

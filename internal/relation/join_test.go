@@ -1,0 +1,263 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJoinEqui(t *testing.T) {
+	r := MustFromRows("R", MustSchema(TypeInt, "R.A", "R.B"),
+		IntRows([]int64{1, 10}, []int64{2, 20}, []int64{3, 30})...)
+	s := MustFromRows("S", MustSchema(TypeInt, "S.A", "S.C"),
+		IntRows([]int64{1, 100}, []int64{1, 101}, []int64{3, 300})...)
+	j, err := Join(r, s, AttrAttr("R.A", OpEQ, "S.A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Card() != 3 {
+		t.Fatalf("join card = %d, want 3", j.Card())
+	}
+	if !j.Schema().Has("R.B") || !j.Schema().Has("S.C") {
+		t.Error("join schema missing columns")
+	}
+}
+
+func TestJoinTheta(t *testing.T) {
+	r := MustFromRows("R", MustSchema(TypeInt, "R.A"), IntRows([]int64{1}, []int64{5})...)
+	s := MustFromRows("S", MustSchema(TypeInt, "S.B"), IntRows([]int64{3}, []int64{7})...)
+	j, err := Join(r, s, AttrAttr("R.A", OpLT, "S.B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pairs: (1,3), (1,7), (5,7)
+	if j.Card() != 3 {
+		t.Errorf("theta join card = %d, want 3", j.Card())
+	}
+}
+
+func TestJoinCross(t *testing.T) {
+	r := MustFromRows("R", MustSchema(TypeInt, "R.A"), IntRows([]int64{1}, []int64{2})...)
+	s := MustFromRows("S", MustSchema(TypeInt, "S.B"), IntRows([]int64{3}, []int64{4}, []int64{5})...)
+	j, err := Join(r, s, True{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Card() != 6 {
+		t.Errorf("cross join card = %d, want 6", j.Card())
+	}
+}
+
+func TestJoinNameCollision(t *testing.T) {
+	r := MustFromRows("R", MustSchema(TypeInt, "A"), IntRows([]int64{1})...)
+	s := MustFromRows("S", MustSchema(TypeInt, "A"), IntRows([]int64{1})...)
+	if _, err := Join(r, s, True{}); err == nil {
+		t.Error("join with colliding attribute names should fail")
+	}
+}
+
+func TestJoinResidualFilter(t *testing.T) {
+	r := MustFromRows("R", MustSchema(TypeInt, "R.A", "R.B"),
+		IntRows([]int64{1, 5}, []int64{1, 50})...)
+	s := MustFromRows("S", MustSchema(TypeInt, "S.A"), IntRows([]int64{1})...)
+	j, err := Join(r, s, And{
+		AttrAttr("R.A", OpEQ, "S.A"),
+		AttrConst("R.B", OpGT, Int(10)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Card() != 1 {
+		t.Errorf("join with residual card = %d, want 1", j.Card())
+	}
+}
+
+// Join against nested-loop reference: the hash path must agree with a naive
+// evaluation on random inputs.
+func TestJoinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		r := New("R", MustSchema(TypeInt, "R.A", "R.B"))
+		s := New("S", MustSchema(TypeInt, "S.A", "S.C"))
+		for i := 0; i < rng.Intn(15); i++ {
+			r.Insert(Tuple{Int(rng.Int63n(4)), Int(rng.Int63n(4))}) //nolint:errcheck
+		}
+		for i := 0; i < rng.Intn(15); i++ {
+			s.Insert(Tuple{Int(rng.Int63n(4)), Int(rng.Int63n(4))}) //nolint:errcheck
+		}
+		cond := AttrAttr("R.A", OpEQ, "S.A")
+		j, err := Join(r, s, cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := 0
+		for _, rt := range r.Tuples() {
+			for _, st := range s.Tuples() {
+				if rt[0].Equal(st[0]) {
+					naive++
+				}
+			}
+		}
+		if j.Card() != naive {
+			t.Fatalf("trial %d: hash join %d != naive %d", trial, j.Card(), naive)
+		}
+	}
+}
+
+func TestCommonProject(t *testing.T) {
+	v := MustFromRows("V", MustSchema(TypeInt, "A", "B", "C"),
+		IntRows([]int64{1, 2, 3}, []int64{4, 5, 6})...)
+	vi := MustFromRows("Vi", MustSchema(TypeInt, "B", "C", "D"),
+		IntRows([]int64{2, 3, 9}, []int64{7, 8, 9})...)
+	pv, pvi, common, err := CommonProject(v, vi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(common) != 2 || common[0] != "B" || common[1] != "C" {
+		t.Errorf("common = %v", common)
+	}
+	if pv.Card() != 2 || pvi.Card() != 2 {
+		t.Errorf("projection cards = %d, %d", pv.Card(), pvi.Card())
+	}
+}
+
+func TestCommonProjectDisjointSchemas(t *testing.T) {
+	v := MustFromRows("V", MustSchema(TypeInt, "A"), IntRows([]int64{1})...)
+	vi := MustFromRows("Vi", MustSchema(TypeInt, "B"), IntRows([]int64{1})...)
+	if _, _, _, err := CommonProject(v, vi); err == nil {
+		t.Error("disjoint schemas should fail")
+	}
+}
+
+// TestFigure5Example reproduces the paper's Example 2 (Figure 5): the base
+// relations R, S, T; the original view V = R; rewritings V1 = π_{A,B}(S) and
+// V2 = π_{B,C,D}(T). V1 preserves 3 tuples with 1 surplus; V2 preserves 3
+// tuples with 4 surplus — measured on the common attribute subsets.
+func TestFigure5Example(t *testing.T) {
+	v := MustFromRows("V", MustSchema(TypeInt, "A", "B", "C", "D"), IntRows(
+		[]int64{1, 1, 1, 9}, []int64{1, 2, 6, 6}, []int64{2, 3, 1, 3},
+		[]int64{2, 5, 4, 9}, []int64{2, 6, 1, 5}, []int64{3, 3, 7, 0},
+	)...)
+	v1 := MustFromRows("V1", MustSchema(TypeInt, "A", "B"), IntRows(
+		[]int64{1, 1}, []int64{1, 2}, []int64{2, 3}, []int64{6, 4},
+	)...)
+	v2 := MustFromRows("V2", MustSchema(TypeInt, "B", "C", "D"), IntRows(
+		[]int64{1, 1, 9}, []int64{2, 6, 6}, []int64{3, 1, 3},
+		[]int64{6, 3, 5}, []int64{7, 6, 4}, []int64{8, 1, 7}, []int64{8, 2, 7},
+	)...)
+
+	// V ∩≈ V1 on {A,B} has 3 tuples; V1 has 1 surplus tuple (6,4).
+	i1, err := CommonIntersect(v, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.Card() != 3 {
+		t.Errorf("|V ∩ V1| = %d, want 3", i1.Card())
+	}
+	d1, err := CommonDifference(v1, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Card() != 1 {
+		t.Errorf("|V1 \\ V| = %d, want 1", d1.Card())
+	}
+
+	// V ∩≈ V2 on {B,C,D} has 3 tuples; V2 has 4 surplus tuples.
+	i2, err := CommonIntersect(v, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i2.Card() != 3 {
+		t.Errorf("|V ∩ V2| = %d, want 3", i2.Card())
+	}
+	d2, err := CommonDifference(v2, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Card() != 4 {
+		t.Errorf("|V2 \\ V| = %d, want 4", d2.Card())
+	}
+}
+
+func TestCommonEqualAndSubset(t *testing.T) {
+	v := MustFromRows("V", MustSchema(TypeInt, "A", "B"), IntRows([]int64{1, 1}, []int64{2, 2})...)
+	w := MustFromRows("W", MustSchema(TypeInt, "A", "C"), IntRows([]int64{1, 7}, []int64{2, 8})...)
+	eq, err := CommonEqual(v, w)
+	if err != nil || !eq {
+		t.Errorf("CommonEqual on shared A column: %v, %v", eq, err)
+	}
+	sub := MustFromRows("Sub", MustSchema(TypeInt, "A"), IntRows([]int64{1})...)
+	ok, err := CommonSubset(sub, v)
+	if err != nil || !ok {
+		t.Errorf("CommonSubset: %v, %v", ok, err)
+	}
+	ok, err = CommonSubset(v, sub)
+	if err != nil || ok {
+		t.Errorf("CommonSubset reverse should be false: %v, %v", ok, err)
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	c := AttrConst("R.Dest", OpEQ, String("Asia"))
+	if got := c.String(); got != "R.Dest = 'Asia'" {
+		t.Errorf("Clause.String = %q", got)
+	}
+	a := And{AttrAttr("A", OpEQ, "B"), AttrConst("C", OpGT, Int(1))}
+	if got := a.String(); got != "A = B AND C > 1" {
+		t.Errorf("And.String = %q", got)
+	}
+	if (And{}).String() != "TRUE" || (True{}).String() != "TRUE" {
+		t.Error("empty conjunction should print TRUE")
+	}
+}
+
+func TestOpApplyAll(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want bool
+	}{
+		{OpLT, 1, 2, true}, {OpLT, 2, 2, false},
+		{OpLE, 2, 2, true}, {OpLE, 3, 2, false},
+		{OpEQ, 2, 2, true}, {OpEQ, 1, 2, false},
+		{OpGE, 2, 2, true}, {OpGE, 1, 2, false},
+		{OpGT, 3, 2, true}, {OpGT, 2, 2, false},
+		{OpNE, 1, 2, true}, {OpNE, 2, 2, false},
+	}
+	s := MustSchema(TypeInt, "X")
+	for _, c := range cases {
+		got, err := Clause{Left: "X", Op: c.op, Const: Int(c.b)}.Eval(s, Tuple{Int(c.a)})
+		if err != nil || got != c.want {
+			t.Errorf("%d %s %d = %v (err %v), want %v", c.a, c.op, c.b, got, err, c.want)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for s, want := range map[string]Op{
+		"<": OpLT, "<=": OpLE, "=": OpEQ, "==": OpEQ, ">=": OpGE, ">": OpGT, "<>": OpNE, "!=": OpNE,
+	} {
+		got, err := ParseOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseOp("~="); err == nil {
+		t.Error("ParseOp(~=) should fail")
+	}
+}
+
+func TestClauseRename(t *testing.T) {
+	c := AttrAttr("R.A", OpEQ, "S.B")
+	r := c.Rename(map[string]string{"R.A": "T.A"})
+	if r.Left != "T.A" || r.Right != "S.B" {
+		t.Errorf("Rename = %+v", r)
+	}
+}
+
+func TestConditionAttrs(t *testing.T) {
+	a := And{AttrAttr("X", OpEQ, "Y"), AttrConst("X", OpGT, Int(0)), AttrConst("Z", OpLT, Int(9))}
+	got := a.Attrs()
+	if len(got) != 3 {
+		t.Errorf("Attrs = %v, want 3 unique names", got)
+	}
+}

@@ -1,0 +1,270 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a set of tuples over a schema. The paper's quality model works
+// on set semantics ("with duplicates removed first"), so Relation maintains
+// a duplicate-free invariant: Insert of an existing tuple is a no-op.
+//
+// Relation is not safe for concurrent mutation; the space simulator wraps
+// mutating access in its own lock.
+type Relation struct {
+	Name   string
+	schema *Schema
+	tuples []Tuple
+	seen   map[string]int // tuple key -> index into tuples
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema *Schema) *Relation {
+	return &Relation{Name: name, schema: schema, seen: make(map[string]int)}
+}
+
+// FromRows creates a relation and inserts every row. Rows that do not match
+// the schema arity produce an error.
+func FromRows(name string, schema *Schema, rows ...Tuple) (*Relation, error) {
+	r := New(name, schema)
+	for _, row := range rows {
+		if err := r.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// MustFromRows is FromRows that panics on error; for tests and fixtures.
+func MustFromRows(name string, schema *Schema, rows ...Tuple) *Relation {
+	r, err := FromRows(name, schema, rows...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// IntRows converts [][]int64 into tuples, a convenience for the paper's
+// all-integer running examples (Figure 5 etc.).
+func IntRows(rows ...[]int64) []Tuple {
+	out := make([]Tuple, len(rows))
+	for i, r := range rows {
+		t := make(Tuple, len(r))
+		for j, v := range r {
+			t[j] = Int(v)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Card returns the cardinality |R| (number of distinct tuples).
+func (r *Relation) Card() int { return len(r.tuples) }
+
+// Tuples returns the underlying tuple slice; callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Contains reports whether the relation holds the given tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.seen[t.Key()]
+	return ok
+}
+
+// Insert adds a tuple; duplicates are silently ignored (set semantics).
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.schema.Len() {
+		return fmt.Errorf("relation %s: tuple arity %d != schema arity %d", r.Name, len(t), r.schema.Len())
+	}
+	k := t.Key()
+	if _, dup := r.seen[k]; dup {
+		return nil
+	}
+	r.seen[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	return nil
+}
+
+// Delete removes a tuple if present and reports whether it was present.
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.Key()
+	i, ok := r.seen[k]
+	if !ok {
+		return false
+	}
+	last := len(r.tuples) - 1
+	if i != last {
+		moved := r.tuples[last]
+		r.tuples[i] = moved
+		r.seen[moved.Key()] = i
+	}
+	r.tuples = r.tuples[:last]
+	delete(r.seen, k)
+	return true
+}
+
+// Clone returns a deep copy of the relation (tuples are value slices and
+// copied individually).
+func (r *Relation) Clone() *Relation {
+	out := New(r.Name, r.schema)
+	for _, t := range r.tuples {
+		out.Insert(t.Clone()) //nolint:errcheck // same schema, cannot fail
+	}
+	return out
+}
+
+// WithName returns a shallow renamed view of the relation sharing tuples.
+func (r *Relation) WithName(name string) *Relation {
+	cp := *r
+	cp.Name = name
+	return &cp
+}
+
+// TupleSize returns the byte width of one tuple of this relation (schema
+// widths, not per-tuple actuals), the cost model's s_R.
+func (r *Relation) TupleSize() int { return r.schema.TupleSize() }
+
+// Project returns π_names(R) with duplicates removed. The projected relation
+// is named after the source.
+func (r *Relation) Project(names ...string) (*Relation, error) {
+	ps, err := r.schema.Project(names...)
+	if err != nil {
+		return nil, fmt.Errorf("project %s: %w", r.Name, err)
+	}
+	idx := make([]int, len(names))
+	for i, n := range names {
+		idx[i] = r.schema.IndexOf(n)
+	}
+	out := New(r.Name, ps)
+	for _, t := range r.tuples {
+		pt := make(Tuple, len(idx))
+		for i, j := range idx {
+			pt[i] = t[j]
+		}
+		out.Insert(pt) //nolint:errcheck // arity matches by construction
+	}
+	return out, nil
+}
+
+// Select returns σ_cond(R).
+func (r *Relation) Select(cond Condition) (*Relation, error) {
+	out := New(r.Name, r.schema)
+	for _, t := range r.tuples {
+		ok, err := cond.Eval(r.schema, t)
+		if err != nil {
+			return nil, fmt.Errorf("select %s: %w", r.Name, err)
+		}
+		if ok {
+			out.Insert(t) //nolint:errcheck
+		}
+	}
+	return out, nil
+}
+
+// Union returns R ∪ S; schemas must have equal attribute name sets, and the
+// result uses r's attribute order.
+func (r *Relation) Union(s *Relation) (*Relation, error) {
+	if !r.schema.EqualNames(s.schema) {
+		return nil, fmt.Errorf("union: schemas differ: %s vs %s", r.schema, s.schema)
+	}
+	out := r.Clone()
+	names := r.schema.Names()
+	proj, err := s.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range proj.Tuples() {
+		out.Insert(t) //nolint:errcheck
+	}
+	return out, nil
+}
+
+// Intersect returns R ∩ S over identical attribute name sets.
+func (r *Relation) Intersect(s *Relation) (*Relation, error) {
+	if !r.schema.EqualNames(s.schema) {
+		return nil, fmt.Errorf("intersect: schemas differ: %s vs %s", r.schema, s.schema)
+	}
+	names := r.schema.Names()
+	proj, err := s.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.Name, r.schema)
+	for _, t := range r.tuples {
+		if proj.Contains(t) {
+			out.Insert(t) //nolint:errcheck
+		}
+	}
+	return out, nil
+}
+
+// Difference returns R − S over identical attribute name sets.
+func (r *Relation) Difference(s *Relation) (*Relation, error) {
+	if !r.schema.EqualNames(s.schema) {
+		return nil, fmt.Errorf("difference: schemas differ: %s vs %s", r.schema, s.schema)
+	}
+	names := r.schema.Names()
+	proj, err := s.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.Name, r.schema)
+	for _, t := range r.tuples {
+		if !proj.Contains(t) {
+			out.Insert(t) //nolint:errcheck
+		}
+	}
+	return out, nil
+}
+
+// Equal reports whether two relations hold the same tuple set over the same
+// attribute name set.
+func (r *Relation) Equal(s *Relation) bool {
+	if r.Card() != s.Card() || !r.schema.EqualNames(s.schema) {
+		return false
+	}
+	proj, err := s.Project(r.schema.Names()...)
+	if err != nil {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !proj.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the tuples ordered lexicographically, for deterministic
+// printing and golden tests.
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// String renders the relation as a small fixed-width table.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s [%d tuples]\n", r.Name, r.schema, r.Card())
+	for _, t := range r.Sorted() {
+		cells := make([]string, len(t))
+		for i, v := range t {
+			cells[i] = v.Text()
+		}
+		b.WriteString("  " + strings.Join(cells, "\t") + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,245 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/esql"
+	"repro/internal/exec"
+	"repro/internal/misd"
+)
+
+func TestDistributionsTable2(t *testing.T) {
+	// Table 2's row counts for n = 6: 1, 5, 10, 10, 5, 1.
+	want := map[int]int{1: 1, 2: 5, 3: 10, 4: 10, 5: 5, 6: 1}
+	for m, count := range want {
+		got := Distributions(6, m)
+		if len(got) != count {
+			t.Errorf("Distributions(6,%d) = %d rows, want %d", m, len(got), count)
+		}
+		for _, d := range got {
+			sum := 0
+			for _, v := range d {
+				if v < 1 {
+					t.Errorf("non-positive part in %v", d)
+				}
+				sum += v
+			}
+			if sum != 6 || len(d) != m {
+				t.Errorf("bad composition %v", d)
+			}
+		}
+	}
+	if Distributions(3, 5) != nil {
+		t.Error("impossible composition should be nil")
+	}
+	if Distributions(6, 0) != nil {
+		t.Error("zero parts should be nil")
+	}
+}
+
+func TestGroupedDistributions(t *testing.T) {
+	got := GroupedDistributions(6, 2)
+	// Partitions of 6 into 2 parts: (5,1), (4,2), (3,3).
+	if len(got) != 3 {
+		t.Fatalf("GroupedDistributions(6,2) = %v", got)
+	}
+	for _, g := range got {
+		if g[0] < g[1] {
+			t.Errorf("group not non-increasing: %v", g)
+		}
+	}
+	got3 := GroupedDistributions(6, 3)
+	// Partitions of 6 into 3 parts: 411, 321, 222 → 3.
+	if len(got3) != 3 {
+		t.Errorf("GroupedDistributions(6,3) = %v", got3)
+	}
+}
+
+func TestDistributionLabel(t *testing.T) {
+	if got := DistributionLabel([]int{1, 2, 3}); got != "1/2/3" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestUniformSpace(t *testing.T) {
+	p := DefaultParams()
+	sp, err := UniformSpace(p, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.SourceNames()) != 2 {
+		t.Errorf("sources = %v", sp.SourceNames())
+	}
+	if got := len(sp.RelationNames()); got != 6 {
+		t.Errorf("relations = %d", got)
+	}
+	for _, name := range sp.RelationNames() {
+		r := sp.Relation(name)
+		if r.Card() != p.Card {
+			t.Errorf("%s card = %d, want %d", name, r.Card(), p.Card)
+		}
+		if r.TupleSize() != p.TupleSize {
+			t.Errorf("%s tuple size = %d, want %d", name, r.TupleSize(), p.TupleSize)
+		}
+	}
+	// Chain join constraints R1–R2–…–R6 exist.
+	for i := 1; i < 6; i++ {
+		if _, ok := sp.MKB().JoinConstraintBetween("R1", "R2"); !ok {
+			t.Fatalf("missing chain join constraint at %d", i)
+		}
+	}
+	// Deterministic: same seed, same extents.
+	sp2, err := UniformSpace(p, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Relation("R1").Equal(sp2.Relation("R1")) {
+		t.Error("UniformSpace not deterministic")
+	}
+}
+
+func TestChainViewEvaluates(t *testing.T) {
+	p := DefaultParams()
+	p.Card = 60 // keep the 3-way join quick
+	sp, err := UniformSpace(p, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ChainView(3, int64(1/p.JoinSelectivity)/2)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := exec.Evaluate(v, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ext // the chain join may legitimately be empty at small cards
+}
+
+func TestExp4SpaceContainments(t *testing.T) {
+	sp, err := Exp4Space(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cards := map[string]int{"R2": 4000, "S1": 2000, "S2": 3000, "S3": 4000, "S4": 5000, "S5": 6000}
+	for name, want := range cards {
+		if got := sp.Relation(name).Card(); got != want {
+			t.Errorf("%s card = %d, want %d", name, got, want)
+		}
+	}
+	// Realized containment chain: S1 ⊆ S2 ⊆ S3 = R2 ⊆ S4 ⊆ S5.
+	pairs := [][2]string{{"S1", "S2"}, {"S2", "S3"}, {"S3", "S4"}, {"S4", "S5"}}
+	for _, p := range pairs {
+		small, big := sp.Relation(p[0]), sp.Relation(p[1])
+		d, err := small.Difference(big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Card() != 0 {
+			t.Errorf("%s ⊄ %s (%d foreign tuples)", p[0], p[1], d.Card())
+		}
+	}
+	if !sp.Relation("R2").Equal(sp.Relation("S3")) {
+		t.Error("R2 ≠ S3")
+	}
+	// MKB PC constraints agree with the data.
+	rel, ok := sp.MKB().ContainmentBetween("R2", "S1")
+	if !ok || rel != misd.Superset {
+		t.Errorf("PC R2 vs S1 = %v, %v", rel, ok)
+	}
+	rel, ok = sp.MKB().ContainmentBetween("R2", "S5")
+	if !ok || rel != misd.Subset {
+		t.Errorf("PC R2 vs S5 = %v, %v", rel, ok)
+	}
+	if errs := sp.MKB().CheckConsistency(); len(errs) != 0 {
+		t.Errorf("MKB inconsistent: %v", errs)
+	}
+}
+
+func TestExp4SpaceUnpopulated(t *testing.T) {
+	sp, err := Exp4Space(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Statistics advertised without data.
+	if sp.MKB().Relation("S5").Card != 6000 {
+		t.Error("advertised cardinality missing")
+	}
+	if sp.Relation("S5").Card() != 0 {
+		t.Error("unpopulated space should hold no tuples")
+	}
+	if err := Exp4View().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExp1SpaceReplicas(t *testing.T) {
+	sp, err := Exp1Space(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s, tt := sp.Relation("R"), sp.Relation("S"), sp.Relation("T")
+	if r.Card() != 100 || s.Card() != 100 || tt.Card() != 100 {
+		t.Errorf("cards = %d, %d, %d", r.Card(), s.Card(), tt.Card())
+	}
+	// π_A(R) = π_A(S) = π_A(T) materially.
+	pa := func(x string) int {
+		p, err := sp.Relation(x).Project("A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Card()
+	}
+	ra, sa, ta := pa("R"), pa("S"), pa("T")
+	if ra != sa || sa != ta {
+		t.Errorf("A projections differ: %d, %d, %d", ra, sa, ta)
+	}
+	if errs := sp.MKB().CheckConsistency(); len(errs) != 0 {
+		t.Errorf("MKB inconsistent: %v", errs)
+	}
+	if err := Exp1View().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTravelSpace(t *testing.T) {
+	sp, err := TravelSpace(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"Customer", "FlightRes", "Client", "Booking", "Hotel"} {
+		if sp.Relation(rel) == nil {
+			t.Errorf("missing relation %s", rel)
+		}
+	}
+	if errs := sp.MKB().CheckConsistency(); len(errs) != 0 {
+		t.Errorf("MKB inconsistent: %v", errs)
+	}
+	// Booking ⊇ π(FlightRes): materialized superset.
+	fr, err := sp.Relation("FlightRes").Project("PName", "Dest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := sp.Relation("Booking")
+	for _, tu := range fr.Tuples() {
+		if !bk.Contains(tu) {
+			t.Fatalf("Booking missing FlightRes pair %v", tu)
+		}
+	}
+	// The Asia-Customer E-SQL example parses and evaluates.
+	def, err := esql.Parse(AsiaCustomerESQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := exec.Qualify(def, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := exec.Evaluate(v, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Card() == 0 {
+		t.Error("Asia-Customer extent empty")
+	}
+}

@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"math/rand"
+
+	"repro/internal/misd"
+	"repro/internal/relation"
+	"repro/internal/space"
+)
+
+// TravelSpace builds the motivating scenario from the paper's introduction:
+// a warehouse integrating travel information from several agencies on the
+// web. Sources:
+//
+//	Agency1: Customer(Name, Address, Phone)
+//	Agency1: FlightRes(PName, Dest, Airline, Date)
+//	Agency2: Client(CName, CAddress)           — replica of Customer's core
+//	Agency3: Booking(Passenger, Destination)   — overlaps FlightRes
+//	Agency3: Hotel(City, HName, Rate)
+//
+// PC constraints record Client ⊇ π(Customer) and Booking ⊇ π(FlightRes);
+// join constraints connect customers to reservations by name and bookings
+// to hotels by destination city.
+func TravelSpace(seed int64) (*space.Space, error) {
+	sp := space.New()
+	rng := rand.New(rand.NewSource(seed))
+
+	names := []string{"Ahn", "Baker", "Chen", "Diaz", "Evans", "Fox", "Gupta", "Hill", "Ito", "Jones",
+		"Kim", "Lopez", "Moore", "Nunez", "Owens", "Park", "Quinn", "Rossi", "Sato", "Tran"}
+	cities := []string{"Tokyo", "Seoul", "Delhi", "Bangkok", "Singapore", "Paris", "Rome", "Lima", "Cairo", "Sydney"}
+	asian := map[string]bool{"Tokyo": true, "Seoul": true, "Delhi": true, "Bangkok": true, "Singapore": true}
+	airlines := []string{"NW", "UA", "AA", "JL", "KE"}
+
+	customer := relation.New("Customer", relation.NewSchema(
+		relation.Attribute{Name: "Name", Type: relation.TypeString, Size: 20},
+		relation.Attribute{Name: "Address", Type: relation.TypeString, Size: 40},
+		relation.Attribute{Name: "Phone", Type: relation.TypeString, Size: 15},
+	))
+	flightRes := relation.New("FlightRes", relation.NewSchema(
+		relation.Attribute{Name: "PName", Type: relation.TypeString, Size: 20},
+		relation.Attribute{Name: "Dest", Type: relation.TypeString, Size: 20},
+		relation.Attribute{Name: "Airline", Type: relation.TypeString, Size: 4},
+		relation.Attribute{Name: "Date", Type: relation.TypeInt, Size: 8},
+	))
+	client := relation.New("Client", relation.NewSchema(
+		relation.Attribute{Name: "CName", Type: relation.TypeString, Size: 20},
+		relation.Attribute{Name: "CAddress", Type: relation.TypeString, Size: 40},
+	))
+	booking := relation.New("Booking", relation.NewSchema(
+		relation.Attribute{Name: "Passenger", Type: relation.TypeString, Size: 20},
+		relation.Attribute{Name: "Destination", Type: relation.TypeString, Size: 20},
+	))
+	hotel := relation.New("Hotel", relation.NewSchema(
+		relation.Attribute{Name: "City", Type: relation.TypeString, Size: 20},
+		relation.Attribute{Name: "HName", Type: relation.TypeString, Size: 30},
+		relation.Attribute{Name: "Rate", Type: relation.TypeInt, Size: 8},
+	))
+
+	for i, n := range names {
+		addr := cities[i%len(cities)] + " St " + n
+		phone := "555-01" + string(rune('0'+i%10)) + string(rune('0'+(i/10)%10))
+		customer.Insert(relation.Tuple{relation.String(n), relation.String(addr), relation.String(phone)}) //nolint:errcheck
+		client.Insert(relation.Tuple{relation.String(n), relation.String(addr)})                           //nolint:errcheck
+	}
+	for i := 0; i < 60; i++ {
+		n := names[rng.Intn(len(names))]
+		dest := cities[rng.Intn(len(cities))]
+		al := airlines[rng.Intn(len(airlines))]
+		flightRes.Insert(relation.Tuple{ //nolint:errcheck
+			relation.String(n), relation.String(dest), relation.String(al), relation.Int(int64(20260101 + rng.Intn(300))),
+		})
+	}
+	// Booking holds every FlightRes (Passenger, Destination) pair plus some
+	// extra agency-3-only bookings, realizing the superset PC constraint.
+	for _, t := range flightRes.Tuples() {
+		booking.Insert(relation.Tuple{t[0], t[1]}) //nolint:errcheck
+	}
+	for i := 0; i < 15; i++ {
+		booking.Insert(relation.Tuple{ //nolint:errcheck
+			relation.String(names[rng.Intn(len(names))]),
+			relation.String(cities[rng.Intn(len(cities))]),
+		})
+	}
+	for _, c := range cities {
+		for h := 0; h < 3; h++ {
+			rate := int64(80 + rng.Intn(200))
+			if asian[c] {
+				rate -= 20
+			}
+			hotel.Insert(relation.Tuple{ //nolint:errcheck
+				relation.String(c), relation.String(c + " Hotel " + string(rune('A'+h))), relation.Int(rate),
+			})
+		}
+	}
+
+	placements := []struct {
+		src string
+		rel *relation.Relation
+	}{
+		{"Agency1", customer}, {"Agency1", flightRes},
+		{"Agency2", client},
+		{"Agency3", booking}, {"Agency3", hotel},
+	}
+	seen := map[string]bool{}
+	for _, p := range placements {
+		if !seen[p.src] {
+			if _, err := sp.AddSource(p.src); err != nil {
+				return nil, err
+			}
+			seen[p.src] = true
+		}
+		if err := sp.AddRelation(p.src, p.rel); err != nil {
+			return nil, err
+		}
+	}
+
+	mkb := sp.MKB()
+	constraints := []misd.PCConstraint{
+		{
+			Left:  misd.Fragment{Rel: misd.RelRef{Rel: "Customer"}, Attrs: []string{"Name", "Address"}},
+			Right: misd.Fragment{Rel: misd.RelRef{Rel: "Client"}, Attrs: []string{"CName", "CAddress"}},
+			Rel:   misd.Equal,
+		},
+		{
+			Left:  misd.Fragment{Rel: misd.RelRef{Rel: "FlightRes"}, Attrs: []string{"PName", "Dest"}},
+			Right: misd.Fragment{Rel: misd.RelRef{Rel: "Booking"}, Attrs: []string{"Passenger", "Destination"}},
+			Rel:   misd.Subset,
+		},
+	}
+	for _, pc := range constraints {
+		if err := mkb.AddPCConstraint(pc); err != nil {
+			return nil, err
+		}
+	}
+	joins := []misd.JoinConstraint{
+		{
+			R1:      misd.RelRef{Rel: "Customer"},
+			R2:      misd.RelRef{Rel: "FlightRes"},
+			Clauses: []misd.JoinClause{{Attr1: "Name", Op: relation.OpEQ, Attr2: "PName"}},
+		},
+		{
+			R1:      misd.RelRef{Rel: "Client"},
+			R2:      misd.RelRef{Rel: "FlightRes"},
+			Clauses: []misd.JoinClause{{Attr1: "CName", Op: relation.OpEQ, Attr2: "PName"}},
+		},
+		{
+			R1:      misd.RelRef{Rel: "Client"},
+			R2:      misd.RelRef{Rel: "Booking"},
+			Clauses: []misd.JoinClause{{Attr1: "CName", Op: relation.OpEQ, Attr2: "Passenger"}},
+		},
+		{
+			R1:      misd.RelRef{Rel: "Booking"},
+			R2:      misd.RelRef{Rel: "Hotel"},
+			Clauses: []misd.JoinClause{{Attr1: "Destination", Op: relation.OpEQ, Attr2: "City"}},
+		},
+	}
+	for _, jc := range joins {
+		if err := mkb.AddJoinConstraint(jc); err != nil {
+			return nil, err
+		}
+	}
+	return sp, nil
+}
+
+// AsiaCustomerESQL is the paper's running E-SQL example (Equation 2), over
+// the travel space.
+const AsiaCustomerESQL = `
+CREATE VIEW AsiaCustomer (VE = ~) AS
+SELECT C.Name (AR = true), C.Address (AR = true), C.Phone (AD = true, AR = true)
+FROM Customer C (RR = true), FlightRes F
+WHERE (C.Name = F.PName) (CR = true) AND (F.Dest = 'Tokyo') (CD = true)
+`

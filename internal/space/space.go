@@ -1,0 +1,156 @@
+// Package space simulates the paper's information space: a set of
+// autonomous, semi-cooperative information sources (ISs) holding base
+// relations, which notify the warehouse of data updates and capability
+// (schema) changes. The simulator is in-process but preserves the paper's
+// distribution model — every relation lives at exactly one source, and all
+// cross-source data movement is accounted by the maintenance layer.
+package space
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/misd"
+	"repro/internal/relation"
+)
+
+// Source is one autonomous information source with its local relations.
+// The paper assumes ISs are cooperative enough to join incoming delta
+// relations with their local relations; Source.Process in the maintain
+// package implements that contract.
+type Source struct {
+	Name      string
+	relations map[string]*relation.Relation
+	order     []string
+}
+
+// newSource creates an empty source.
+func newSource(name string) *Source {
+	return &Source{Name: name, relations: make(map[string]*relation.Relation)}
+}
+
+// Relation returns the named local relation, or nil.
+func (s *Source) Relation(name string) *relation.Relation { return s.relations[name] }
+
+// RelationNames lists the source's relations in registration order.
+func (s *Source) RelationNames() []string { return append([]string(nil), s.order...) }
+
+// Space is the whole information space plus its Meta Knowledge Base.
+type Space struct {
+	mkb     *misd.MKB
+	sources map[string]*Source
+	order   []string
+	homes   map[string]string // relation name -> source name
+
+	// listeners receive capability-change notifications (the View
+	// Synchronizer subscribes through the warehouse layer).
+	listeners []func(Change)
+}
+
+// New creates an empty information space with a fresh MKB.
+func New() *Space {
+	return &Space{
+		mkb:     misd.NewMKB(),
+		sources: make(map[string]*Source),
+		homes:   make(map[string]string),
+	}
+}
+
+// MKB exposes the space's meta knowledge base.
+func (sp *Space) MKB() *misd.MKB { return sp.mkb }
+
+// AddSource registers a new (empty) information source.
+func (sp *Space) AddSource(name string) (*Source, error) {
+	if _, dup := sp.sources[name]; dup {
+		return nil, fmt.Errorf("space: source %q already exists", name)
+	}
+	s := newSource(name)
+	sp.sources[name] = s
+	sp.order = append(sp.order, name)
+	return s, nil
+}
+
+// Source returns the named source, or nil.
+func (sp *Space) Source(name string) *Source { return sp.sources[name] }
+
+// SourceNames lists sources in registration order.
+func (sp *Space) SourceNames() []string { return append([]string(nil), sp.order...) }
+
+// AddRelation places a relation at a source and registers it (schema,
+// cardinality) with the MKB. Relation names are globally unique, matching
+// the paper's convention.
+func (sp *Space) AddRelation(sourceName string, rel *relation.Relation) error {
+	src, ok := sp.sources[sourceName]
+	if !ok {
+		return fmt.Errorf("space: unknown source %q", sourceName)
+	}
+	if home, dup := sp.homes[rel.Name]; dup {
+		return fmt.Errorf("space: relation %q already registered at source %q", rel.Name, home)
+	}
+	src.relations[rel.Name] = rel
+	src.order = append(src.order, rel.Name)
+	sp.homes[rel.Name] = sourceName
+	return sp.mkb.RegisterRelation(misd.RelationInfo{
+		Ref:    misd.RelRef{Source: sourceName, Rel: rel.Name},
+		Schema: rel.Schema(),
+		Card:   rel.Card(),
+	})
+}
+
+// Relation resolves a relation name anywhere in the space.
+func (sp *Space) Relation(name string) *relation.Relation {
+	home, ok := sp.homes[name]
+	if !ok {
+		return nil
+	}
+	return sp.sources[home].relations[name]
+}
+
+// Home returns the source name holding the relation, or "".
+func (sp *Space) Home(relName string) string { return sp.homes[relName] }
+
+// RelationNames lists every relation in the space, sorted.
+func (sp *Space) RelationNames() []string {
+	out := make([]string, 0, len(sp.homes))
+	for n := range sp.homes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subscribe registers a capability-change listener; the space invokes it
+// after each applied change ("the EVE system is notified when a ... change
+// occurs").
+func (sp *Space) Subscribe(fn func(Change)) { sp.listeners = append(sp.listeners, fn) }
+
+func (sp *Space) notify(c Change) {
+	for _, fn := range sp.listeners {
+		fn(c)
+	}
+}
+
+// Insert adds a tuple to a base relation and refreshes the MKB cardinality.
+func (sp *Space) Insert(relName string, t relation.Tuple) error {
+	r := sp.Relation(relName)
+	if r == nil {
+		return fmt.Errorf("space: unknown relation %q", relName)
+	}
+	if err := r.Insert(t); err != nil {
+		return err
+	}
+	sp.mkb.SetCard(relName, r.Card())
+	return nil
+}
+
+// Delete removes a tuple from a base relation and refreshes the MKB
+// cardinality. Deleting an absent tuple is a no-op, matching Relation.Delete.
+func (sp *Space) Delete(relName string, t relation.Tuple) error {
+	r := sp.Relation(relName)
+	if r == nil {
+		return fmt.Errorf("space: unknown relation %q", relName)
+	}
+	r.Delete(t)
+	sp.mkb.SetCard(relName, r.Card())
+	return nil
+}

@@ -1,0 +1,234 @@
+package synchronize
+
+import (
+	"sort"
+
+	"repro/internal/esql"
+	"repro/internal/misd"
+)
+
+// joinSubstitutions implements the CVS-style complex replacement (the
+// paper's [NLR98] direction): a dropped relation R whose referenced
+// attributes no single PC-related relation covers may still be replaced by
+// a *join* of two relations S ⋈ T when
+//
+//   - a PC constraint maps part of R's needed attributes into S,
+//   - another PC constraint maps the rest into T, and
+//   - the MKB holds a join constraint JC(S, T) telling EVE how to combine
+//     them meaningfully.
+//
+// The derived extent relationship is generally unknowable from the
+// constraints (the join may drop or duplicate combinations), so these
+// rewritings carry ExtentUnknown and only qualify under VE = '≈'.
+func (sy *Synchronizer) joinSubstitutions(v *esql.ViewDef, binding, rel string) []*Rewriting {
+	if v.Extent != esql.ExtentAny {
+		return nil
+	}
+	// Attributes of rel the view needs: SELECT items plus WHERE references.
+	type need struct {
+		attr        string
+		fromSelect  bool
+		replaceable bool
+		dispensable bool
+	}
+	var needs []need
+	seen := map[string]bool{}
+	for _, s := range v.Select {
+		if s.Attr.Rel == binding && !seen[s.Attr.Attr] {
+			seen[s.Attr.Attr] = true
+			needs = append(needs, need{attr: s.Attr.Attr, fromSelect: true, replaceable: s.Replaceable, dispensable: s.Dispensable})
+		}
+	}
+	for _, w := range v.Where {
+		for _, ref := range []esql.AttrRef{w.Clause.Left, w.Clause.Right} {
+			if ref.Attr != "" && ref.Rel == binding && !seen[ref.Attr] {
+				seen[ref.Attr] = true
+				needs = append(needs, need{attr: ref.Attr, replaceable: w.Replaceable, dispensable: w.Dispensable})
+			}
+		}
+	}
+	if len(needs) < 2 {
+		return nil // a single donor suffices; the simple path covers it
+	}
+	neededAttrs := make([]string, len(needs))
+	for i, n := range needs {
+		neededAttrs[i] = n.attr
+	}
+
+	pcs := sy.MKB.PCConstraints(rel)
+	var out []*Rewriting
+	for i := 0; i < len(pcs); i++ {
+		for j := 0; j < len(pcs); j++ {
+			if i == j {
+				continue
+			}
+			s := pcs[i].Right.Rel.Key()
+			t := pcs[j].Right.Rel.Key()
+			if s == rel || t == rel || s == t {
+				continue
+			}
+			if sy.MKB.Relation(s) == nil || sy.MKB.Relation(t) == nil {
+				continue
+			}
+			// Skip pairs where one donor alone covers everything; the
+			// simple substitution already produced that rewriting.
+			mapS := pcs[i].AttrMapping()
+			mapT := pcs[j].AttrMapping()
+			if coversAll(mapS, neededAttrs) || coversAll(mapT, neededAttrs) {
+				continue
+			}
+			jc, ok := sy.MKB.JoinConstraintBetween(s, t)
+			if !ok {
+				continue
+			}
+			rw, ok := sy.buildJoinSubstitution(v, binding, rel, pcs[i], pcs[j], jc)
+			if !ok {
+				continue
+			}
+			out = append(out, rw)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].View.Signature() < out[b].View.Signature() })
+	return out
+}
+
+func coversAll(mapping map[string]string, attrs []string) bool {
+	for _, a := range attrs {
+		if _, ok := mapping[a]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// buildJoinSubstitution rewrites v, replacing binding by the join of the
+// two donors. Attribute resolution prefers the first donor; attributes only
+// the second donor covers come from there; uncovered dispensable components
+// are dropped, uncovered indispensable ones abort.
+func (sy *Synchronizer) buildJoinSubstitution(v *esql.ViewDef, binding, rel string, pcS, pcT misd.PCConstraint, jc misd.JoinConstraint) (*Rewriting, bool) {
+	s := pcS.Right.Rel.Key()
+	t := pcT.Right.Rel.Key()
+	if v.FromBinding(s) != nil || v.FromBinding(t) != nil {
+		return nil, false // donor already bound; avoid alias collisions
+	}
+	mapS := pcS.AttrMapping()
+	mapT := pcT.AttrMapping()
+	resolve := func(attr string) (esql.AttrRef, bool) {
+		if target, ok := mapS[attr]; ok {
+			return esql.AttrRef{Rel: s, Attr: target}, true
+		}
+		if target, ok := mapT[attr]; ok {
+			return esql.AttrRef{Rel: t, Attr: target}, true
+		}
+		return esql.AttrRef{}, false
+	}
+
+	r := &Rewriting{
+		View:         v.Clone(),
+		Replacements: map[string]string{rel: s + "⋈" + t},
+		Extent:       ExtentUnknown,
+		Note:         fmtNote("replace %s by %s ⋈ %s via %s and %s", rel, s, t, pcS, pcT),
+	}
+
+	// SELECT items.
+	var keepSel []esql.SelectItem
+	usedT := false
+	for _, it := range r.View.Select {
+		if it.Attr.Rel != binding {
+			keepSel = append(keepSel, it)
+			continue
+		}
+		ref, ok := resolve(it.Attr.Attr)
+		if ok && it.Replaceable {
+			ni := it
+			if ni.Alias == "" {
+				ni.Alias = it.OutputName()
+			}
+			ni.Attr = ref
+			keepSel = append(keepSel, ni)
+			if ref.Rel == t {
+				usedT = true
+			}
+			continue
+		}
+		if it.Dispensable {
+			r.DroppedAttrs = append(r.DroppedAttrs, it.Attr.String())
+			continue
+		}
+		return nil, false
+	}
+	if len(keepSel) == 0 {
+		return nil, false
+	}
+
+	// WHERE clauses.
+	var keepWhere []esql.CondItem
+	for _, w := range r.View.Where {
+		cl := w.Clause
+		touches := cl.Left.Rel == binding || (cl.Right.Attr != "" && cl.Right.Rel == binding)
+		if !touches {
+			keepWhere = append(keepWhere, w)
+			continue
+		}
+		nw := w
+		ok := true
+		if cl.Left.Rel == binding {
+			if ref, found := resolve(cl.Left.Attr); found {
+				nw.Clause.Left = ref
+				if ref.Rel == t {
+					usedT = true
+				}
+			} else {
+				ok = false
+			}
+		}
+		if ok && cl.Right.Attr != "" && cl.Right.Rel == binding {
+			if ref, found := resolve(cl.Right.Attr); found {
+				nw.Clause.Right = ref
+				if ref.Rel == t {
+					usedT = true
+				}
+			} else {
+				ok = false
+			}
+		}
+		if ok && w.Replaceable {
+			keepWhere = append(keepWhere, nw)
+			continue
+		}
+		if w.Dispensable {
+			r.DroppedConds = append(r.DroppedConds, cl.String())
+			continue
+		}
+		return nil, false
+	}
+	if !usedT {
+		return nil, false // degenerates to the simple substitution by s
+	}
+
+	// FROM: swap rel for s, append t, add the JC clauses.
+	var keepFrom []esql.FromItem
+	for _, f := range r.View.From {
+		if f.Binding() == binding {
+			keepFrom = append(keepFrom, esql.FromItem{Rel: s, Dispensable: f.Dispensable, Replaceable: f.Replaceable})
+			continue
+		}
+		keepFrom = append(keepFrom, f)
+	}
+	keepFrom = append(keepFrom, esql.FromItem{Rel: t, Dispensable: true, Replaceable: true})
+	for _, c := range jc.Clauses {
+		keepWhere = append(keepWhere, esql.CondItem{
+			Clause: esql.Clause{
+				Left:  esql.AttrRef{Rel: s, Attr: c.Attr1},
+				Op:    c.Op,
+				Right: esql.AttrRef{Rel: t, Attr: c.Attr2},
+			},
+			Replaceable: true,
+		})
+	}
+	r.View.Select, r.View.From, r.View.Where = keepSel, keepFrom, keepWhere
+	if err := r.View.Validate(); err != nil {
+		return nil, false
+	}
+	return r, true
+}

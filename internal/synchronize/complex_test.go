@@ -1,0 +1,226 @@
+package synchronize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/esql"
+	"repro/internal/exec"
+	"repro/internal/misd"
+	"repro/internal/relation"
+	"repro/internal/space"
+)
+
+// evalHelper materializes a view over the space for extent comparisons.
+func evalHelper(t *testing.T, sp *space.Space, v *esql.ViewDef) *relation.Relation {
+	t.Helper()
+	ext, err := exec.Evaluate(v, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ext
+}
+
+// complexMKB: R(A,B) dropped; donor S(A) covers only A, donor T(B,K) covers
+// only B, and JC(S, T) joins them on S.A = T.K.
+func complexMKB(t *testing.T) *misd.MKB {
+	t.Helper()
+	m := misd.NewMKB()
+	reg := func(name string, attrs ...string) {
+		if err := m.RegisterRelation(misd.RelationInfo{
+			Ref:    misd.RelRef{Rel: name},
+			Schema: relation.MustSchema(relation.TypeInt, attrs...),
+			Card:   100,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg("R", "A", "B")
+	reg("S", "A")
+	reg("T", "B", "K")
+	if err := m.AddPCConstraint(misd.PCConstraint{
+		Left:  misd.Fragment{Rel: misd.RelRef{Rel: "R"}, Attrs: []string{"A"}},
+		Right: misd.Fragment{Rel: misd.RelRef{Rel: "S"}, Attrs: []string{"A"}},
+		Rel:   misd.Equal,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPCConstraint(misd.PCConstraint{
+		Left:  misd.Fragment{Rel: misd.RelRef{Rel: "R"}, Attrs: []string{"B"}},
+		Right: misd.Fragment{Rel: misd.RelRef{Rel: "T"}, Attrs: []string{"B"}},
+		Rel:   misd.Equal,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddJoinConstraint(misd.JoinConstraint{
+		R1:      misd.RelRef{Rel: "S"},
+		R2:      misd.RelRef{Rel: "T"},
+		Clauses: []misd.JoinClause{{Attr1: "A", Op: relation.OpEQ, Attr2: "K"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func complexView() *esql.ViewDef {
+	return &esql.ViewDef{
+		Name:   "V",
+		Extent: esql.ExtentAny,
+		Select: []esql.SelectItem{
+			{Attr: esql.AttrRef{Rel: "R", Attr: "A"}, Dispensable: true, Replaceable: true},
+			{Attr: esql.AttrRef{Rel: "R", Attr: "B"}, Dispensable: true, Replaceable: true},
+		},
+		From: []esql.FromItem{{Rel: "R", Replaceable: true}},
+	}
+}
+
+func TestJoinSubstitutionProduced(t *testing.T) {
+	sy := New(complexMKB(t))
+	rws, err := sy.Synchronize(complexView(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var complex *Rewriting
+	for _, rw := range rws {
+		if strings.Contains(rw.Replacements["R"], "⋈") {
+			complex = rw
+		}
+	}
+	if complex == nil {
+		t.Fatalf("no join substitution produced:\n%s", Describe(rws))
+	}
+	// Both output columns preserved, FROM holds both donors, WHERE holds
+	// the JC clause.
+	if got := complex.View.OutputNames(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("interface = %v", got)
+	}
+	if len(complex.View.From) != 2 {
+		t.Errorf("FROM = %+v", complex.View.From)
+	}
+	foundJC := false
+	for _, w := range complex.View.Where {
+		if w.Clause.IsJoin() {
+			foundJC = true
+		}
+	}
+	if !foundJC {
+		t.Errorf("join constraint clause missing: %s", esql.Print(complex.View))
+	}
+	if complex.Extent != ExtentUnknown {
+		t.Errorf("extent = %v, want unknown", complex.Extent)
+	}
+}
+
+func TestJoinSubstitutionRespectsVE(t *testing.T) {
+	sy := New(complexMKB(t))
+	v := complexView()
+	v.Extent = esql.ExtentSubset // unknown-extent rewritings are illegal
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rw := range rws {
+		if strings.Contains(rw.Replacements["R"], "⋈") {
+			t.Errorf("VE=subset must filter join substitutions:\n%s", Describe(rws))
+		}
+	}
+}
+
+func TestJoinSubstitutionRequiresJC(t *testing.T) {
+	m := complexMKB(t)
+	// Remove the S–T join constraint by rebuilding without it.
+	m2 := misd.NewMKB()
+	for _, info := range m.Relations() {
+		m2.RegisterRelation(*info) //nolint:errcheck
+	}
+	for _, pc := range m.AllPCConstraints() {
+		m2.AddPCConstraint(pc) //nolint:errcheck
+	}
+	sy := New(m2)
+	rws, err := sy.Synchronize(complexView(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rw := range rws {
+		if strings.Contains(rw.Replacements["R"], "⋈") {
+			t.Error("join substitution without a JC should not be produced")
+		}
+	}
+}
+
+func TestJoinSubstitutionNotForSingleNeed(t *testing.T) {
+	sy := New(complexMKB(t))
+	v := complexView()
+	v.Select = v.Select[:1] // only A needed; S alone covers it
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rw := range rws {
+		if strings.Contains(rw.Replacements["R"], "⋈") {
+			t.Error("single-attribute need should not trigger a join substitution")
+		}
+	}
+}
+
+// TestJoinSubstitutionEvaluates materializes the complex rewriting over an
+// actual space and checks it reassembles the original view extent when the
+// donors are exact vertical fragments.
+func TestJoinSubstitutionEvaluates(t *testing.T) {
+	sp := space.New()
+	for _, src := range []string{"IS1", "IS2", "IS3"} {
+		if _, err := sp.AddSource(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := relation.MustFromRows("R", relation.MustSchema(relation.TypeInt, "A", "B"),
+		relation.IntRows([]int64{1, 10}, []int64{2, 20}, []int64{3, 30})...)
+	// Vertical fragments: S holds A; T holds (B, K=A) so S.A = T.K rejoins.
+	s := relation.MustFromRows("S", relation.MustSchema(relation.TypeInt, "A"),
+		relation.IntRows([]int64{1}, []int64{2}, []int64{3})...)
+	tt := relation.MustFromRows("T", relation.MustSchema(relation.TypeInt, "B", "K"),
+		relation.IntRows([]int64{10, 1}, []int64{20, 2}, []int64{30, 3})...)
+	for src, rel := range map[string]*relation.Relation{"IS1": r, "IS2": s, "IS3": tt} {
+		if err := sp.AddRelation(src, rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkb := sp.MKB()
+	mkb.AddPCConstraint(misd.PCConstraint{ //nolint:errcheck
+		Left:  misd.Fragment{Rel: misd.RelRef{Rel: "R"}, Attrs: []string{"A"}},
+		Right: misd.Fragment{Rel: misd.RelRef{Rel: "S"}, Attrs: []string{"A"}},
+		Rel:   misd.Equal,
+	})
+	mkb.AddPCConstraint(misd.PCConstraint{ //nolint:errcheck
+		Left:  misd.Fragment{Rel: misd.RelRef{Rel: "R"}, Attrs: []string{"B"}},
+		Right: misd.Fragment{Rel: misd.RelRef{Rel: "T"}, Attrs: []string{"B"}},
+		Rel:   misd.Equal,
+	})
+	mkb.AddJoinConstraint(misd.JoinConstraint{ //nolint:errcheck
+		R1:      misd.RelRef{Rel: "S"},
+		R2:      misd.RelRef{Rel: "T"},
+		Clauses: []misd.JoinClause{{Attr1: "A", Op: relation.OpEQ, Attr2: "K"}},
+	})
+
+	sy := New(mkb)
+	rws, err := sy.Synchronize(complexView(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var complex *Rewriting
+	for _, rw := range rws {
+		if strings.Contains(rw.Replacements["R"], "⋈") {
+			complex = rw
+		}
+	}
+	if complex == nil {
+		t.Fatalf("no join substitution:\n%s", Describe(rws))
+	}
+	// Evaluate both old and new over the space (R still present here since
+	// we synchronized without applying the change).
+	origExt := evalHelper(t, sp, complexView())
+	newExt := evalHelper(t, sp, complex.View)
+	if !origExt.Equal(newExt) {
+		t.Errorf("reassembled extent differs:\noriginal:\n%s\nrewritten:\n%s", origExt, newExt)
+	}
+}

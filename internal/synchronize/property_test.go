@@ -1,0 +1,259 @@
+package synchronize
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/esql"
+	"repro/internal/misd"
+	"repro/internal/relation"
+	"repro/internal/space"
+)
+
+// randomSetup builds a random MKB (relations with random PC/JC constraints)
+// and a random E-SQL view over one of its relations, then returns a random
+// applicable capability change.
+type randomSetup struct {
+	mkb    *misd.MKB
+	view   *esql.ViewDef
+	change space.Change
+}
+
+func genSetup(rng *rand.Rand) randomSetup {
+	m := misd.NewMKB()
+	nRels := 2 + rng.Intn(4)
+	attrsOf := map[string][]string{}
+	names := make([]string, nRels)
+	for i := 0; i < nRels; i++ {
+		name := fmt.Sprintf("G%d", i)
+		names[i] = name
+		nAttrs := 1 + rng.Intn(4)
+		attrs := make([]string, nAttrs)
+		for j := range attrs {
+			attrs[j] = fmt.Sprintf("A%d", j)
+		}
+		attrsOf[name] = attrs
+		m.RegisterRelation(misd.RelationInfo{ //nolint:errcheck
+			Ref:    misd.RelRef{Rel: name},
+			Schema: relation.MustSchema(relation.TypeInt, attrs...),
+			Card:   10 + rng.Intn(1000),
+		})
+	}
+	// Random PC constraints over shared attribute prefixes.
+	for i := 0; i < nRels; i++ {
+		for j := 0; j < nRels; j++ {
+			if i == j || rng.Intn(3) != 0 {
+				continue
+			}
+			a, b := names[i], names[j]
+			k := min(len(attrsOf[a]), len(attrsOf[b]))
+			if k == 0 {
+				continue
+			}
+			take := 1 + rng.Intn(k)
+			m.AddPCConstraint(misd.PCConstraint{ //nolint:errcheck
+				Left:  misd.Fragment{Rel: misd.RelRef{Rel: a}, Attrs: attrsOf[a][:take]},
+				Right: misd.Fragment{Rel: misd.RelRef{Rel: b}, Attrs: attrsOf[b][:take]},
+				Rel:   misd.Rel(rng.Intn(3)),
+			})
+		}
+	}
+	// Random join constraints on A0.
+	for i := 0; i+1 < nRels; i++ {
+		if rng.Intn(2) == 0 {
+			m.AddJoinConstraint(misd.JoinConstraint{ //nolint:errcheck
+				R1:      misd.RelRef{Rel: names[i]},
+				R2:      misd.RelRef{Rel: names[i+1]},
+				Clauses: []misd.JoinClause{{Attr1: "A0", Op: relation.OpEQ, Attr2: "A0"}},
+			})
+		}
+	}
+
+	// Random view over the first relation (optionally joined to a second).
+	target := names[0]
+	v := &esql.ViewDef{Name: "V", Extent: esql.ExtentParam(rng.Intn(4))}
+	v.From = append(v.From, esql.FromItem{
+		Rel:         target,
+		Dispensable: rng.Intn(2) == 0,
+		Replaceable: rng.Intn(2) == 0,
+	})
+	if nRels > 1 && rng.Intn(2) == 0 {
+		other := names[1]
+		v.From = append(v.From, esql.FromItem{Rel: other, Dispensable: true, Replaceable: true})
+		v.Select = append(v.Select, esql.SelectItem{
+			Attr:        esql.AttrRef{Rel: other, Attr: "A0"},
+			Alias:       "OtherA0",
+			Dispensable: true,
+			Replaceable: true,
+		})
+		v.Where = append(v.Where, esql.CondItem{
+			Clause: esql.Clause{
+				Left:  esql.AttrRef{Rel: target, Attr: "A0"},
+				Op:    relation.OpEQ,
+				Right: esql.AttrRef{Rel: other, Attr: "A0"},
+			},
+			Dispensable: rng.Intn(2) == 0,
+			Replaceable: rng.Intn(2) == 0,
+		})
+	}
+	for _, a := range attrsOf[target] {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		v.Select = append(v.Select, esql.SelectItem{
+			Attr:        esql.AttrRef{Rel: target, Attr: a},
+			Dispensable: rng.Intn(2) == 0,
+			Replaceable: rng.Intn(2) == 0,
+		})
+	}
+	if len(v.Select) == 0 {
+		v.Select = append(v.Select, esql.SelectItem{
+			Attr:        esql.AttrRef{Rel: target, Attr: "A0"},
+			Dispensable: true,
+			Replaceable: true,
+		})
+	}
+	// Fix duplicate output names (same attr may appear via join select).
+	seen := map[string]int{}
+	for i := range v.Select {
+		n := v.Select[i].OutputName()
+		if seen[n] > 0 {
+			v.Select[i].Alias = fmt.Sprintf("%s_%d", n, seen[n])
+		}
+		seen[n]++
+	}
+
+	var c space.Change
+	if rng.Intn(2) == 0 {
+		c = space.Change{Kind: space.DeleteRelation, Rel: target}
+	} else {
+		attrs := attrsOf[target]
+		c = space.Change{Kind: space.DeleteAttribute, Rel: target, Attr: attrs[rng.Intn(len(attrs))]}
+	}
+	return randomSetup{mkb: m, view: v, change: c}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestSynchronizerInvariants fuzzes the synchronizer over random spaces and
+// checks every produced rewriting for the legality invariants:
+//
+//  1. The rewriting validates structurally.
+//  2. Every indispensable SELECT item of the original survives (possibly
+//     replaced, but its output name remains in the interface).
+//  3. No rewriting references the deleted relation / attribute.
+//  4. VE compliance: under VE==, only extent-equivalent rewritings; under
+//     VE⊆/⊇ no rewriting with the opposite derivable relationship.
+//  5. Signatures are unique (no duplicate rewritings).
+func TestSynchronizerInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		setup := genSetup(rng)
+		if err := setup.view.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid view: %v", trial, err)
+		}
+		sy := New(setup.mkb)
+		sy.EnumerateDropVariants = trial%3 == 0
+		rws, err := sy.Synchronize(setup.view, setup.change)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		indispensable := map[string]bool{}
+		for _, s := range setup.view.Select {
+			if !s.Dispensable {
+				indispensable[s.OutputName()] = true
+			}
+		}
+		seen := map[string]bool{}
+		for _, rw := range rws {
+			if err := rw.View.Validate(); err != nil {
+				t.Fatalf("trial %d: invalid rewriting: %v\n%s", trial, err, esql.Print(rw.View))
+			}
+			sig := rw.View.Signature()
+			if seen[sig] {
+				t.Fatalf("trial %d: duplicate rewriting %s", trial, sig)
+			}
+			seen[sig] = true
+			// Invariant 2.
+			out := map[string]bool{}
+			for _, s := range rw.View.Select {
+				out[s.OutputName()] = true
+			}
+			for name := range indispensable {
+				if !out[name] {
+					t.Fatalf("trial %d: indispensable column %q lost:\n%s\n(change %s, note %s)",
+						trial, name, esql.Print(rw.View), setup.change, rw.Note)
+				}
+			}
+			// Invariant 3.
+			switch setup.change.Kind {
+			case space.DeleteRelation:
+				for _, f := range rw.View.From {
+					if f.Rel == setup.change.Rel {
+						t.Fatalf("trial %d: rewriting still references deleted relation:\n%s",
+							trial, esql.Print(rw.View))
+					}
+				}
+			case space.DeleteAttribute:
+				binding := ""
+				for _, f := range rw.View.From {
+					if f.Rel == setup.change.Rel {
+						binding = f.Binding()
+					}
+				}
+				if binding != "" {
+					for _, s := range rw.View.Select {
+						if s.Attr.Rel == binding && s.Attr.Attr == setup.change.Attr {
+							t.Fatalf("trial %d: rewriting still selects deleted attribute:\n%s",
+								trial, esql.Print(rw.View))
+						}
+					}
+					for _, w := range rw.View.Where {
+						cl := w.Clause
+						if (cl.Left.Rel == binding && cl.Left.Attr == setup.change.Attr) ||
+							(cl.Right.Attr != "" && cl.Right.Rel == binding && cl.Right.Attr == setup.change.Attr) {
+							t.Fatalf("trial %d: rewriting condition uses deleted attribute:\n%s",
+								trial, esql.Print(rw.View))
+						}
+					}
+				}
+			}
+			// Invariant 4.
+			if !legalExtent(setup.view.Extent, rw.Extent) &&
+				!(setup.view.Extent == esql.ExtentAny) &&
+				rw.Extent != ExtentUnknown {
+				t.Fatalf("trial %d: VE=%v violated by extent %v:\n%s",
+					trial, setup.view.Extent, rw.Extent, esql.Print(rw.View))
+			}
+		}
+	}
+}
+
+// TestSynchronizerDeterministic: same input, same output order.
+func TestSynchronizerDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	setup := genSetup(rng)
+	sy := New(setup.mkb)
+	a, err := sy.Synchronize(setup.view, setup.change)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sy.Synchronize(setup.view, setup.change)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].View.Signature() != b[i].View.Signature() {
+			t.Fatalf("non-deterministic order at %d", i)
+		}
+	}
+}

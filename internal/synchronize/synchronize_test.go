@@ -1,0 +1,502 @@
+package synchronize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/esql"
+	"repro/internal/misd"
+	"repro/internal/relation"
+	"repro/internal/space"
+)
+
+// testMKB builds an MKB with R(A,B), S(A,C), T(A,B,D) and constraints:
+// PC π_A(R) = π_A(S); PC π_{A,B}(R) ⊆ π_{A,B}(T); JC R.A=S.A, R.A=T.A,
+// S.A=T.A.
+func testMKB(t *testing.T) *misd.MKB {
+	t.Helper()
+	m := misd.NewMKB()
+	reg := func(name string, attrs ...string) {
+		if err := m.RegisterRelation(misd.RelationInfo{
+			Ref:    misd.RelRef{Rel: name},
+			Schema: relation.MustSchema(relation.TypeInt, attrs...),
+			Card:   100,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg("R", "A", "B")
+	reg("S", "A", "C")
+	reg("T", "A", "B", "D")
+	reg("U", "K")
+	if err := m.AddPCConstraint(misd.PCConstraint{
+		Left:  misd.Fragment{Rel: misd.RelRef{Rel: "R"}, Attrs: []string{"A"}},
+		Right: misd.Fragment{Rel: misd.RelRef{Rel: "S"}, Attrs: []string{"A"}},
+		Rel:   misd.Equal,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddPCConstraint(misd.PCConstraint{
+		Left:  misd.Fragment{Rel: misd.RelRef{Rel: "R"}, Attrs: []string{"A", "B"}},
+		Right: misd.Fragment{Rel: misd.RelRef{Rel: "T"}, Attrs: []string{"A", "B"}},
+		Rel:   misd.Subset,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{"R", "S"}, {"R", "T"}, {"S", "T"}} {
+		if err := m.AddJoinConstraint(misd.JoinConstraint{
+			R1:      misd.RelRef{Rel: pair[0]},
+			R2:      misd.RelRef{Rel: pair[1]},
+			Clauses: []misd.JoinClause{{Attr1: "A", Op: relation.OpEQ, Attr2: "A"}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func selItem(rel, attr string, ad, ar bool) esql.SelectItem {
+	return esql.SelectItem{Attr: esql.AttrRef{Rel: rel, Attr: attr}, Dispensable: ad, Replaceable: ar}
+}
+
+func TestUnaffectedViewYieldsIdentity(t *testing.T) {
+	sy := New(testMKB(t))
+	v := &esql.ViewDef{
+		Name:   "V",
+		Select: []esql.SelectItem{selItem("R", "A", true, true)},
+		From:   []esql.FromItem{{Rel: "R", Replaceable: true}},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "U"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 || rws[0].Extent != ExtentEquivalent || rws[0].Note != "unaffected" {
+		t.Fatalf("identity rewriting expected, got %v", Describe(rws))
+	}
+}
+
+func TestDeleteRelationSubstitution(t *testing.T) {
+	sy := New(testMKB(t))
+	v := &esql.ViewDef{
+		Name:   "V",
+		Select: []esql.SelectItem{selItem("R", "A", true, true), selItem("R", "B", true, true)},
+		From:   []esql.FromItem{{Rel: "R", Replaceable: true}},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Substitutions: S covers only A (B dropped), T covers A and B.
+	var sawS, sawT bool
+	for _, rw := range rws {
+		switch rw.Replacements["R"] {
+		case "S":
+			sawS = true
+			if len(rw.View.Select) != 1 || rw.View.Select[0].OutputName() != "A" {
+				t.Errorf("S substitution interface wrong: %v", rw.View.OutputNames())
+			}
+			if len(rw.DroppedAttrs) != 1 {
+				t.Errorf("S substitution should drop B: %v", rw.DroppedAttrs)
+			}
+			if rw.Extent != ExtentEquivalent {
+				t.Errorf("S substitution extent = %v, want equivalent", rw.Extent)
+			}
+		case "T":
+			sawT = true
+			if len(rw.View.Select) != 2 {
+				t.Errorf("T substitution should keep A and B: %v", rw.View.OutputNames())
+			}
+			if rw.Extent != ExtentSuperset {
+				t.Errorf("T substitution extent = %v, want superset (R ⊆ T)", rw.Extent)
+			}
+		}
+	}
+	if !sawS || !sawT {
+		t.Fatalf("expected substitutions by S and T, got:\n%s", Describe(rws))
+	}
+}
+
+func TestDeleteRelationNonReplaceableDies(t *testing.T) {
+	sy := New(testMKB(t))
+	v := &esql.ViewDef{
+		Name:   "V",
+		Select: []esql.SelectItem{selItem("R", "A", false, false)},
+		From:   []esql.FromItem{{Rel: "R"}}, // RD=false, RR=false
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 0 {
+		t.Fatalf("non-replaceable relation should yield no rewriting, got:\n%s", Describe(rws))
+	}
+}
+
+func TestDeleteRelationDropPath(t *testing.T) {
+	sy := New(testMKB(t))
+	v := &esql.ViewDef{
+		Name: "V",
+		Select: []esql.SelectItem{
+			selItem("R", "A", true, true),
+			selItem("U", "K", false, false),
+		},
+		From: []esql.FromItem{
+			{Rel: "R", Dispensable: true},
+			{Rel: "U"},
+		},
+		Where: []esql.CondItem{{
+			Clause: esql.Clause{
+				Left:  esql.AttrRef{Rel: "R", Attr: "A"},
+				Op:    relation.OpEQ,
+				Right: esql.AttrRef{Rel: "U", Attr: "K"},
+			},
+			Dispensable: true,
+		}},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 {
+		t.Fatalf("expected exactly the drop rewriting, got:\n%s", Describe(rws))
+	}
+	rw := rws[0]
+	if len(rw.View.From) != 1 || rw.View.From[0].Rel != "U" {
+		t.Errorf("FROM after drop = %+v", rw.View.From)
+	}
+	if len(rw.View.Where) != 0 {
+		t.Errorf("WHERE after drop = %+v", rw.View.Where)
+	}
+	if len(rw.DroppedConds) != 1 || len(rw.DroppedAttrs) != 1 {
+		t.Errorf("drop bookkeeping wrong: %+v", rw)
+	}
+}
+
+func TestDeleteRelationDropBlockedByIndispensable(t *testing.T) {
+	sy := New(testMKB(t))
+	v := &esql.ViewDef{
+		Name: "V",
+		Select: []esql.SelectItem{
+			selItem("R", "A", false, false), // indispensable, non-replaceable
+			selItem("U", "K", true, true),
+		},
+		From: []esql.FromItem{
+			{Rel: "R", Dispensable: true}, // RD=true but the attribute blocks
+			{Rel: "U"},
+		},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 0 {
+		t.Fatalf("indispensable attribute should block the drop:\n%s", Describe(rws))
+	}
+}
+
+func TestVEConstraintFiltersRewritings(t *testing.T) {
+	sy := New(testMKB(t))
+	// VE = ⊆ forbids superset rewritings: the T substitution (R ⊆ T) must
+	// be filtered; the S substitution (equal) survives.
+	v := &esql.ViewDef{
+		Name:   "V",
+		Extent: esql.ExtentSubset,
+		Select: []esql.SelectItem{selItem("R", "A", true, true), selItem("R", "B", true, true)},
+		From:   []esql.FromItem{{Rel: "R", Replaceable: true}},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rw := range rws {
+		if rw.Replacements["R"] == "T" {
+			t.Errorf("VE=subset should filter the superset substitution:\n%s", Describe(rws))
+		}
+	}
+	// VE = ≡ keeps only the equal substitution.
+	v.Extent = esql.ExtentEqual
+	rws, err = sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 || rws[0].Replacements["R"] != "S" {
+		t.Errorf("VE=equal should keep only the S substitution:\n%s", Describe(rws))
+	}
+}
+
+func TestDeleteAttributeDrop(t *testing.T) {
+	sy := New(testMKB(t))
+	v := &esql.ViewDef{
+		Name:   "V",
+		Select: []esql.SelectItem{selItem("R", "A", true, true), selItem("R", "B", true, false)},
+		From:   []esql.FromItem{{Rel: "R"}},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) == 0 {
+		t.Fatal("expected a drop rewriting")
+	}
+	found := false
+	for _, rw := range rws {
+		if len(rw.Replacements) == 0 && len(rw.View.Select) == 1 && rw.View.Select[0].OutputName() == "A" {
+			found = true
+			if rw.Extent != ExtentEquivalent {
+				t.Errorf("attribute drop extent = %v", rw.Extent)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no pure drop rewriting:\n%s", Describe(rws))
+	}
+}
+
+func TestDeleteAttributeIndispensableBlocksDrop(t *testing.T) {
+	sy := New(testMKB(t))
+	v := &esql.ViewDef{
+		Name:   "V",
+		Select: []esql.SelectItem{selItem("R", "B", false, false)},
+		From:   []esql.FromItem{{Rel: "R"}},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 0 {
+		t.Fatalf("indispensable deleted attribute with no replacement should kill the view:\n%s", Describe(rws))
+	}
+}
+
+func TestDeleteAttributeSalvagedBySubstitution(t *testing.T) {
+	sy := New(testMKB(t))
+	// Experiment 1's pattern: R.A deleted, view switches to a replica.
+	v := &esql.ViewDef{
+		Name: "V0",
+		Select: []esql.SelectItem{
+			selItem("R", "A", true, true),
+			selItem("R", "B", true, false),
+		},
+		From: []esql.FromItem{{Rel: "R", Replaceable: true, Dispensable: true}},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: drop-A (keeps R.B), substitute-S (keeps A, drops B),
+	// substitute-T (keeps A and B).
+	if len(rws) != 3 {
+		t.Fatalf("expected 3 rewritings, got %d:\n%s", len(rws), Describe(rws))
+	}
+	kinds := map[string]bool{}
+	for _, rw := range rws {
+		switch {
+		case rw.Replacements["R"] == "S":
+			kinds["S"] = true
+		case rw.Replacements["R"] == "T":
+			kinds["T"] = true
+		case len(rw.Replacements) == 0:
+			kinds["drop"] = true
+		}
+	}
+	if !kinds["S"] || !kinds["T"] || !kinds["drop"] {
+		t.Errorf("missing rewriting family: %v\n%s", kinds, Describe(rws))
+	}
+}
+
+func TestDeleteAttributePatchViaJoin(t *testing.T) {
+	sy := New(testMKB(t))
+	// View keeps R but also selects R.B; deleting R.B can be patched by
+	// joining T (which carries B) through JC R.A = T.A — only when the
+	// item is replaceable and the relation itself is not replaced.
+	v := &esql.ViewDef{
+		Name: "V",
+		Select: []esql.SelectItem{
+			selItem("R", "A", false, false),
+			selItem("R", "B", false, true), // must stay, replaceable
+		},
+		From: []esql.FromItem{{Rel: "R"}},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 {
+		t.Fatalf("expected exactly the patch rewriting, got:\n%s", Describe(rws))
+	}
+	rw := rws[0]
+	if len(rw.View.From) != 2 || rw.View.From[1].Rel != "T" {
+		t.Errorf("patch FROM = %+v", rw.View.From)
+	}
+	if len(rw.View.Where) != 1 || !rw.View.Where[0].Clause.IsJoin() {
+		t.Errorf("patch WHERE = %+v", rw.View.Where)
+	}
+	if rw.View.Select[1].Attr.Rel != "T" || rw.View.Select[1].OutputName() != "B" {
+		t.Errorf("patched select = %+v", rw.View.Select[1])
+	}
+}
+
+func TestRenameRelation(t *testing.T) {
+	sy := New(testMKB(t))
+	v := &esql.ViewDef{
+		Name:   "V",
+		Select: []esql.SelectItem{selItem("R", "A", true, true)},
+		From:   []esql.FromItem{{Rel: "R"}},
+		Where: []esql.CondItem{{Clause: esql.Clause{
+			Left: esql.AttrRef{Rel: "R", Attr: "A"}, Op: relation.OpGT, Const: relation.Int(1),
+		}}},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.RenameRelation, Rel: "R", NewName: "R2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 {
+		t.Fatal("rename should yield one rewriting")
+	}
+	rw := rws[0]
+	if rw.View.From[0].Rel != "R2" || rw.View.Select[0].Attr.Rel != "R2" || rw.View.Where[0].Clause.Left.Rel != "R2" {
+		t.Errorf("rename did not rebind everywhere: %s", esql.Print(rw.View))
+	}
+	if rw.Extent != ExtentEquivalent {
+		t.Error("rename should be equivalent")
+	}
+}
+
+func TestRenameAttributePreservesInterface(t *testing.T) {
+	sy := New(testMKB(t))
+	v := &esql.ViewDef{
+		Name:   "V",
+		Select: []esql.SelectItem{selItem("R", "A", true, true)},
+		From:   []esql.FromItem{{Rel: "R"}},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.RenameAttribute, Rel: "R", Attr: "A", NewName: "A2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 {
+		t.Fatal("rename should yield one rewriting")
+	}
+	s := rws[0].View.Select[0]
+	if s.Attr.Attr != "A2" || s.OutputName() != "A" {
+		t.Errorf("attribute rename should alias back to the old output name: %+v", s)
+	}
+}
+
+func TestAddChangesAreNoops(t *testing.T) {
+	sy := New(testMKB(t))
+	v := &esql.ViewDef{
+		Name:   "V",
+		Select: []esql.SelectItem{selItem("R", "A", true, true)},
+		From:   []esql.FromItem{{Rel: "R"}},
+	}
+	for _, c := range []space.Change{
+		{Kind: space.AddAttribute, Rel: "R", Attr: "Z", AttrType: relation.TypeInt},
+		{Kind: space.AddRelation, Rel: "W"},
+	} {
+		rws, err := sy.Synchronize(v, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rws) != 1 || rws[0].Note != "unaffected" {
+			t.Errorf("%s should be a no-op", c)
+		}
+	}
+}
+
+func TestDropVariantEnumeration(t *testing.T) {
+	m := testMKB(t)
+	sy := New(m)
+	sy.EnumerateDropVariants = true
+	v := &esql.ViewDef{
+		Name: "V",
+		Select: []esql.SelectItem{
+			selItem("R", "A", true, true),
+			selItem("R", "B", true, true),
+		},
+		From: []esql.FromItem{{Rel: "R", Replaceable: true}},
+	}
+	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := New(m)
+	baseRws, err := base.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) <= len(baseRws) {
+		t.Errorf("drop-variant enumeration did not expand: %d vs %d", len(rws), len(baseRws))
+	}
+	// All results must still validate and be distinct.
+	seen := map[string]bool{}
+	for _, rw := range rws {
+		if err := rw.View.Validate(); err != nil {
+			t.Errorf("invalid variant: %v", err)
+		}
+		sig := rw.View.Signature()
+		if seen[sig] {
+			t.Errorf("duplicate variant: %s", sig)
+		}
+		seen[sig] = true
+	}
+}
+
+func TestAffected(t *testing.T) {
+	v := &esql.ViewDef{
+		Name:   "V",
+		Select: []esql.SelectItem{selItem("R", "A", true, true)},
+		From:   []esql.FromItem{{Rel: "R"}},
+		Where: []esql.CondItem{{Clause: esql.Clause{
+			Left: esql.AttrRef{Rel: "R", Attr: "B"}, Op: relation.OpGT, Const: relation.Int(0),
+		}}},
+	}
+	cases := []struct {
+		c    space.Change
+		want bool
+	}{
+		{space.Change{Kind: space.DeleteRelation, Rel: "R"}, true},
+		{space.Change{Kind: space.DeleteRelation, Rel: "X"}, false},
+		{space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "A"}, true},
+		{space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "B"}, true}, // via WHERE
+		{space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "Z"}, false},
+		{space.Change{Kind: space.AddAttribute, Rel: "R", Attr: "Q"}, false},
+		{space.Change{Kind: space.RenameRelation, Rel: "R", NewName: "R9"}, true},
+	}
+	for _, c := range cases {
+		if got := Affected(v, c.c); got != c.want {
+			t.Errorf("Affected(%s) = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+func TestCombineExtent(t *testing.T) {
+	cases := []struct {
+		a, b, want ExtentRelation
+	}{
+		{ExtentEquivalent, ExtentSubset, ExtentSubset},
+		{ExtentSuperset, ExtentEquivalent, ExtentSuperset},
+		{ExtentSubset, ExtentSubset, ExtentSubset},
+		{ExtentSubset, ExtentSuperset, ExtentApproximate},
+		{ExtentUnknown, ExtentSubset, ExtentUnknown},
+	}
+	for _, c := range cases {
+		if got := combineExtent(c.a, c.b); got != c.want {
+			t.Errorf("combineExtent(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExtentRelationStrings(t *testing.T) {
+	for _, e := range []ExtentRelation{ExtentUnknown, ExtentEquivalent, ExtentSubset, ExtentSuperset, ExtentApproximate} {
+		if e.String() == "" {
+			t.Error("empty extent relation name")
+		}
+	}
+	if !strings.Contains(Describe([]*Rewriting{identity(&esql.ViewDef{
+		Name:   "V",
+		Select: []esql.SelectItem{selItem("R", "A", true, true)},
+		From:   []esql.FromItem{{Rel: "R"}},
+	})}), "1 legal") {
+		t.Error("Describe rendering wrong")
+	}
+}

@@ -1,0 +1,326 @@
+// Package warehouse assembles the EVE system of Figure 1: the View
+// Knowledge Base (registered E-SQL views with materialized extents), the
+// Meta Knowledge Base (via the information space), the View Synchronizer,
+// the QC-Model ranker, and the View Maintainer. It is the engine behind the
+// repository's public API.
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/esql"
+	"repro/internal/exec"
+	"repro/internal/maintain"
+	"repro/internal/relation"
+	"repro/internal/space"
+	"repro/internal/synchronize"
+)
+
+// View is one registered view: definition, materialized extent, and its
+// maintainer.
+type View struct {
+	Def        *esql.ViewDef
+	Extent     *relation.Relation
+	maintainer *maintain.Maintainer
+	// Deceased is set when a capability change left the view without any
+	// legal rewriting (Experiment 1's terminal state).
+	Deceased bool
+	// History records the synchronization steps applied to the view.
+	History []string
+}
+
+// Warehouse is the EVE system instance.
+type Warehouse struct {
+	Space    *space.Space
+	Tradeoff core.Tradeoff
+	Cost     core.CostModel
+	// Synchronizer generates legal rewritings; its options (e.g. CVS-style
+	// drop-variant enumeration) may be tuned before applying changes.
+	Synchronizer *synchronize.Synchronizer
+
+	views map[string]*View
+	order []string
+}
+
+// New creates a warehouse over an information space with the paper's
+// default parameters.
+func New(sp *space.Space) *Warehouse {
+	return &Warehouse{
+		Space:        sp,
+		Tradeoff:     core.DefaultTradeoff(),
+		Cost:         core.DefaultCostModel(),
+		Synchronizer: synchronize.New(sp.MKB()),
+		views:        make(map[string]*View),
+	}
+}
+
+// DefineView parses, qualifies, materializes, and registers an E-SQL view.
+func (w *Warehouse) DefineView(src string) (*View, error) {
+	def, err := esql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return w.RegisterView(def)
+}
+
+// RegisterView registers an already-built definition.
+func (w *Warehouse) RegisterView(def *esql.ViewDef) (*View, error) {
+	if _, dup := w.views[def.Name]; dup {
+		return nil, fmt.Errorf("warehouse: view %q already defined", def.Name)
+	}
+	q, err := exec.Qualify(def, w.Space)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := exec.Evaluate(q, w.Space)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Def: q, Extent: ext}
+	v.maintainer = maintain.New(w.Space, q, ext)
+	w.views[def.Name] = v
+	w.order = append(w.order, def.Name)
+	return v, nil
+}
+
+// View returns the named registered view, or nil.
+func (w *Warehouse) View(name string) *View { return w.views[name] }
+
+// ViewNames lists registered views in definition order.
+func (w *Warehouse) ViewNames() []string { return append([]string(nil), w.order...) }
+
+// ApplyUpdate routes a data update through every live view's maintainer and
+// returns the summed measured metrics.
+func (w *Warehouse) ApplyUpdate(u maintain.Update) (maintain.Metrics, error) {
+	var total maintain.Metrics
+	// The base update itself must happen exactly once; maintainers apply
+	// it on first touch. We therefore apply through the first affected
+	// view and let subsequent maintainers see a no-op (their Apply
+	// re-checks containment).
+	applied := false
+	for _, name := range w.order {
+		v := w.views[name]
+		if v.Deceased {
+			continue
+		}
+		m, err := v.maintainer.Apply(u)
+		if err != nil {
+			return total, err
+		}
+		total.Add(m)
+		applied = true
+	}
+	if !applied {
+		// No views: still perform the base change.
+		switch u.Kind {
+		case maintain.Insert:
+			return total, w.Space.Insert(u.Rel, u.Tuple)
+		case maintain.Delete:
+			return total, w.Space.Delete(u.Rel, u.Tuple)
+		}
+	}
+	return total, nil
+}
+
+// SyncResult reports one view's synchronization outcome for a capability
+// change.
+type SyncResult struct {
+	ViewName string
+	// Ranking is nil when the view was unaffected.
+	Ranking *core.Ranking
+	// Chosen is the adopted rewriting (the ranking's best), nil when the
+	// view deceased or was unaffected.
+	Chosen *core.Candidate
+	// Deceased marks a view with no legal rewriting.
+	Deceased bool
+}
+
+// ApplyChange applies a capability change to the information space and
+// synchronizes every affected view: legal rewritings are generated, scored
+// by the QC-Model, and the best one replaces the view definition. Views
+// with no legal rewriting become deceased. The per-view pre-change extents
+// are used for exact quality measurement when available.
+func (w *Warehouse) ApplyChange(c space.Change) ([]SyncResult, error) {
+	// Snapshot pre-change state the quality model needs.
+	preCards := map[string]int{}
+	for _, info := range w.Space.MKB().Relations() {
+		preCards[info.Ref.Rel] = info.Card
+	}
+	// Synchronization and ranking run against the *pre-change* MKB: the
+	// PC constraints mentioning the deleted component are exactly what the
+	// quality estimator needs, and the MKB Evolver prunes them once the
+	// change lands.
+	type pending struct {
+		v        *View
+		res      SyncResult
+		affected bool
+	}
+	var work []*pending
+	for _, name := range w.order {
+		v := w.views[name]
+		if v.Deceased {
+			continue
+		}
+		p := &pending{v: v, res: SyncResult{ViewName: v.Def.Name}, affected: synchronize.Affected(v.Def, c)}
+		if p.affected {
+			rws, err := w.Synchronizer.Synchronize(v.Def, c)
+			if err != nil {
+				return nil, err
+			}
+			if len(rws) > 0 {
+				ranking, err := w.RankRewritings(v, rws, preCards)
+				if err != nil {
+					return nil, err
+				}
+				p.res.Ranking = ranking
+				p.res.Chosen = ranking.Best()
+			}
+		}
+		work = append(work, p)
+	}
+
+	if err := w.Space.ApplyChange(c); err != nil {
+		return nil, err
+	}
+
+	var results []SyncResult
+	for _, p := range work {
+		if !p.affected {
+			results = append(results, p.res)
+			continue
+		}
+		if p.res.Chosen == nil {
+			p.v.Deceased = true
+			p.v.History = append(p.v.History, fmt.Sprintf("%s: no legal rewriting — view deceased", c))
+			p.res.Deceased = true
+			results = append(results, p.res)
+			continue
+		}
+		if err := w.adopt(p.v, p.res.Chosen.Rewriting, c); err != nil {
+			return nil, err
+		}
+		results = append(results, p.res)
+	}
+	return results, nil
+}
+
+// RankRewritings scores a set of legal rewritings for a view using the
+// warehouse's trade-off parameters: extent sizes come from the analytic
+// estimator over pre-change cardinalities, cost scenarios from the actual
+// relation placement in the space.
+func (w *Warehouse) RankRewritings(v *View, rws []*synchronize.Rewriting, preCards map[string]int) (*core.Ranking, error) {
+	est := core.NewEstimator(w.Space.MKB())
+	cands := make([]*core.Candidate, 0, len(rws))
+	for _, rw := range rws {
+		cands = append(cands, &core.Candidate{
+			Rewriting: rw,
+			Sizes:     est.Sizes(v.Def, rw, preCards),
+			Scenario:  w.ScenarioFor(rw.View, preCards),
+		})
+	}
+	return core.Rank(v.Def, cands, w.Tradeoff, w.Cost)
+}
+
+// ScenarioFor derives the cost model's update scenario from the rewriting's
+// relation placement across sources: the first FROM relation's site is
+// treated as the update origin (holding its co-located view relations as
+// n_1), remaining sites follow in FROM order. Cardinalities fall back to
+// preCards for relations the MKB no longer knows.
+func (w *Warehouse) ScenarioFor(def *esql.ViewDef, preCards map[string]int) core.UpdateScenario {
+	type site struct {
+		name string
+		rels []core.RelStats
+	}
+	var sites []*site
+	index := map[string]*site{}
+	statsOf := func(rel string) core.RelStats {
+		st := core.RelStats{Card: preCards[rel], TupleSize: 100, Selectivity: 1}
+		if info := w.Space.MKB().Relation(rel); info != nil {
+			st.Card = info.Card
+			st.TupleSize = info.Schema.TupleSize()
+			if info.LocalSelectivity > 0 {
+				st.Selectivity = info.LocalSelectivity
+			}
+		}
+		return st
+	}
+	localSelectivity := func(binding string) float64 {
+		// One local condition per relation (Section 6.1 assumption 4):
+		// count the view's constant clauses on this binding.
+		sigma := 1.0
+		for _, cond := range def.Where {
+			if cond.Clause.IsJoin() {
+				continue
+			}
+			if cond.Clause.Left.Rel == binding {
+				s := w.Space.MKB().DefaultSelectivity
+				if s <= 0 || s > 1 {
+					s = 0.5
+				}
+				sigma *= s
+			}
+		}
+		return sigma
+	}
+	for i, f := range def.From {
+		home := w.Space.Home(f.Rel)
+		if home == "" {
+			home = fmt.Sprintf("?site%d", i)
+		}
+		s, ok := index[home]
+		if !ok {
+			s = &site{name: home}
+			index[home] = s
+			sites = append(sites, s)
+		}
+		st := statsOf(f.Rel)
+		st.Selectivity *= localSelectivity(f.Binding())
+		s.rels = append(s.rels, st)
+	}
+	u := core.UpdateScenario{UpdatedTupleSize: 100}
+	if len(sites) > 0 && len(sites[0].rels) > 0 {
+		u.UpdatedTupleSize = sites[0].rels[0].TupleSize
+		// The update originates at the first relation; its site's other
+		// relations form n_1.
+		first := sites[0]
+		u.Sites = append(u.Sites, core.SiteLoad{Relations: first.rels[1:]})
+		for _, s := range sites[1:] {
+			u.Sites = append(u.Sites, core.SiteLoad{Relations: s.rels})
+		}
+	}
+	return u
+}
+
+// adopt replaces the view definition with the chosen rewriting and
+// re-materializes the extent from the post-change space.
+func (w *Warehouse) adopt(v *View, rw *synchronize.Rewriting, c space.Change) error {
+	def := rw.View.Clone()
+	def.Name = v.Def.Name
+	q, err := exec.Qualify(def, w.Space)
+	if err != nil {
+		return err
+	}
+	ext, err := exec.Evaluate(q, w.Space)
+	if err != nil {
+		return err
+	}
+	v.History = append(v.History, fmt.Sprintf("%s: adopted rewriting (%s)", c, rw.Note))
+	v.Def = q
+	v.Extent = ext
+	v.maintainer = maintain.New(w.Space, q, ext)
+	return nil
+}
+
+// LiveViews returns the names of views that are not deceased, sorted.
+func (w *Warehouse) LiveViews() []string {
+	var out []string
+	for name, v := range w.views {
+		if !v.Deceased {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
