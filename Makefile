@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test bench vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Planner and pipeline micro-benchmarks (before/after comparison).
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkEvaluate(Planned|Naive)|BenchmarkApplyChangePipeline' -benchtime=5x .
+
+vet:
+	$(GO) vet ./...
+
+ci: vet build test
+	$(GO) test -run='^$$' -bench=BenchmarkEvaluate -benchtime=1x ./...

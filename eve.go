@@ -20,6 +20,24 @@
 //	results, _ := sys.ApplyChange(eve.DeleteRelation("R"))
 //
 // See the examples/ directory for complete programs.
+//
+// # Execution and debugging
+//
+// View evaluation compiles each definition into an explicit physical plan
+// (scan with zero-copy column re-binding, pushed-down filters, hash joins
+// ordered by MKB cardinality, projection, set-semantics dedup; see
+// internal/plan). Explain renders the plan the executor would run:
+//
+//	text, _ := eve.Explain(view.Def, sys.Space)
+//	fmt.Println(text)
+//	// Plan V
+//	// Dedup → V [est=200]
+//	// └─ Project [A] [est=200]
+//	//    └─ Filter [R.A > 1] [est=200] ...
+//
+// System.ApplyChange synchronizes affected views on a bounded worker pool
+// (System.Workers; default one worker per CPU) while always returning
+// results in view registration order.
 package eve
 
 import (
@@ -169,8 +187,13 @@ func MustParseView(src string) *ViewDef { return esql.MustParse(src) }
 // PrintView renders a view definition back to E-SQL.
 func PrintView(v *ViewDef) string { return esql.Print(v) }
 
-// Evaluate materializes a view over a space (the Query Executor).
+// Evaluate materializes a view over a space (the Query Executor). The view
+// is compiled to a physical plan (internal/plan) and executed.
 func Evaluate(v *ViewDef, sp *Space) (*Relation, error) { return exec.Evaluate(v, sp) }
+
+// Explain renders the physical plan Evaluate would run for the view — one
+// operator per line with cardinality estimates, for debugging and tests.
+func Explain(v *ViewDef, sp *Space) (string, error) { return exec.Explain(v, sp) }
 
 // DefaultTradeoff returns the paper's default parameters.
 func DefaultTradeoff() Tradeoff { return core.DefaultTradeoff() }

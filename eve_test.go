@@ -1,6 +1,7 @@
 package eve
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -174,5 +175,24 @@ func TestPublicAPIRenameKeepsViewWorking(t *testing.T) {
 	}
 	if view.Extent.Card() != 3 {
 		t.Errorf("extent after post-rename insert = %d", view.Extent.Card())
+	}
+}
+
+func TestPublicAPIExplain(t *testing.T) {
+	sys := buildPartsSystem(t)
+	view, err := sys.DefineView(`CREATE VIEW V AS
+		SELECT P.Name, M.ID FROM Parts P, PartsMirror M
+		WHERE P.PartID = M.ID AND P.Price > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Explain(view.Def, sys.Space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Plan V", "Dedup", "Project", "HashJoin", "Scan Parts AS P", "Scan PartsMirror AS M", "Filter"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, text)
+		}
 	}
 }

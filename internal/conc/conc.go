@@ -1,0 +1,69 @@
+// Package conc provides the minimal bounded-concurrency primitives the
+// warehouse's synchronization pipeline needs: an errgroup-style ForEach
+// that fans a fixed index range out over a worker pool. Keeping it local
+// avoids an external dependency while matching golang.org/x/sync/errgroup
+// semantics (first error wins, all workers drain before return).
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the pool size used when a caller passes workers <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// and returns the first error any call produced. Calls are claimed from an
+// atomic counter, so the assignment of indexes to workers is dynamic, but
+// callers writing results into slot i of a pre-sized slice get
+// deterministic output ordering regardless of scheduling. After an error,
+// in-flight calls finish but no new indexes are claimed.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

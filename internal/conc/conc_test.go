@@ -1,0 +1,55 @@
+package conc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		var hits [57]atomic.Int32
+		if err := ForEach(len(hits), workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(100, 4, func(i int) error {
+		if i == 13 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	_ = ForEach(1_000_000, 2, func(i int) error {
+		ran.Add(1)
+		return boom
+	})
+	if n := ran.Load(); n > 10 {
+		t.Errorf("ran %d calls after first error, want a handful", n)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}

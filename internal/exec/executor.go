@@ -1,14 +1,18 @@
 // Package exec evaluates E-SQL view definitions against an information
 // space, producing materialized extents. It is the reproduction's Query
-// Executor component (Figure 1): FROM relations are fetched from their
-// sources, joined left to right with the WHERE clauses pushed into the
-// joins, and the SELECT clause projects and renames the result.
+// Executor component (Figure 1). Evaluation is a thin façade over
+// internal/plan: the view is qualified, compiled into a physical operator
+// tree (scan / filter / hash-join / project / dedup with MKB-driven join
+// ordering), and executed. The original ad-hoc left-to-right evaluator is
+// kept as EvaluateNaive, the reference implementation for differential
+// tests.
 package exec
 
 import (
 	"fmt"
 
 	"repro/internal/esql"
+	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/space"
 )
@@ -17,14 +21,46 @@ import (
 // columns carry the view's output names; duplicates are removed (set
 // semantics, as the paper's extent comparisons assume).
 func Evaluate(v *esql.ViewDef, sp *space.Space) (*relation.Relation, error) {
+	p, err := Plan(v, sp)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute()
+}
+
+// Plan qualifies the view and compiles it into a physical plan without
+// executing it. The plan's scans share the base relations' tuple storage
+// (zero-copy re-binding), so it must be executed before the space's data
+// next changes — mutate, then re-compile; do not cache plans across
+// updates.
+func Plan(v *esql.ViewDef, sp *space.Space) (*plan.Plan, error) {
 	q, err := Qualify(v, sp)
 	if err != nil {
 		return nil, err
 	}
-	// Pending WHERE clauses are pushed into the leftmost join (or base
-	// selection) at which all their columns are bound — the standard
-	// predicate-pushdown plan, and what makes the hash-join path in
-	// relation.Join effective.
+	return plan.Compile(q, sp)
+}
+
+// Explain renders the physical plan the executor would run for the view —
+// the ExplainPlan debugging entry point.
+func Explain(v *esql.ViewDef, sp *space.Space) (string, error) {
+	p, err := Plan(v, sp)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// EvaluateNaive is the original left-to-right evaluator: every base
+// relation is deep-copied through qualifyColumns, WHERE clauses are pushed
+// into the leftmost join at which they bind, and relations join in FROM
+// order. It is retained as the executable specification the planner is
+// differentially tested against; production paths use Evaluate.
+func EvaluateNaive(v *esql.ViewDef, sp *space.Space) (*relation.Relation, error) {
+	q, err := Qualify(v, sp)
+	if err != nil {
+		return nil, err
+	}
 	pending := make([]relation.Condition, 0, len(q.Where))
 	for _, c := range q.Where {
 		pending = append(pending, clauseToAlgebra(c.Clause))
@@ -67,11 +103,6 @@ func Evaluate(v *esql.ViewDef, sp *space.Space) (*relation.Relation, error) {
 		}
 		if acc == nil {
 			acc = qualified
-			if local := ready(acc.Schema()); len(local) > 0 {
-				if acc, err = acc.Select(local); err != nil {
-					return nil, err
-				}
-			}
 			continue
 		}
 		combined := relation.NewSchema(append(acc.Schema().Attrs(), qualified.Schema().Attrs()...)...)
@@ -114,18 +145,17 @@ func Evaluate(v *esql.ViewDef, sp *space.Space) (*relation.Relation, error) {
 	return out, nil
 }
 
-// qualifyColumns renames base's columns to "binding.attr".
+// qualifyColumns renames base's columns to "binding.attr", copying every
+// tuple into a fresh relation. The tuples land in insertion order, so the
+// copy preserves both order and cardinality (see TestQualifyColumnsCopy).
+// The planner's scan operator achieves the same re-binding without the
+// copy via Relation.Rebind.
 func qualifyColumns(base *relation.Relation, binding string) (*relation.Relation, error) {
-	attrs := base.Schema().Attrs()
-	for i := range attrs {
-		attrs[i].Source = base.Name + "." + attrs[i].Name
-		attrs[i].Name = binding + "." + attrs[i].Name
+	out, err := base.Rebind(base.Name, base.Schema().Qualify(base.Name, binding))
+	if err != nil {
+		return nil, err
 	}
-	out := relation.New(base.Name, relation.NewSchema(attrs...))
-	for _, t := range base.Tuples() {
-		out.Insert(t) //nolint:errcheck
-	}
-	return out, nil
+	return out.Clone(), nil
 }
 
 func clauseToAlgebra(c esql.Clause) relation.Condition {

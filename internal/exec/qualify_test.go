@@ -49,6 +49,47 @@ func TestQualifyAlreadyQualifiedPassesThrough(t *testing.T) {
 	}
 }
 
+// TestQualifyColumnsCopy is the regression test for the naive path's
+// column qualification: the qualified copy must hold exactly the base
+// tuples, in the base's insertion order, under "binding.attr" names — the
+// re-insert-through-dedup it performs must never drop or reorder rows.
+func TestQualifyColumnsCopy(t *testing.T) {
+	base := relation.New("R", relation.MustSchema(relation.TypeInt, "A", "B"))
+	// Insertion order deliberately non-sorted.
+	rows := relation.IntRows([]int64{3, 30}, []int64{1, 10}, []int64{2, 20}, []int64{0, 0})
+	for _, r := range rows {
+		if err := base.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := qualifyColumns(base, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Card() != base.Card() {
+		t.Fatalf("qualified card = %d, want %d", q.Card(), base.Card())
+	}
+	for i, want := range rows {
+		got := q.Tuples()[i]
+		if got.Key() != want.Key() {
+			t.Errorf("tuple %d = %v, want %v (order not preserved)", i, got, want)
+		}
+	}
+	if names := q.Schema().Names(); names[0] != "X.A" || names[1] != "X.B" {
+		t.Errorf("qualified names = %v", names)
+	}
+	if src := q.Schema().Attr(0).Source; src != "R.A" {
+		t.Errorf("provenance = %q, want R.A", src)
+	}
+	// The copy is independent: mutating it must not touch the base.
+	if err := q.Insert(relation.Tuple{relation.Int(9), relation.Int(90)}); err != nil {
+		t.Fatal(err)
+	}
+	if base.Card() != len(rows) {
+		t.Error("qualifyColumns returned a view sharing the base's storage")
+	}
+}
+
 func TestQualifyRejectsUnboundQualifier(t *testing.T) {
 	v := &esql.ViewDef{
 		Name:   "V",

@@ -1,0 +1,264 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/esql"
+	"repro/internal/relation"
+	"repro/internal/space"
+)
+
+// Compile builds a physical plan for a fully qualified view (exec.Qualify
+// output) over a space. Constant and intra-relation predicates are pushed
+// below the joins, equi-join clauses become hash-join keys, and the join
+// order follows MKB cardinalities (smallest first, preferring equi-join
+// connected inputs over cross products).
+func Compile(q *esql.ViewDef, sp *space.Space) (*Plan, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("plan: view %s has no FROM relations", q.Name)
+	}
+	sigma, js := selectivities(sp)
+
+	pending := make([]relation.Clause, 0, len(q.Where))
+	for _, c := range q.Where {
+		pending = append(pending, clauseToAlgebra(c.Clause))
+	}
+
+	// Leaf inputs: scans with their local predicates pushed down.
+	type input struct {
+		node Node
+		pos  int // original FROM position, the deterministic tie-break
+	}
+	inputs := make([]*input, 0, len(q.From))
+	for i, f := range q.From {
+		base := sp.Relation(f.Rel)
+		if base == nil {
+			return nil, fmt.Errorf("plan: view %s references missing relation %q", q.Name, f.Rel)
+		}
+		est := base.Card()
+		if info := sp.MKB().Relation(f.Rel); info != nil && info.Card > 0 {
+			est = info.Card
+		}
+		node, err := NewScan(base, f.Binding(), est)
+		if err != nil {
+			return nil, err
+		}
+		in := &input{node: Node(node), pos: i}
+		if local := takeBound(&pending, node.Schema()); len(local) > 0 {
+			fest := float64(est)
+			for range local {
+				fest *= sigma
+			}
+			filtered, err := NewFilter(in.node, toAnd(local), estRows(fest))
+			if err != nil {
+				return nil, err
+			}
+			in.node = filtered
+		}
+		inputs = append(inputs, in)
+	}
+
+	// Join-order heuristic: smallest estimated input first, ties broken by
+	// FROM position so plans are deterministic; then greedily extend the
+	// bound set, preferring equi-join connected inputs, then
+	// theta-connected, and only then cross products.
+	sort.Slice(inputs, func(a, b int) bool {
+		if inputs[a].node.EstRows() != inputs[b].node.EstRows() {
+			return inputs[a].node.EstRows() < inputs[b].node.EstRows()
+		}
+		return inputs[a].pos < inputs[b].pos
+	})
+	acc := inputs[0].node
+	remaining := inputs[1:]
+	for len(remaining) > 0 {
+		pick, pickLevel := 0, 0
+		for i, in := range remaining {
+			if lvl := connectivity(pending, acc.Schema(), in.node.Schema()); lvl > pickLevel {
+				pick, pickLevel = i, lvl
+				if lvl == 2 {
+					break
+				}
+			}
+		}
+		right := remaining[pick].node
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+
+		keys, residual := splitJoinConds(&pending, acc.Schema(), right.Schema())
+		fest := float64(acc.EstRows()) * float64(right.EstRows())
+		for range keys {
+			fest *= js
+		}
+		for range residual {
+			fest *= sigma
+		}
+		var err error
+		if len(keys) > 0 {
+			acc, err = NewHashJoin(acc, right, keys, residual, estRows(fest))
+		} else {
+			acc, err = NewNestedLoop(acc, right, residual, estRows(fest))
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Predicates never bound reference unknown columns; binding them here
+	// surfaces the same error the naive evaluator reported.
+	if len(pending) > 0 {
+		fest := float64(acc.EstRows())
+		for range pending {
+			fest *= sigma
+		}
+		filtered, err := NewFilter(acc, toAnd(pending), estRows(fest))
+		if err != nil {
+			return nil, err
+		}
+		acc = filtered
+	}
+
+	// Project and rename to the view interface.
+	outAttrs := make([]relation.Attribute, len(q.Select))
+	idx := make([]int, len(q.Select))
+	for i, s := range q.Select {
+		col := s.Attr.Qualified()
+		j := acc.Schema().IndexOf(col)
+		if j < 0 {
+			return nil, fmt.Errorf("plan: view %s selects unknown column %q", q.Name, col)
+		}
+		a := acc.Schema().Attr(j)
+		a.Name = s.OutputName()
+		a.Source = col
+		outAttrs[i] = a
+		idx[i] = j
+	}
+	proj, err := NewProject(acc, relation.NewSchema(outAttrs...), idx, acc.EstRows())
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{View: q.Name, Root: NewDedup(proj, q.Name, proj.EstRows())}, nil
+}
+
+// selectivities returns the MKB's default local selectivity σ and join
+// selectivity js, falling back to the paper's Table 1 values when unset.
+func selectivities(sp *space.Space) (sigma, js float64) {
+	sigma, js = sp.MKB().DefaultSelectivity, sp.MKB().DefaultJoinSelectivity
+	if sigma <= 0 || sigma > 1 {
+		sigma = 0.5
+	}
+	if js <= 0 || js > 1 {
+		js = 0.005
+	}
+	return sigma, js
+}
+
+// maxEst caps cardinality estimates; it fits a 32-bit int so estRows
+// compiles and behaves identically on every GOARCH.
+const maxEst = 1 << 30
+
+// estRows converts a float cardinality estimate into the int the operators
+// display, clamping away negatives, fractional underflow, and overflow.
+func estRows(x float64) int {
+	switch {
+	case x <= 0:
+		return 0
+	case x < 1:
+		return 1
+	case x > maxEst:
+		return maxEst
+	}
+	return int(x)
+}
+
+func clauseToAlgebra(c esql.Clause) relation.Clause {
+	if c.Right.Attr != "" {
+		return relation.AttrAttr(c.Left.Qualified(), c.Op, c.Right.Qualified())
+	}
+	return relation.AttrConst(c.Left.Qualified(), c.Op, c.Const)
+}
+
+func toAnd(cls []relation.Clause) relation.And {
+	out := make(relation.And, len(cls))
+	for i, c := range cls {
+		out[i] = c
+	}
+	return out
+}
+
+// takeBound removes and returns the pending clauses whose attributes are
+// all present in s — the predicate-pushdown step.
+func takeBound(pending *[]relation.Clause, s *relation.Schema) []relation.Clause {
+	var take []relation.Clause
+	rest := (*pending)[:0]
+	for _, c := range *pending {
+		bound := true
+		for _, a := range c.Attrs() {
+			if !s.Has(a) {
+				bound = false
+				break
+			}
+		}
+		if bound {
+			take = append(take, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	*pending = rest
+	return take
+}
+
+// connectivity classifies how the pending clauses connect a candidate input
+// to the bound set: 2 — by an equi-join clause (hash-joinable), 1 — by any
+// spanning clause (theta join), 0 — not at all (cross product).
+func connectivity(pending []relation.Clause, bound, cand *relation.Schema) int {
+	level := 0
+	for _, c := range pending {
+		if c.Right == "" {
+			continue
+		}
+		spans := (bound.Has(c.Left) && cand.Has(c.Right)) || (cand.Has(c.Left) && bound.Has(c.Right))
+		if !spans {
+			continue
+		}
+		if c.Op == relation.OpEQ {
+			return 2
+		}
+		level = 1
+	}
+	return level
+}
+
+// splitJoinConds removes from pending every clause the join of bound ⋈ cand
+// can evaluate: equi-clauses spanning the two sides become hash keys
+// (normalized with Left on the bound side); everything else fully bound by
+// the combined schema becomes the residual.
+func splitJoinConds(pending *[]relation.Clause, bound, cand *relation.Schema) (keys []relation.Clause, residual relation.And) {
+	rest := (*pending)[:0]
+	for _, c := range *pending {
+		if c.Right != "" && c.Op == relation.OpEQ {
+			switch {
+			case bound.Has(c.Left) && cand.Has(c.Right):
+				keys = append(keys, c)
+				continue
+			case cand.Has(c.Left) && bound.Has(c.Right):
+				keys = append(keys, relation.AttrAttr(c.Right, c.Op, c.Left))
+				continue
+			}
+		}
+		ok := true
+		for _, a := range c.Attrs() {
+			if !bound.Has(a) && !cand.Has(a) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			residual = append(residual, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	*pending = rest
+	return keys, residual
+}

@@ -1,0 +1,480 @@
+// Package plan compiles qualified E-SQL view definitions into explicit
+// physical operator trees and executes them. It replaces the executor's
+// original ad-hoc left-to-right loop with a real (if small) planner:
+//
+//   - Scan      — base relation access with zero-copy column re-binding
+//     (Relation.Rebind + Schema.Qualify instead of a full tuple copy)
+//   - Filter    — pushed-down predicates, compiled to position-bound
+//     closures (relation.Bind) at plan time
+//   - HashJoin  — composite-key hash join for equi-join clauses, with any
+//     non-equi clauses over the same pair applied as a residual
+//   - NestedLoop — fallback for joins with no usable equi-key
+//   - Project   — projection and renaming to the view interface
+//   - Dedup     — set-semantics duplicate elimination at the plan root
+//
+// Join order is chosen by a greedy heuristic over MKB cardinalities: the
+// smallest estimated input is placed first, and each step prefers a
+// relation connected to the bound set by an equi-join clause (avoiding
+// cross products) before falling back to the smallest remaining input.
+//
+// Intermediate results are plain tuple slices — duplicates are only
+// eliminated once, at the Dedup root, which the set semantics of the final
+// extent makes equivalent to the naive path's per-operator dedup.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Node is one physical operator in a compiled plan. Execution is
+// materialized bottom-up: each node returns its result as a plain tuple
+// slice over its output schema; only the root Dedup builds a Relation.
+type Node interface {
+	// Schema is the operator's output schema.
+	Schema() *relation.Schema
+	// Rows executes the subtree and returns its result tuples. Rows may
+	// contain duplicates; callers must not mutate the returned tuples.
+	Rows() ([]relation.Tuple, error)
+	// EstRows is the planner's cardinality estimate for this operator.
+	EstRows() int
+	// Children returns the operator's inputs, for plan rendering.
+	Children() []Node
+	// Label renders the operator head line for ExplainPlan.
+	Label() string
+}
+
+// Scan reads a base relation under a FROM binding. The scanned relation is
+// a Rebind view of the base: qualified "binding.attr" column names over the
+// base's own tuple storage, so qualification costs nothing per tuple.
+type Scan struct {
+	rel     *relation.Relation
+	base    string
+	binding string
+	est     int
+}
+
+// NewScan builds a scan of base under the given binding name.
+func NewScan(base *relation.Relation, binding string, est int) (*Scan, error) {
+	qualified, err := base.Rebind(base.Name, base.Schema().Qualify(base.Name, binding))
+	if err != nil {
+		return nil, err
+	}
+	return &Scan{rel: qualified, base: base.Name, binding: binding, est: est}, nil
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() *relation.Schema { return s.rel.Schema() }
+
+// Rows implements Node; it returns the shared base tuple slice.
+func (s *Scan) Rows() ([]relation.Tuple, error) { return s.rel.Tuples(), nil }
+
+// EstRows implements Node.
+func (s *Scan) EstRows() int { return s.est }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// Label implements Node.
+func (s *Scan) Label() string {
+	if s.base == s.binding {
+		return fmt.Sprintf("Scan %s [est=%d]", s.base, s.est)
+	}
+	return fmt.Sprintf("Scan %s AS %s [est=%d]", s.base, s.binding, s.est)
+}
+
+// Filter applies a conjunction of predicates to its input. The condition is
+// compiled against the child schema at plan time.
+type Filter struct {
+	child Node
+	cond  relation.Condition
+	bound relation.Bound
+	est   int
+}
+
+// NewFilter builds a filter over child.
+func NewFilter(child Node, cond relation.Condition, est int) (*Filter, error) {
+	b, err := relation.Bind(child.Schema(), cond)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{child: child, cond: cond, bound: b, est: est}, nil
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() *relation.Schema { return f.child.Schema() }
+
+// Rows implements Node.
+func (f *Filter) Rows() ([]relation.Tuple, error) {
+	in, err := f.child.Rows()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relation.Tuple, 0, len(in)/2)
+	for _, t := range in {
+		ok, err := f.bound(t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// EstRows implements Node.
+func (f *Filter) EstRows() int { return f.est }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.child} }
+
+// Label implements Node.
+func (f *Filter) Label() string {
+	return fmt.Sprintf("Filter [%s] [est=%d]", f.cond, f.est)
+}
+
+// HashJoin joins its inputs on composite equi-keys: the build side (left)
+// is loaded into a hash table, the probe side (right) streams against it.
+// Non-equi clauses over the joined pair are applied as a residual on the
+// concatenated row.
+type HashJoin struct {
+	left, right   Node
+	schema        *relation.Schema
+	leftIdx       []int
+	rightIdx      []int
+	keys          []relation.Clause
+	residual      relation.And
+	residualBound relation.Bound // nil when there is no residual
+	est           int
+}
+
+// NewHashJoin builds a hash join of left ⋈ right on the given equi-clauses
+// (each with its left attribute in left's schema and right attribute in
+// right's schema) plus a residual conjunction over the combined schema.
+func NewHashJoin(left, right Node, keys []relation.Clause, residual relation.And, est int) (*HashJoin, error) {
+	schema := relation.NewSchema(append(left.Schema().Attrs(), right.Schema().Attrs()...)...)
+	j := &HashJoin{left: left, right: right, schema: schema, keys: keys, residual: residual, est: est}
+	for _, k := range keys {
+		li, ri := left.Schema().IndexOf(k.Left), right.Schema().IndexOf(k.Right)
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("plan: hash key %s not bound by join inputs", k)
+		}
+		j.leftIdx = append(j.leftIdx, li)
+		j.rightIdx = append(j.rightIdx, ri)
+	}
+	if len(j.keys) == 0 {
+		return nil, fmt.Errorf("plan: hash join requires at least one equi-clause")
+	}
+	if len(residual) > 0 {
+		b, err := relation.Bind(schema, residual)
+		if err != nil {
+			return nil, err
+		}
+		j.residualBound = b
+	}
+	return j, nil
+}
+
+// Schema implements Node.
+func (j *HashJoin) Schema() *relation.Schema { return j.schema }
+
+// Rows implements Node. The hash table is built over whichever input
+// actually turned out smaller at runtime (plan-time estimates order the
+// join tree, but the accumulated intermediate is often the larger side);
+// the other input streams as probe. Output tuples are always left++right
+// regardless of build side.
+func (j *HashJoin) Rows() ([]relation.Tuple, error) {
+	lrows, err := j.left.Rows()
+	if err != nil {
+		return nil, err
+	}
+	rrows, err := j.right.Rows()
+	if err != nil {
+		return nil, err
+	}
+	build, probe := lrows, rrows
+	buildIdx, probeIdx := j.leftIdx, j.rightIdx
+	buildIsLeft := true
+	if len(rrows) < len(lrows) {
+		build, probe = rrows, lrows
+		buildIdx, probeIdx = j.rightIdx, j.leftIdx
+		buildIsLeft = false
+	}
+	ht := make(map[string][]relation.Tuple, len(build))
+	for _, bt := range build {
+		k := relation.TupleKey(bt, buildIdx)
+		ht[k] = append(ht[k], bt)
+	}
+	var out []relation.Tuple
+	for _, pt := range probe {
+		for _, bt := range ht[relation.TupleKey(pt, probeIdx)] {
+			lt, rt := bt, pt
+			if !buildIsLeft {
+				lt, rt = pt, bt
+			}
+			t := concat(lt, rt)
+			if j.residualBound != nil {
+				ok, err := j.residualBound(t)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// EstRows implements Node.
+func (j *HashJoin) EstRows() int { return j.est }
+
+// Children implements Node.
+func (j *HashJoin) Children() []Node { return []Node{j.left, j.right} }
+
+// Label implements Node.
+func (j *HashJoin) Label() string {
+	parts := make([]string, len(j.keys))
+	for i, k := range j.keys {
+		parts[i] = k.String()
+	}
+	l := fmt.Sprintf("HashJoin [%s]", strings.Join(parts, " AND "))
+	if len(j.residual) > 0 {
+		l += fmt.Sprintf(" residual [%s]", j.residual)
+	}
+	return fmt.Sprintf("%s [est=%d]", l, j.est)
+}
+
+// NestedLoop is the fallback join for pairs with no usable equi-key: every
+// left/right combination is formed and the condition (possibly empty — a
+// cross join) filters the concatenated row.
+type NestedLoop struct {
+	left, right Node
+	schema      *relation.Schema
+	cond        relation.And
+	bound       relation.Bound // nil for a pure cross join
+	est         int
+}
+
+// NewNestedLoop builds a nested-loop join with an optional condition over
+// the combined schema.
+func NewNestedLoop(left, right Node, cond relation.And, est int) (*NestedLoop, error) {
+	schema := relation.NewSchema(append(left.Schema().Attrs(), right.Schema().Attrs()...)...)
+	j := &NestedLoop{left: left, right: right, schema: schema, cond: cond, est: est}
+	if len(cond) > 0 {
+		b, err := relation.Bind(schema, cond)
+		if err != nil {
+			return nil, err
+		}
+		j.bound = b
+	}
+	return j, nil
+}
+
+// Schema implements Node.
+func (j *NestedLoop) Schema() *relation.Schema { return j.schema }
+
+// Rows implements Node.
+func (j *NestedLoop) Rows() ([]relation.Tuple, error) {
+	lrows, err := j.left.Rows()
+	if err != nil {
+		return nil, err
+	}
+	rrows, err := j.right.Rows()
+	if err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	for _, lt := range lrows {
+		for _, rt := range rrows {
+			t := concat(lt, rt)
+			if j.bound != nil {
+				ok, err := j.bound(t)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// EstRows implements Node.
+func (j *NestedLoop) EstRows() int { return j.est }
+
+// Children implements Node.
+func (j *NestedLoop) Children() []Node { return []Node{j.left, j.right} }
+
+// Label implements Node.
+func (j *NestedLoop) Label() string {
+	if len(j.cond) == 0 {
+		return fmt.Sprintf("NestedLoop [cross] [est=%d]", j.est)
+	}
+	return fmt.Sprintf("NestedLoop [%s] [est=%d]", j.cond, j.est)
+}
+
+// Project narrows and renames its input to the view interface columns.
+type Project struct {
+	child  Node
+	schema *relation.Schema
+	idx    []int
+	est    int
+}
+
+// NewProject builds a projection: idx[i] is the child-schema position that
+// feeds output column i of schema.
+func NewProject(child Node, schema *relation.Schema, idx []int, est int) (*Project, error) {
+	if schema.Len() != len(idx) {
+		return nil, fmt.Errorf("plan: projection arity %d != index arity %d", schema.Len(), len(idx))
+	}
+	for _, j := range idx {
+		if j < 0 || j >= child.Schema().Len() {
+			return nil, fmt.Errorf("plan: projection index %d out of range", j)
+		}
+	}
+	return &Project{child: child, schema: schema, idx: idx, est: est}, nil
+}
+
+// Schema implements Node.
+func (p *Project) Schema() *relation.Schema { return p.schema }
+
+// Rows implements Node.
+func (p *Project) Rows() ([]relation.Tuple, error) {
+	in, err := p.child.Rows()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relation.Tuple, len(in))
+	for i, t := range in {
+		pt := make(relation.Tuple, len(p.idx))
+		for k, j := range p.idx {
+			pt[k] = t[j]
+		}
+		out[i] = pt
+	}
+	return out, nil
+}
+
+// EstRows implements Node.
+func (p *Project) EstRows() int { return p.est }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.child} }
+
+// Label implements Node.
+func (p *Project) Label() string {
+	return fmt.Sprintf("Project [%s] [est=%d]", strings.Join(p.schema.Names(), ", "), p.est)
+}
+
+// Dedup materializes its input into a set-semantics Relation named after
+// the view — the single duplicate-elimination point of a plan.
+type Dedup struct {
+	child Node
+	name  string
+	est   int
+}
+
+// NewDedup builds the dedup root.
+func NewDedup(child Node, name string, est int) *Dedup {
+	return &Dedup{child: child, name: name, est: est}
+}
+
+// Schema implements Node.
+func (d *Dedup) Schema() *relation.Schema { return d.child.Schema() }
+
+// Relation executes the subtree and materializes the duplicate-free extent.
+func (d *Dedup) Relation() (*relation.Relation, error) {
+	rows, err := d.child.Rows()
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(d.name, d.child.Schema())
+	for _, t := range rows {
+		out.Insert(t) //nolint:errcheck // arity matches child schema by construction
+	}
+	return out, nil
+}
+
+// Rows implements Node.
+func (d *Dedup) Rows() ([]relation.Tuple, error) {
+	r, err := d.Relation()
+	if err != nil {
+		return nil, err
+	}
+	return r.Tuples(), nil
+}
+
+// EstRows implements Node.
+func (d *Dedup) EstRows() int { return d.est }
+
+// Children implements Node.
+func (d *Dedup) Children() []Node { return []Node{d.child} }
+
+// Label implements Node.
+func (d *Dedup) Label() string { return fmt.Sprintf("Dedup → %s [est=%d]", d.name, d.est) }
+
+func concat(a, b relation.Tuple) relation.Tuple {
+	t := make(relation.Tuple, 0, len(a)+len(b))
+	t = append(t, a...)
+	return append(t, b...)
+}
+
+// Plan is a compiled physical plan for one view.
+type Plan struct {
+	// View is the view name the extent will carry.
+	View string
+	// Root is the plan root (a Dedup over the projection).
+	Root Node
+}
+
+// Execute runs the plan and returns the materialized extent with the view's
+// output column names and set semantics.
+func (p *Plan) Execute() (*relation.Relation, error) {
+	if d, ok := p.Root.(*Dedup); ok {
+		return d.Relation()
+	}
+	rows, err := p.Root.Rows()
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(p.View, p.Root.Schema())
+	for _, t := range rows {
+		out.Insert(t) //nolint:errcheck
+	}
+	return out, nil
+}
+
+// Explain renders the operator tree, one operator per line with box-drawing
+// indentation — the ExplainPlan debugging view.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Plan %s\n", p.View)
+	explainNode(&b, p.Root, "")
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, n Node, prefix string) {
+	b.WriteString(n.Label())
+	b.WriteByte('\n')
+	kids := n.Children()
+	for i, k := range kids {
+		last := i == len(kids)-1
+		b.WriteString(prefix)
+		if last {
+			b.WriteString("└─ ")
+			explainNode(b, k, prefix+"   ")
+		} else {
+			b.WriteString("├─ ")
+			explainNode(b, k, prefix+"│  ")
+		}
+	}
+}

@@ -181,6 +181,58 @@ func (c Clause) Rename(mapping map[string]string) Clause {
 	return out
 }
 
+// Bound is a condition compiled against a fixed schema: attribute
+// references are resolved to tuple positions once, so per-tuple evaluation
+// skips the name lookups Condition.Eval repeats on every call. The planner
+// binds every pushed-down predicate at compile time.
+type Bound func(t Tuple) (bool, error)
+
+// Bind compiles cond against s. Unknown attribute references fail at bind
+// time rather than per tuple.
+func Bind(s *Schema, cond Condition) (Bound, error) {
+	switch c := cond.(type) {
+	case nil:
+		return func(Tuple) (bool, error) { return true, nil }, nil
+	case True:
+		return func(Tuple) (bool, error) { return true, nil }, nil
+	case Clause:
+		li := s.IndexOf(c.Left)
+		if li < 0 {
+			return nil, fmt.Errorf("relation: condition references unknown attribute %q", c.Left)
+		}
+		if c.Right != "" {
+			ri := s.IndexOf(c.Right)
+			if ri < 0 {
+				return nil, fmt.Errorf("relation: condition references unknown attribute %q", c.Right)
+			}
+			op := c.Op
+			return func(t Tuple) (bool, error) { return op.apply(t[li], t[ri]) }, nil
+		}
+		op, cv := c.Op, c.Const
+		return func(t Tuple) (bool, error) { return op.apply(t[li], cv) }, nil
+	case And:
+		parts := make([]Bound, len(c))
+		for i, sub := range c {
+			b, err := Bind(s, sub)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = b
+		}
+		return func(t Tuple) (bool, error) {
+			for _, b := range parts {
+				ok, err := b(t)
+				if err != nil || !ok {
+					return false, err
+				}
+			}
+			return true, nil
+		}, nil
+	default:
+		return func(t Tuple) (bool, error) { return cond.Eval(s, t) }, nil
+	}
+}
+
 // And is a conjunction of conditions. An empty And is TRUE.
 type And []Condition
 

@@ -76,10 +76,10 @@ func Join(r, s *Relation, cond Condition) (*Relation, error) {
 	}
 	ht := make(map[string][]Tuple, r.Card())
 	for _, lt := range r.Tuples() {
-		ht[hashKey(lt, ridx)] = append(ht[hashKey(lt, ridx)], lt)
+		ht[TupleKey(lt, ridx)] = append(ht[TupleKey(lt, ridx)], lt)
 	}
 	for _, rt := range s.Tuples() {
-		for _, lt := range ht[hashKey(rt, sidx)] {
+		for _, lt := range ht[TupleKey(rt, sidx)] {
 			if err := emit(lt, rt); err != nil {
 				return nil, err
 			}
@@ -88,7 +88,10 @@ func Join(r, s *Relation, cond Condition) (*Relation, error) {
 	return out, nil
 }
 
-func hashKey(t Tuple, idx []int) string {
+// TupleKey renders the values of t at positions idx into a composite hash
+// key — the key extraction shared by the algebra's hash join and the
+// planner's hash-join operator.
+func TupleKey(t Tuple, idx []int) string {
 	var b strings.Builder
 	for i, j := range idx {
 		if i > 0 {

@@ -116,6 +116,19 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
+// Rebind returns a read-only view of the relation under a different name
+// and schema, sharing the tuple storage and the dedup index. The new schema
+// must have the same arity; only column names change, so the duplicate-free
+// invariant (keyed on values alone) carries over. Neither relation may be
+// mutated afterwards — the planner uses this for zero-copy column
+// re-binding of base scans.
+func (r *Relation) Rebind(name string, schema *Schema) (*Relation, error) {
+	if schema.Len() != r.schema.Len() {
+		return nil, fmt.Errorf("relation %s: rebind schema arity %d != %d", r.Name, schema.Len(), r.schema.Len())
+	}
+	return &Relation{Name: name, schema: schema, tuples: r.tuples, seen: r.seen}, nil
+}
+
 // WithName returns a shallow renamed view of the relation sharing tuples.
 func (r *Relation) WithName(name string) *Relation {
 	cp := *r

@@ -145,6 +145,20 @@ func (s *Schema) EqualNames(o *Schema) bool {
 	return true
 }
 
+// Qualify returns a copy of the schema with every attribute renamed to
+// "binding.<name>" and its Source set to "<base>.<name>" provenance — the
+// column re-binding a FROM-clause entry applies to its base relation. The
+// planner's scan operator pairs this with Relation.Rebind so qualification
+// never copies tuples.
+func (s *Schema) Qualify(base, binding string) *Schema {
+	attrs := s.Attrs()
+	for i := range attrs {
+		attrs[i].Source = base + "." + attrs[i].Name
+		attrs[i].Name = binding + "." + attrs[i].Name
+	}
+	return NewSchema(attrs...)
+}
+
 // Rename returns a copy of the schema with one attribute renamed.
 func (s *Schema) Rename(from, to string) (*Schema, error) {
 	i := s.IndexOf(from)

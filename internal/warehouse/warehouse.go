@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/esql"
 	"repro/internal/exec"
@@ -39,6 +40,10 @@ type Warehouse struct {
 	// Synchronizer generates legal rewritings; its options (e.g. CVS-style
 	// drop-variant enumeration) may be tuned before applying changes.
 	Synchronizer *synchronize.Synchronizer
+	// Workers bounds the synchronization pipeline's worker pool. Zero (the
+	// default) means one worker per available CPU; one forces the
+	// sequential behavior of the original implementation.
+	Workers int
 
 	views map[string]*View
 	order []string
@@ -137,87 +142,143 @@ type SyncResult struct {
 	Deceased bool
 }
 
+// Snapshot is an immutable copy of the pre-change MKB statistics the
+// QC-Model needs: the advertised cardinality of every registered relation
+// at snapshot time. It is built once per ApplyChange and shared, read-only,
+// by every concurrent ranker, so rankings are insensitive to both MKB
+// evolution and scheduling order.
+type Snapshot struct {
+	cards map[string]int
+}
+
+// TakeSnapshot captures the current MKB cardinalities.
+func (w *Warehouse) TakeSnapshot() *Snapshot {
+	cards := make(map[string]int)
+	for _, info := range w.Space.MKB().Relations() {
+		cards[info.Ref.Rel] = info.Card
+	}
+	return &Snapshot{cards: cards}
+}
+
+// Card returns the snapshotted cardinality of rel (zero when unknown). A
+// nil snapshot reports every relation as unknown.
+func (s *Snapshot) Card(rel string) int {
+	if s == nil {
+		return 0
+	}
+	return s.cards[rel]
+}
+
+// cardMap exposes the underlying map for the estimator, which takes a
+// pre-change cardinality map. Callers must treat it as read-only.
+func (s *Snapshot) cardMap() map[string]int {
+	if s == nil {
+		return nil
+	}
+	return s.cards
+}
+
 // ApplyChange applies a capability change to the information space and
 // synchronizes every affected view: legal rewritings are generated, scored
 // by the QC-Model, and the best one replaces the view definition. Views
-// with no legal rewriting become deceased. The per-view pre-change extents
-// are used for exact quality measurement when available.
+// with no legal rewriting become deceased.
+//
+// The work is pipelined over a bounded worker pool (Workers goroutines,
+// default one per CPU) in two phases around the single base-change
+// application: first every live view synchronizes and ranks against the
+// pre-change MKB (reads only, sharing one immutable Snapshot), then every
+// affected view adopts its chosen rewriting against the post-change space
+// (each worker mutates only its own view). Results are always returned in
+// view registration order, independent of scheduling.
 func (w *Warehouse) ApplyChange(c space.Change) ([]SyncResult, error) {
-	// Snapshot pre-change state the quality model needs.
-	preCards := map[string]int{}
-	for _, info := range w.Space.MKB().Relations() {
-		preCards[info.Ref.Rel] = info.Card
-	}
 	// Synchronization and ranking run against the *pre-change* MKB: the
 	// PC constraints mentioning the deleted component are exactly what the
 	// quality estimator needs, and the MKB Evolver prunes them once the
 	// change lands.
+	snap := w.TakeSnapshot()
 	type pending struct {
 		v        *View
 		res      SyncResult
 		affected bool
 	}
-	var work []*pending
+	work := make([]*pending, 0, len(w.order))
 	for _, name := range w.order {
-		v := w.views[name]
-		if v.Deceased {
-			continue
+		if v := w.views[name]; !v.Deceased {
+			work = append(work, &pending{v: v, res: SyncResult{ViewName: v.Def.Name}})
 		}
-		p := &pending{v: v, res: SyncResult{ViewName: v.Def.Name}, affected: synchronize.Affected(v.Def, c)}
-		if p.affected {
-			rws, err := w.Synchronizer.Synchronize(v.Def, c)
-			if err != nil {
-				return nil, err
-			}
-			if len(rws) > 0 {
-				ranking, err := w.RankRewritings(v, rws, preCards)
-				if err != nil {
-					return nil, err
-				}
-				p.res.Ranking = ranking
-				p.res.Chosen = ranking.Best()
-			}
-		}
-		work = append(work, p)
 	}
 
+	// Phase 1: per-view synchronize + rank, concurrently over the shared
+	// pre-change state.
+	err := conc.ForEach(len(work), w.Workers, func(i int) error {
+		p := work[i]
+		p.affected = synchronize.Affected(p.v.Def, c)
+		if !p.affected {
+			return nil
+		}
+		rws, err := w.Synchronizer.Synchronize(p.v.Def, c)
+		if err != nil {
+			return err
+		}
+		if len(rws) == 0 {
+			return nil
+		}
+		ranking, err := w.RankRewritings(p.v, rws, snap)
+		if err != nil {
+			return err
+		}
+		p.res.Ranking = ranking
+		p.res.Chosen = ranking.Best()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The base change lands exactly once, between the two phases.
 	if err := w.Space.ApplyChange(c); err != nil {
 		return nil, err
 	}
 
-	var results []SyncResult
-	for _, p := range work {
+	// Phase 2: adopt or decease, concurrently — re-materialization reads
+	// the shared post-change space, but each worker writes only its view.
+	err = conc.ForEach(len(work), w.Workers, func(i int) error {
+		p := work[i]
 		if !p.affected {
-			results = append(results, p.res)
-			continue
+			return nil
 		}
 		if p.res.Chosen == nil {
 			p.v.Deceased = true
 			p.v.History = append(p.v.History, fmt.Sprintf("%s: no legal rewriting — view deceased", c))
 			p.res.Deceased = true
-			results = append(results, p.res)
-			continue
+			return nil
 		}
-		if err := w.adopt(p.v, p.res.Chosen.Rewriting, c); err != nil {
-			return nil, err
-		}
-		results = append(results, p.res)
+		return w.adopt(p.v, p.res.Chosen.Rewriting, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]SyncResult, len(work))
+	for i, p := range work {
+		results[i] = p.res
 	}
 	return results, nil
 }
 
 // RankRewritings scores a set of legal rewritings for a view using the
 // warehouse's trade-off parameters: extent sizes come from the analytic
-// estimator over pre-change cardinalities, cost scenarios from the actual
-// relation placement in the space.
-func (w *Warehouse) RankRewritings(v *View, rws []*synchronize.Rewriting, preCards map[string]int) (*core.Ranking, error) {
+// estimator over the snapshot's pre-change cardinalities, cost scenarios
+// from the actual relation placement in the space. It only reads shared
+// state, so concurrent rankers may share one snapshot.
+func (w *Warehouse) RankRewritings(v *View, rws []*synchronize.Rewriting, snap *Snapshot) (*core.Ranking, error) {
 	est := core.NewEstimator(w.Space.MKB())
 	cands := make([]*core.Candidate, 0, len(rws))
 	for _, rw := range rws {
 		cands = append(cands, &core.Candidate{
 			Rewriting: rw,
-			Sizes:     est.Sizes(v.Def, rw, preCards),
-			Scenario:  w.ScenarioFor(rw.View, preCards),
+			Sizes:     est.Sizes(v.Def, rw, snap.cardMap()),
+			Scenario:  w.ScenarioFor(rw.View, snap),
 		})
 	}
 	return core.Rank(v.Def, cands, w.Tradeoff, w.Cost)
@@ -227,8 +288,9 @@ func (w *Warehouse) RankRewritings(v *View, rws []*synchronize.Rewriting, preCar
 // relation placement across sources: the first FROM relation's site is
 // treated as the update origin (holding its co-located view relations as
 // n_1), remaining sites follow in FROM order. Cardinalities fall back to
-// preCards for relations the MKB no longer knows.
-func (w *Warehouse) ScenarioFor(def *esql.ViewDef, preCards map[string]int) core.UpdateScenario {
+// the snapshot for relations the MKB no longer knows; a nil snapshot is
+// allowed and reports unknown cardinalities as zero.
+func (w *Warehouse) ScenarioFor(def *esql.ViewDef, snap *Snapshot) core.UpdateScenario {
 	type site struct {
 		name string
 		rels []core.RelStats
@@ -236,7 +298,7 @@ func (w *Warehouse) ScenarioFor(def *esql.ViewDef, preCards map[string]int) core
 	var sites []*site
 	index := map[string]*site{}
 	statsOf := func(rel string) core.RelStats {
-		st := core.RelStats{Card: preCards[rel], TupleSize: 100, Selectivity: 1}
+		st := core.RelStats{Card: snap.Card(rel), TupleSize: 100, Selectivity: 1}
 		if info := w.Space.MKB().Relation(rel); info != nil {
 			st.Card = info.Card
 			st.TupleSize = info.Schema.TupleSize()
