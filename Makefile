@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet ci
+.PHONY: build test bench bench-wide vet doclint doc ci
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,26 @@ test:
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkEvaluate(Planned|Naive)|BenchmarkApplyChangePipeline' -benchtime=5x .
 
+# Rewriting-search benchmark: exhaustive enumerate-then-rank vs the pruned
+# top-K search on wide views. The exhaustive side is intentionally slow —
+# that is the point being measured.
+bench-wide:
+	$(GO) test -run='^$$' -bench=BenchmarkSynchronizeWide -benchtime=1x .
+
 vet:
 	$(GO) vet ./...
 
-ci: vet build test
+# Fail if any exported identifier in the root eve package or internal/...
+# lacks a doc comment, or any linted package lacks a package comment.
+doclint:
+	$(GO) run ./cmd/doclint
+
+# Serve godoc locally when the godoc tool is installed; otherwise fall back
+# to dumping the API documentation to the terminal.
+doc:
+	@command -v godoc >/dev/null 2>&1 && \
+		echo "godoc listening on http://localhost:6060/pkg/repro/" && godoc -http=:6060 || \
+		{ $(GO) doc -all .; for d in internal/*; do $(GO) doc -all ./$$d; done; }
+
+ci: vet doclint build test
 	$(GO) test -run='^$$' -bench=BenchmarkEvaluate -benchtime=1x ./...

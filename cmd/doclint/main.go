@@ -1,0 +1,203 @@
+// Command doclint is the repository's documentation linter: a small go
+// vet-style checker that fails (exit status 1) when the public API surface —
+// the root eve package and everything under internal/ — has an exported
+// identifier without a doc comment, or a package without a package comment.
+// It runs in CI (make doclint, the ci target, and the GitHub workflow) so
+// the documentation contract of ISSUE 2 cannot silently regress.
+//
+// Rules, intentionally close to the classic golint/revive "exported" rule:
+//
+//   - every linted package needs a package comment on exactly one file
+//     (by convention doc.go);
+//   - every exported function, and every exported method on an exported
+//     receiver type, needs a doc comment;
+//   - every exported type, const, and var needs a doc comment either on its
+//     own spec or on the enclosing declaration group (a documented
+//     const/var block documents its members).
+//
+// Test files are ignored.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dirs, err := lintDirs(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	var violations []string
+	for _, dir := range dirs {
+		v, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		fmt.Printf("doclint: %d undocumented exported identifier(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// lintDirs returns the module root (the eve package) plus every directory
+// under internal/ that contains Go files.
+func lintDirs(root string) ([]string, error) {
+	dirs := []string{root}
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		hasGo, err := containsGo(path)
+		if err != nil {
+			return err
+		}
+		if hasGo {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func containsGo(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// lintDir parses one directory (tests excluded) and reports its violations.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for name, pkg := range pkgs {
+		if name == "main" && dir == "." {
+			continue
+		}
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s should have a package comment", dir, name))
+		}
+		exportedTypes := map[string]bool{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.TYPE {
+					for _, spec := range gd.Specs {
+						ts := spec.(*ast.TypeSpec)
+						if ts.Name.IsExported() {
+							exportedTypes[ts.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				out = append(out, lintDecl(fset, decl, exportedTypes)...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// lintDecl reports the undocumented exported identifiers of one top-level
+// declaration.
+func lintDecl(fset *token.FileSet, decl ast.Decl, exportedTypes map[string]bool) []string {
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !exportedTypes[receiverTypeName(d.Recv)] {
+			return nil // method on an unexported type: not API surface
+		}
+		if d.Doc == nil {
+			kind := "function"
+			name := d.Name.Name
+			if d.Recv != nil {
+				kind = "method"
+				name = receiverTypeName(d.Recv) + "." + name
+			}
+			out = append(out, fmt.Sprintf("%s: exported %s %s should have a doc comment",
+				fset.Position(d.Pos()), kind, name))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					out = append(out, fmt.Sprintf("%s: exported type %s should have a doc comment",
+						fset.Position(s.Pos()), s.Name.Name))
+				}
+			case *ast.ValueSpec:
+				if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						out = append(out, fmt.Sprintf("%s: exported %s %s should have a doc comment",
+							fset.Position(s.Pos()), strings.ToLower(d.Tok.String()), n.Name))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverTypeName extracts the base type name of a method receiver.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -38,6 +38,29 @@
 // System.ApplyChange synchronizes affected views on a bounded worker pool
 // (System.Workers; default one worker per CPU) while always returning
 // results in view registration order.
+//
+// # Rewriting search
+//
+// Two search paths generate and rank a view's legal rewritings:
+//
+//   - Exhaustive (the default, System.TopK == 0): every legal rewriting —
+//     including, when Synchronizer.EnumerateDropVariants is set, the
+//     CVS-style 2^width spectrum of drop-variants — is materialized, scored
+//     by the QC-Model, and sorted. This is the executable reference
+//     matching the paper's enumerate-then-rank presentation.
+//
+//   - Lazy top-K (System.TopK > 0): base rewritings are scored eagerly,
+//     and each base's drop-variant spectrum is streamed best-first and
+//     branch-and-bounded against the running K-th best QC score, so
+//     variants that cannot enter the ranking are never built. On wide
+//     views (10–20 dispensable attributes) this is orders of magnitude
+//     faster while returning the same winner and the same top-K scores as
+//     the exhaustive path (a guarantee enforced by differential property
+//     tests; see internal/warehouse.SearchTopK for the argument).
+//
+//     sys.TopK = 5                                  // keep the 5 best rewritings per view
+//     sys.Synchronizer.EnumerateDropVariants = true // opt into the CVS spectrum
+//     results, _ := sys.ApplyChange(eve.DeleteRelation("R"))
 package eve
 
 import (

@@ -1,6 +1,3 @@
-// Package chart renders small ASCII bar and line charts for the experiment
-// drivers, so `cmd/experiments` can show the figures' shapes directly in a
-// terminal, not just their data tables.
 package chart
 
 import (

@@ -1,0 +1,9 @@
+// Package chart renders small ASCII bar and line charts for the experiment
+// drivers, so cmd/experiments can show the shapes of the paper's figures
+// (Figures 12–16) directly in a terminal, not just their data tables.
+//
+// Paper mapping: presentation layer for Section 7's evaluation artifacts.
+// The chart package knows nothing about the QC-Model; it receives labeled
+// float series from internal/experiments and lays them out with fixed-width
+// glyphs so output is stable across runs and diffable in golden tests.
+package chart

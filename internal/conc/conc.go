@@ -1,8 +1,3 @@
-// Package conc provides the minimal bounded-concurrency primitives the
-// warehouse's synchronization pipeline needs: an errgroup-style ForEach
-// that fans a fixed index range out over a worker pool. Keeping it local
-// avoids an external dependency while matching golang.org/x/sync/errgroup
-// semantics (first error wins, all workers drain before return).
 package conc
 
 import (

@@ -1,0 +1,12 @@
+// Package conc provides the minimal bounded-concurrency primitives the
+// warehouse's synchronization pipeline needs: an errgroup-style ForEach
+// that fans a fixed index range out over a worker pool. Keeping it local
+// avoids an external dependency while matching golang.org/x/sync/errgroup
+// semantics (first error wins, all workers drain before return).
+//
+// Paper mapping: none — the paper's EVE prototype is sequential. This
+// package exists for the reproduction's production goals: ApplyChange
+// synchronizes and re-materializes many views concurrently (see
+// internal/warehouse), and ForEach is the scheduling substrate that keeps
+// that pipeline bounded and deterministic in its result order.
+package conc

@@ -59,23 +59,12 @@ func Rank(orig *esql.ViewDef, cands []*Candidate, t Tradeoff, cm CostModel) (*Ra
 	}
 	costs := make([]float64, len(cands))
 	for i, c := range cands {
-		c.DDAttr = DDAttr(orig, c.Rewriting.View, t)
-		c.DDExt = DDExt(c.Sizes, t)
-		c.DD = DD(c.DDAttr, c.DDExt, t)
-		c.Factors = cm.Factors(c.Scenario)
-		w := c.Workload
-		if w.Model == 0 {
-			w = Workload{Model: M4, U: 1}
-		}
-		c.Updates = w.Updates(c.Scenario)
-		c.RawCost = c.Factors.Scale(c.Updates).Total(t)
+		PrepareCandidate(orig, c, t, cm)
 		costs[i] = c.RawCost
 	}
-	for i, n := range NormalizeCosts(costs) {
-		cands[i].NormCost = n
-	}
+	norm := NewCostNormalizer(costs)
 	for _, c := range cands {
-		c.QC = clamp01(1 - (t.RhoQuality*c.DD + t.RhoCost*c.NormCost))
+		FinishCandidate(c, norm, t)
 	}
 	sorted := append([]*Candidate(nil), cands...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].QC > sorted[j].QC })

@@ -1,14 +1,3 @@
-// Package core implements the paper's primary contribution: the QC-Model,
-// an efficiency model that ranks non-equivalent legal rewritings of a view
-// by combining a quality measure (degree of divergence from the original
-// view, Section 5) with a cost measure (long-term incremental view
-// maintenance cost, Section 6) into a single score (Equation 26):
-//
-//	QC(Vi) = 1 − (ρ_quality·DD(Vi) + ρ_cost·COST*(Vi))
-//
-// All equations (12)–(26), the PC-constraint overlap estimator hooks, the
-// three cost factors CF_M / CF_T / CF_I/O (with Appendix A's I/O bounds),
-// and the workload models M1–M4 live here.
 package core
 
 import "fmt"

@@ -90,21 +90,10 @@ func NormalizeCosts(costs []float64) []float64 {
 	if len(costs) == 0 {
 		return nil
 	}
-	min, max := costs[0], costs[0]
-	for _, c := range costs[1:] {
-		if c < min {
-			min = c
-		}
-		if c > max {
-			max = c
-		}
-	}
+	n := NewCostNormalizer(costs)
 	out := make([]float64, len(costs))
-	if max == min {
-		return out
-	}
 	for i, c := range costs {
-		out[i] = clamp01((c - min) / (max - min))
+		out[i] = n.Normalize(c)
 	}
 	return out
 }

@@ -1,11 +1,3 @@
-// Package esql implements Evolvable SQL (E-SQL), the paper's extension of
-// SQL SELECT-FROM-WHERE with evolution preferences: per-attribute
-// dispensable/replaceable flags (AD, AR), per-condition flags (CD, CR),
-// per-relation flags (RD, RR), and the view-extent parameter VE.
-//
-// The package provides the AST (ViewDef and friends), a lexer and
-// recursive-descent parser for the surface syntax of Figure 2, and a printer
-// that round-trips through the parser.
 package esql
 
 import (

@@ -1,11 +1,3 @@
-// Package exec evaluates E-SQL view definitions against an information
-// space, producing materialized extents. It is the reproduction's Query
-// Executor component (Figure 1). Evaluation is a thin façade over
-// internal/plan: the view is qualified, compiled into a physical operator
-// tree (scan / filter / hash-join / project / dedup with MKB-driven join
-// ordering), and executed. The original ad-hoc left-to-right evaluator is
-// kept as EvaluateNaive, the reference implementation for differential
-// tests.
 package exec
 
 import (

@@ -1,8 +1,3 @@
-// Package experiments contains one driver per experiment in the paper's
-// Section 7, each regenerating the corresponding table or figure series
-// from the analytic QC-Model (and, where applicable, the maintenance
-// simulator). Every driver returns plain result structs plus a String
-// rendering matching the paper's layout.
 package experiments
 
 import (

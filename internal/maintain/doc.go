@@ -1,0 +1,15 @@
+// Package maintain executes the paper's incremental view maintenance
+// procedure (Algorithm 1, Section 6.1) against the simulated information
+// space, measuring the messages exchanged, bytes transferred, and I/O
+// operations actually incurred.
+//
+// It serves two purposes: keeping materialized view extents up to date
+// after base-data updates (the View Maintainer component of Figure 1), and
+// cross-validating the analytic cost model of internal/core — the measured
+// Metrics of a real update should track the closed-form CF_M / CF_T /
+// CF_I/O factors of Sections 6.2–6.4 under the same scenario.
+//
+// Paper mapping: Algorithm 1's site-by-site delta propagation, including
+// the update-originating source's local join (n_1) and the visit order the
+// cost factors assume.
+package maintain

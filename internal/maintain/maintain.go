@@ -1,9 +1,3 @@
-// Package maintain executes the paper's incremental view maintenance
-// procedure (Algorithm 1, Section 6.1) against the simulated information
-// space, measuring the messages exchanged, bytes transferred, and I/O
-// operations actually incurred. It serves two purposes: keeping
-// materialized view extents up to date after base-data updates, and
-// cross-validating the analytic cost model of internal/core.
 package maintain
 
 import (

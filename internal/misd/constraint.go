@@ -1,8 +1,3 @@
-// Package misd implements the paper's Model for Information Source
-// Description (Section 3.2): type-integrity constraints, join constraints,
-// and partial/complete (PC) constraints, together with the Meta Knowledge
-// Base (MKB) that stores them and the PC-constraint-based overlap estimator
-// of Section 5.4.3 (Figures 9 and 10).
 package misd
 
 import (

@@ -1,0 +1,23 @@
+// Package misd implements the paper's Model for Information Source
+// Description (Section 3.2): the constraint language the warehouse uses to
+// reason about autonomous sources, and the Meta Knowledge Base (MKB) that
+// stores it.
+//
+// Paper mapping:
+//
+//   - constraint.go — type-integrity constraints, join constraints
+//     JC(R1, R2) telling EVE how two relations combine meaningfully, and
+//     partial/complete (PC) constraints relating fragments of two
+//     relations by ⊆ / ≡ / ⊇ containment (Section 3.2).
+//   - mkb.go — the MKB registry: relation descriptions with advertised
+//     cardinalities, constraint storage and lookup (PCConstraints,
+//     PCBetween, JoinConstraintBetween), and MKB evolution when a
+//     capability change retires a relation or attribute.
+//   - closure.go — derivation of implied constraints (transitive PC
+//     chains), so substitution search sees constraints the sources never
+//     stated explicitly.
+//   - overlap.go — the PC-constraint-based overlap estimator of Section
+//     5.4.3 (Figures 9 and 10): |R ∩≈ T| bounds from the containment
+//     relation and both cardinalities, which internal/core's extent
+//     estimator plugs into DD_ext.
+package misd

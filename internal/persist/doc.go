@@ -1,0 +1,12 @@
+// Package persist serializes information spaces — sources, relations with
+// their extents, and the Meta Knowledge Base's constraints — to a JSON
+// document, so scenarios can be saved, shipped, and reloaded by the CLI
+// tools. The format is versioned and intentionally simple: one document
+// per space.
+//
+// Paper mapping: none directly; this is reproduction infrastructure. It
+// exists so the deterministic scenario generators (internal/scenario) and
+// hand-built spaces can be exchanged between the cmd/eve REPL, the
+// experiment drivers, and external tooling without re-running generation
+// code.
+package persist

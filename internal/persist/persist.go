@@ -1,8 +1,3 @@
-// Package persist serializes information spaces — sources, relations with
-// their extents, and the Meta Knowledge Base's constraints — to a JSON
-// document, so scenarios can be saved, shipped, and reloaded by the CLI
-// tools. The format is versioned and intentionally simple: one document per
-// space.
 package persist
 
 import (

@@ -1,0 +1,29 @@
+// Package plan compiles qualified E-SQL view definitions into explicit
+// physical operator trees and executes them. It replaces the executor's
+// original ad-hoc left-to-right loop with a real (if small) planner:
+//
+//   - Scan      — base relation access with zero-copy column re-binding
+//     (Relation.Rebind + Schema.Qualify instead of a full tuple copy)
+//   - Filter    — pushed-down predicates, compiled to position-bound
+//     closures (relation.Bind) at plan time
+//   - HashJoin  — composite-key hash join for equi-join clauses, with any
+//     non-equi clauses over the same pair applied as a residual
+//   - NestedLoop — fallback for joins with no usable equi-key
+//   - Project   — projection and renaming to the view interface
+//   - Dedup     — set-semantics duplicate elimination at the plan root
+//
+// Join order is chosen by a greedy heuristic over MKB cardinalities: the
+// smallest estimated input is placed first, and each step prefers a
+// relation connected to the bound set by an equi-join clause (avoiding
+// cross products) before falling back to the smallest remaining input.
+//
+// Intermediate results are plain tuple slices — duplicates are only
+// eliminated once, at the Dedup root, which the set semantics of the final
+// extent makes equivalent to the naive path's per-operator dedup.
+//
+// Paper mapping: the paper assumes set-semantics SELECT-FROM-WHERE
+// evaluation (Section 5.3) without prescribing an engine; this package is
+// the reproduction's engine, sized for the experiments' 10^3–10^4-tuple
+// relations but structured like a production planner so further operators
+// can slot in.
+package plan

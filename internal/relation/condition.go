@@ -103,6 +103,7 @@ func (True) Eval(*Schema, Tuple) (bool, error) { return true, nil }
 // Attrs returns nil.
 func (True) Attrs() []string { return nil }
 
+// String renders the condition as "TRUE".
 func (True) String() string { return "TRUE" }
 
 // Clause is one primitive clause: either <attr> θ <attr> or <attr> θ <value>.

@@ -1,12 +1,3 @@
-// Package relation implements the typed in-memory relational substrate the
-// EVE reproduction is built on: attribute types and values, schemas, tuples,
-// duplicate-free relations, and the algebra operators (select, project,
-// natural/theta join, and the "common subset of attributes" set operators
-// from Section 5.3 of the paper).
-//
-// The package is deliberately self-contained: it has no dependency on the
-// E-SQL layer or the meta-knowledge base, so it can be reused as a small
-// general-purpose relational engine.
 package relation
 
 import (

@@ -1,0 +1,19 @@
+// Package scenario builds the deterministic synthetic information spaces
+// the experiments and benchmarks run on.
+//
+// Paper mapping:
+//
+//   - scenario.go — the uniform n-relation space of Experiments 2/3/5
+//     (Table 1 parameters, Table 2 distributions) and the chain view over
+//     it, plus the distribution enumerators behind Table 2 and the
+//     grouped charts of Figure 14.
+//   - exp4.go — Experiment 4's substitute-cardinality space (Table 3,
+//     containment chain S1 ⊆ S2 ⊆ S3 = R2 ⊆ S4 ⊆ S5) and Experiment 1's
+//     replica space (Figure 12).
+//   - travel.go — the travel-agency space from the paper's introduction
+//     (Figure 4), used by the quickstart and maintenance examples.
+//   - wide.go — a reproduction addition beyond the paper: the wide-view
+//     stress scenario (10–20 dispensable attributes, several PC-related
+//     donors) whose 2^width drop-variant spectrum motivates the lazy,
+//     cost-bounded top-K rewriting search in internal/warehouse.
+package scenario

@@ -1,8 +1,3 @@
-// Package scenario builds the deterministic synthetic information spaces
-// the experiments run on: the uniform 6-relation space of Experiments 2/3/5
-// (Table 1 parameters, Table 2 distributions), the substitute-cardinality
-// space of Experiment 4 (Table 3), the replica space of Experiment 1, and
-// the travel-agency space from the paper's introduction.
 package scenario
 
 import (

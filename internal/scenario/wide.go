@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/esql"
+	"repro/internal/misd"
+	"repro/internal/relation"
+	"repro/internal/space"
+)
+
+// WideSpace builds the wide-view stress scenario for the rewriting search:
+// an anchor relation RA(K, X) at IS0, the wide relation W0(K, A1..Awidth) at
+// IS1, and `donors` full substitutes D1..Dn at separate sources, each
+// PC-related to W0 over every attribute with alternating containment
+// (subset / equal / superset) and a distinct cardinality. Deleting W0 then
+// yields one substitution base per donor, and a view selecting all of
+// A1..Awidth carries a 2^width drop-variant spectrum per base — the
+// worst case the lazy top-K search exists to avoid materializing.
+//
+// Relations are registered with advertised cardinalities only (no tuples):
+// the search and the QC ranking are purely analytic, and populating
+// thousands of wide tuples would dominate benchmark setup.
+func WideSpace(width, donors int) (*space.Space, error) {
+	if width < 1 || donors < 1 {
+		return nil, fmt.Errorf("scenario: WideSpace needs width >= 1 and donors >= 1, got %d/%d", width, donors)
+	}
+	sp := space.New()
+	mkb := sp.MKB()
+	mkb.DefaultJoinSelectivity = 0.005
+	mkb.DefaultSelectivity = 0.5
+
+	wideAttrs := func() []relation.Attribute {
+		attrs := []relation.Attribute{{Name: "K", Type: relation.TypeInt, Size: 20}}
+		for i := 1; i <= width; i++ {
+			attrs = append(attrs, relation.Attribute{
+				Name: fmt.Sprintf("A%d", i), Type: relation.TypeInt, Size: 20,
+			})
+		}
+		return attrs
+	}
+
+	if _, err := sp.AddSource("IS0"); err != nil {
+		return nil, err
+	}
+	ra := relation.New("RA", relation.NewSchema(
+		relation.Attribute{Name: "K", Type: relation.TypeInt, Size: 20},
+		relation.Attribute{Name: "X", Type: relation.TypeInt, Size: 80},
+	))
+	if err := sp.AddRelation("IS0", ra); err != nil {
+		return nil, err
+	}
+	mkb.SetCard("RA", 400)
+
+	if _, err := sp.AddSource("IS1"); err != nil {
+		return nil, err
+	}
+	w0 := relation.New("W0", relation.NewSchema(wideAttrs()...))
+	if err := sp.AddRelation("IS1", w0); err != nil {
+		return nil, err
+	}
+	mkb.SetCard("W0", 1000)
+
+	allAttrs := make([]string, 0, width+1)
+	allAttrs = append(allAttrs, "K")
+	for i := 1; i <= width; i++ {
+		allAttrs = append(allAttrs, fmt.Sprintf("A%d", i))
+	}
+	containments := []misd.Rel{misd.Superset, misd.Equal, misd.Subset}
+	for d := 1; d <= donors; d++ {
+		src := fmt.Sprintf("IS%d", d+1)
+		if _, err := sp.AddSource(src); err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("D%d", d)
+		rel := relation.New(name, relation.NewSchema(wideAttrs()...))
+		if err := sp.AddRelation(src, rel); err != nil {
+			return nil, err
+		}
+		mkb.SetCard(name, 1000+500*d)
+		if err := mkb.AddPCConstraint(misd.PCConstraint{
+			Left:  misd.Fragment{Rel: misd.RelRef{Rel: "W0"}, Attrs: allAttrs},
+			Right: misd.Fragment{Rel: misd.RelRef{Rel: name}, Attrs: allAttrs},
+			Rel:   containments[(d-1)%len(containments)],
+		}); err != nil {
+			return nil, err
+		}
+		if err := mkb.AddJoinConstraint(misd.JoinConstraint{
+			R1:      misd.RelRef{Rel: "RA"},
+			R2:      misd.RelRef{Rel: name},
+			Clauses: []misd.JoinClause{{Attr1: "K", Op: relation.OpEQ, Attr2: "K"}},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := mkb.AddJoinConstraint(misd.JoinConstraint{
+		R1:      misd.RelRef{Rel: "RA"},
+		R2:      misd.RelRef{Rel: "W0"},
+		Clauses: []misd.JoinClause{{Attr1: "K", Op: relation.OpEQ, Attr2: "K"}},
+	}); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// WideView builds the view the wide scenario stresses: it joins the anchor
+// to W0 and exposes W0's key (indispensable, replaceable) plus all of
+// A1..Awidth as dispensable, replaceable columns — width droppable
+// components, so CVS-style drop-variant enumeration is 2^width per base
+// rewriting.
+func WideView(width int) *esql.ViewDef {
+	v := &esql.ViewDef{
+		Name:   "VWide",
+		Extent: esql.ExtentAny,
+		Select: []esql.SelectItem{
+			{Attr: esql.AttrRef{Rel: "W0", Attr: "K"}, Replaceable: true},
+		},
+		From: []esql.FromItem{
+			{Rel: "RA"},
+			{Rel: "W0", Replaceable: true},
+		},
+		Where: []esql.CondItem{
+			{Clause: esql.Clause{
+				Left:  esql.AttrRef{Rel: "RA", Attr: "K"},
+				Op:    relation.OpEQ,
+				Right: esql.AttrRef{Rel: "W0", Attr: "K"},
+			}, Replaceable: true},
+		},
+	}
+	for i := 1; i <= width; i++ {
+		v.Select = append(v.Select, esql.SelectItem{
+			Attr:        esql.AttrRef{Rel: "W0", Attr: fmt.Sprintf("A%d", i)},
+			Dispensable: true,
+			Replaceable: true,
+		})
+	}
+	return v
+}

@@ -1,9 +1,3 @@
-// Package space simulates the paper's information space: a set of
-// autonomous, semi-cooperative information sources (ISs) holding base
-// relations, which notify the warehouse of data updates and capability
-// (schema) changes. The simulator is in-process but preserves the paper's
-// distribution model — every relation lives at exactly one source, and all
-// cross-source data movement is accounted by the maintenance layer.
 package space
 
 import (

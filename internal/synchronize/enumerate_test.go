@@ -1,0 +1,240 @@
+package synchronize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/esql"
+	"repro/internal/space"
+)
+
+// variantBase builds a standalone base rewriting with one indispensable and
+// n dispensable SELECT items over a single relation.
+func variantBase(nDroppable int) *Rewriting {
+	v := &esql.ViewDef{
+		Name:   "V",
+		Extent: esql.ExtentAny,
+		Select: []esql.SelectItem{
+			{Attr: esql.AttrRef{Rel: "R", Attr: "K"}, Replaceable: true},
+		},
+		From: []esql.FromItem{{Rel: "R"}},
+	}
+	attrs := []string{"A", "B", "C", "D", "E", "F"}
+	for i := 0; i < nDroppable; i++ {
+		v.Select = append(v.Select, esql.SelectItem{
+			Attr:        esql.AttrRef{Rel: "R", Attr: attrs[i]},
+			Dispensable: true,
+			Replaceable: i%2 == 0,
+		})
+	}
+	return &Rewriting{View: v, Replacements: map[string]string{}, Note: "base"}
+}
+
+// weightOf recomputes the dropped weight of a variant under a weight map
+// keyed by attribute name.
+func weightOf(base *Rewriting, variant *Rewriting, w map[string]float64) float64 {
+	kept := map[string]bool{}
+	for _, s := range variant.View.Select {
+		kept[s.Attr.Attr] = true
+	}
+	total := 0.0
+	for _, s := range base.View.Select {
+		if !kept[s.Attr.Attr] {
+			total += w[s.Attr.Attr]
+		}
+	}
+	return total
+}
+
+// TestVariantIteratorCompleteAndOrdered: the iterator yields every nonempty
+// subset of the droppable items exactly once, in nondecreasing dropped
+// weight, and PeekWeight tracks the stream.
+func TestVariantIteratorCompleteAndOrdered(t *testing.T) {
+	weights := map[string]float64{"A": 0.7, "B": 0.3, "C": 0.7, "D": 0.1}
+	sy := &Synchronizer{
+		MaxDropVariants: 1 << 20,
+		VariantWeight:   func(s esql.SelectItem) float64 { return weights[s.Attr.Attr] },
+	}
+	base := variantBase(4)
+	it := sy.Variants(base)
+	var got []*Rewriting
+	prev := math.Inf(-1)
+	seen := map[string]bool{}
+	for {
+		peek, ok := it.PeekWeight()
+		if !ok {
+			break
+		}
+		variant, ok := it.Next()
+		if !ok {
+			break
+		}
+		w := weightOf(base, variant, weights)
+		if peek > w+1e-12 {
+			t.Fatalf("PeekWeight %g exceeds the emitted variant's weight %g", peek, w)
+		}
+		if w < prev-1e-12 {
+			t.Fatalf("weights not nondecreasing: %g after %g", w, prev)
+		}
+		prev = w
+		sig := variant.View.Signature()
+		if seen[sig] {
+			t.Fatalf("duplicate variant %s", sig)
+		}
+		seen[sig] = true
+		got = append(got, variant)
+	}
+	if want := 1<<4 - 1; len(got) != want {
+		t.Fatalf("expected %d variants, got %d", want, len(got))
+	}
+	for _, variant := range got {
+		if err := variant.View.Validate(); err != nil {
+			t.Fatalf("invalid variant: %v", err)
+		}
+	}
+}
+
+// TestVariantIteratorCapKeepsLightest: with MaxDropVariants = 3 the stream
+// is exactly the three lightest subsets.
+func TestVariantIteratorCapKeepsLightest(t *testing.T) {
+	weights := map[string]float64{"A": 0.5, "B": 0.2, "C": 0.9}
+	sy := &Synchronizer{
+		MaxDropVariants: 3,
+		VariantWeight:   func(s esql.SelectItem) float64 { return weights[s.Attr.Attr] },
+	}
+	base := variantBase(3)
+	it := sy.Variants(base)
+	var ws []float64
+	for {
+		variant, ok := it.Next()
+		if !ok {
+			break
+		}
+		ws = append(ws, weightOf(base, variant, weights))
+	}
+	// Subset weights: B=0.2, A=0.5, A+B=0.7, C=0.9, ... — lightest three.
+	want := []float64{0.2, 0.5, 0.7}
+	if len(ws) != len(want) {
+		t.Fatalf("expected %d variants, got %d (%v)", len(want), len(ws), ws)
+	}
+	for i := range want {
+		if math.Abs(ws[i]-want[i]) > 1e-12 {
+			t.Fatalf("variant %d weight %g, want %g", i, ws[i], want[i])
+		}
+	}
+}
+
+// TestVariantIteratorAllDroppableExcludesFullDrop: when every SELECT item is
+// droppable, the subset dropping everything is skipped (it would empty the
+// interface), matching the exhaustive guard.
+func TestVariantIteratorAllDroppable(t *testing.T) {
+	base := variantBase(3)
+	base.View.Select = base.View.Select[1:] // remove the indispensable key
+	sy := &Synchronizer{MaxDropVariants: 1 << 20}
+	it := sy.Variants(base)
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if want := 1<<3 - 2; n != want { // all nonempty proper subsets
+		t.Fatalf("expected %d variants, got %d", want, n)
+	}
+}
+
+// TestUnaffectedViewGetsNoVariants: the drop-variant spectrum only applies
+// to rewritings forced by an actual change — an unaffected view must yield
+// exactly its identity rewriting even with EnumerateDropVariants set
+// (regression: expanding the identity both violates Synchronize's contract
+// and costs 2^width on wide views for a no-op change).
+func TestUnaffectedViewGetsNoVariants(t *testing.T) {
+	sy := New(testMKB(t))
+	sy.EnumerateDropVariants = true
+	v := &esql.ViewDef{
+		Name:   "V",
+		Extent: esql.ExtentAny,
+		Select: []esql.SelectItem{
+			selItem("R", "A", true, true),
+			selItem("R", "B", true, false),
+		},
+		From: []esql.FromItem{{Rel: "R", Replaceable: true}},
+	}
+	c := space.Change{Kind: space.DeleteRelation, Rel: "U"} // not referenced by v
+	rws, err := sy.Synchronize(v, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 || rws[0].Note != "unaffected" {
+		t.Fatalf("unaffected view must yield exactly the identity rewriting, got:\n%s", Describe(rws))
+	}
+	n := 0
+	for _, err := range sy.Enumerate(v, c) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("Enumerate yielded %d rewritings for an unaffected view", n)
+	}
+}
+
+// TestEnumerateMatchesSynchronize: the streaming enumerator yields exactly
+// the exhaustive Synchronize set (as signatures), and supports early stop.
+func TestEnumerateMatchesSynchronize(t *testing.T) {
+	sy := New(testMKB(t))
+	sy.EnumerateDropVariants = true
+	v := &esql.ViewDef{
+		Name:   "V",
+		Extent: esql.ExtentAny,
+		Select: []esql.SelectItem{
+			selItem("R", "A", true, true),
+			selItem("R", "B", true, false),
+		},
+		From: []esql.FromItem{{Rel: "R", Replaceable: true}},
+	}
+	c := space.Change{Kind: space.DeleteRelation, Rel: "R"}
+	exhaustive, err := sy.Synchronize(v, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, rw := range exhaustive {
+		want[rw.View.Signature()] = true
+	}
+	got := map[string]bool{}
+	for rw, err := range sy.Enumerate(v, c) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := rw.View.Signature()
+		if got[sig] {
+			t.Fatalf("Enumerate yielded duplicate %s", sig)
+		}
+		got[sig] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Enumerate yielded %d rewritings, Synchronize %d", len(got), len(want))
+	}
+	for sig := range want {
+		if !got[sig] {
+			t.Fatalf("Enumerate missed %s", sig)
+		}
+	}
+	// Early stop must not panic or error.
+	n := 0
+	for _, err := range sy.Enumerate(v, c) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 2 {
+			break
+		}
+	}
+	if n != 2 {
+		t.Fatalf("early stop pulled %d", n)
+	}
+}

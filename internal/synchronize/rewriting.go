@@ -1,13 +1,3 @@
-// Package synchronize implements view synchronization (Section 3.3): given
-// a capability change at an information source, it generates the set of
-// legal rewritings of every affected E-SQL view, using the constraints in
-// the Meta Knowledge Base to find replacements and the view's evolution
-// parameters to decide which components may be dropped or replaced.
-//
-// The generator covers the paper's SVS-style replacement search (whole
-// dropped relations replaced through PC constraints; dispensable components
-// dropped) and the spectrum of additional rewritings CVS enumerates by
-// dropping proper subsets of dispensable components.
 package synchronize
 
 import (
@@ -96,8 +86,20 @@ type Synchronizer struct {
 	// preservation (footnote 2 of the paper) but exercise the ranking
 	// model, so experiments can opt in.
 	EnumerateDropVariants bool
-	// MaxDropVariants bounds the spectrum enumeration per base rewriting.
+	// MaxDropVariants bounds the spectrum enumeration per base rewriting:
+	// the cap keeps the MaxDropVariants lightest valid variants in the
+	// VariantWeight order. Zero disables the spectrum entirely.
 	MaxDropVariants int
+	// VariantWeight orders the drop-variant stream (see DropWeight). Nil
+	// means uniform: variants stream by number of dropped items. The
+	// warehouse installs the QC quality weight here so that the lazy top-K
+	// search's pruning bound is exact and the exhaustive and pruned paths
+	// enumerate the same capped universe. A custom weight must not
+	// overestimate the dropped item's QC quality weight (w1/w2 by
+	// category), or the top-K search's branch-and-bound becomes unsound;
+	// with a nil weight the search disables pruning and streams the whole
+	// capped universe instead.
+	VariantWeight DropWeight
 }
 
 // New creates a synchronizer over the given MKB.
@@ -149,32 +151,25 @@ func Affected(v *esql.ViewDef, c space.Change) bool {
 // FROM binding); use exec.Qualify first. An unaffected view yields a single
 // identity rewriting. An affected view with no legal rewriting yields an
 // empty slice — the view is "deceased" in the paper's Experiment 1 sense.
+//
+// This is the exhaustive enumerate-everything reference path: it collects
+// the whole Enumerate stream eagerly. The warehouse's top-K search consumes
+// BaseRewritings and Variants lazily instead, pruning the exponential
+// drop-variant spectrum against the running K-th best QC score.
 func (sy *Synchronizer) Synchronize(v *esql.ViewDef, c space.Change) ([]*Rewriting, error) {
-	if err := v.Validate(); err != nil {
-		return nil, err
+	var out []*Rewriting
+	for rw, err := range sy.Enumerate(v, c) {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rw)
 	}
-	if !Affected(v, c) {
-		return []*Rewriting{identity(v)}, nil
-	}
-	var rws []*Rewriting
-	var err error
-	switch c.Kind {
-	case space.DeleteRelation:
-		rws, err = sy.deleteRelation(v, c.Rel)
-	case space.DeleteAttribute:
-		rws, err = sy.deleteAttribute(v, c.Rel, c.Attr)
-	case space.RenameRelation:
-		rws, err = renameRelation(v, c.Rel, c.NewName)
-	case space.RenameAttribute:
-		rws, err = renameAttribute(v, c.Rel, c.Attr, c.NewName)
-	default:
-		return []*Rewriting{identity(v)}, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	rws = sy.expandDropVariants(rws)
-	return dedupe(rws), nil
+	// Enumerate already deduplicates; restore global signature order over
+	// bases and variants combined.
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].View.Signature() < out[j].View.Signature()
+	})
+	return out, nil
 }
 
 func identity(v *esql.ViewDef) *Rewriting {

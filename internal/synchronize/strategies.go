@@ -565,66 +565,21 @@ func rebind(v *esql.ViewDef, oldBinding, newBinding string) {
 	}
 }
 
-// expandDropVariants emits the CVS-style spectrum: for each base rewriting,
-// every variant obtained by additionally dropping a nonempty proper subset
-// of the remaining dispensable SELECT items (footnote 2). Disabled by
-// default since these are dominated in information preservation.
-func (sy *Synchronizer) expandDropVariants(in []*Rewriting) []*Rewriting {
-	if !sy.EnumerateDropVariants {
-		return in
-	}
-	out := append([]*Rewriting(nil), in...)
-	for _, base := range in {
-		var droppable []int
-		for i, s := range base.View.Select {
-			if s.Dispensable {
-				droppable = append(droppable, i)
-			}
-		}
-		if len(droppable) == 0 || len(droppable) == len(base.View.Select) && len(droppable) == 1 {
-			continue
-		}
-		n := len(droppable)
-		count := 0
-		for mask := 1; mask < (1 << n); mask++ {
-			if count >= sy.MaxDropVariants {
-				break
-			}
-			drop := map[int]bool{}
-			for b := 0; b < n; b++ {
-				if mask&(1<<b) != 0 {
-					drop[droppable[b]] = true
-				}
-			}
-			if len(drop) == len(base.View.Select) {
-				continue // would empty the interface
-			}
-			variant := base.Clone()
-			var keep []esql.SelectItem
-			for i, s := range variant.View.Select {
-				if drop[i] {
-					variant.DroppedAttrs = append(variant.DroppedAttrs, s.Attr.String())
-					continue
-				}
-				keep = append(keep, s)
-			}
-			variant.View.Select = keep
-			variant.Note = base.Note + fmtNote(" + drop %d dispensable attrs", len(drop))
-			if err := variant.View.Validate(); err != nil {
-				continue
-			}
-			out = append(out, variant)
-			count++
-		}
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].View.Signature() < out[j].View.Signature() })
-	return out
-}
-
-// Describe renders a short multi-line report of a rewriting set.
+// Describe renders a short multi-line report of a rewriting set. The report
+// is ordered by rewriting signature — not by the slice's order — so logs and
+// golden expectations stay byte-identical whichever enumeration path
+// (exhaustive or lazy top-K) produced the set.
 func Describe(rws []*Rewriting) string {
+	order := make([]int, len(rws))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return rws[order[a]].View.Signature() < rws[order[b]].View.Signature()
+	})
 	s := fmt.Sprintf("%d legal rewriting(s)\n", len(rws))
-	for i, r := range rws {
+	for i, idx := range order {
+		r := rws[idx]
 		s += fmt.Sprintf("[%d] extent=%s note=%s\n", i, r.Extent, r.Note)
 	}
 	return s

@@ -1,0 +1,25 @@
+// Package warehouse assembles the EVE system of Figure 1: the View
+// Knowledge Base (registered E-SQL views with materialized extents), the
+// Meta Knowledge Base (via the information space), the View Synchronizer,
+// the QC-Model ranker, and the View Maintainer. It is the engine behind
+// the repository's public API (the root eve package).
+//
+// Paper mapping and reproduction structure:
+//
+//   - warehouse.go — view registration and materialization, the
+//     ApplyChange pipeline (synchronize → rank → adopt, Section 3.3), and
+//     the pre-change Snapshot that keeps concurrent rankings deterministic.
+//   - topk.go — the lazy, cost-bounded top-K rewriting search: base
+//     rewritings are scored eagerly, drop-variant spectra are streamed
+//     best-first and branch-and-bounded against the K-th best QC score
+//     (core.VariantQCBound), and only the K best candidates are retained
+//     in a bounded heap. The TopK knob selects it; zero keeps the
+//     exhaustive enumerate-then-rank reference path, and the two agree on
+//     the winner and the top-K score sequence by construction (see
+//     SearchTopK).
+//
+// Concurrency model: ApplyChange pipelines per-view work over a bounded
+// worker pool (Workers) in two read-only/write-isolated phases around the
+// single base-change application; results always come back in view
+// registration order.
+package warehouse

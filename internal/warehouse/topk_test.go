@@ -1,0 +1,373 @@
+package warehouse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/esql"
+	"repro/internal/misd"
+	"repro/internal/relation"
+	"repro/internal/scenario"
+	"repro/internal/space"
+	"repro/internal/synchronize"
+)
+
+// exhaustiveTopK runs the reference enumerate-everything path and returns
+// its first k candidates.
+func exhaustiveTopK(t *testing.T, w *Warehouse, v *View, c space.Change, snap *Snapshot, k int) []*core.Candidate {
+	t.Helper()
+	rws, err := w.Synchronizer.Synchronize(v.Def, c)
+	if err != nil {
+		t.Fatalf("exhaustive synchronize: %v", err)
+	}
+	if len(rws) == 0 {
+		return nil
+	}
+	ranking, err := w.RankRewritings(v, rws, snap)
+	if err != nil {
+		t.Fatalf("exhaustive rank: %v", err)
+	}
+	if k > len(ranking.Candidates) {
+		k = len(ranking.Candidates)
+	}
+	return ranking.Candidates[:k]
+}
+
+// assertParity checks the pruned ranking against the exhaustive top-k:
+// same size, same winner score, and the same QC score sequence (which is
+// invariant under tie reordering at the cut).
+func assertParity(t *testing.T, label string, exhaustive []*core.Candidate, pruned *core.Ranking) {
+	t.Helper()
+	const eps = 1e-12
+	if len(pruned.Candidates) != len(exhaustive) {
+		t.Fatalf("%s: pruned returned %d candidates, exhaustive top-K has %d",
+			label, len(pruned.Candidates), len(exhaustive))
+	}
+	for i := range exhaustive {
+		if math.Abs(pruned.Candidates[i].QC-exhaustive[i].QC) > eps {
+			t.Fatalf("%s: rank %d QC mismatch: pruned %.15f vs exhaustive %.15f\npruned note: %s\nexhaustive note: %s",
+				label, i+1, pruned.Candidates[i].QC, exhaustive[i].QC,
+				pruned.Candidates[i].Rewriting.Note, exhaustive[i].Rewriting.Note)
+		}
+	}
+}
+
+// TestSearchTopKWideParity proves top-1/top-K parity between the pruned
+// search and exhaustive enumerate-then-rank on the wide-view scenario, both
+// with the MaxDropVariants cap binding and with the full 2^width spectrum.
+func TestSearchTopKWideParity(t *testing.T) {
+	for _, cfg := range []struct {
+		width, donors, maxVariants int
+	}{
+		{4, 1, 32},
+		{6, 3, 32},      // cap binds: 63 variants per base, 32 kept
+		{6, 2, 1 << 20}, // full spectrum
+		{8, 3, 1 << 20}, // full spectrum, 255 variants per base
+	} {
+		sp, err := scenario.WideSpace(cfg.width, cfg.donors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := New(sp)
+		w.Synchronizer.EnumerateDropVariants = true
+		w.Synchronizer.MaxDropVariants = cfg.maxVariants
+		v := &View{Def: scenario.WideView(cfg.width)}
+		c := space.Change{Kind: space.DeleteRelation, Rel: "W0"}
+		snap := w.TakeSnapshot()
+		for _, k := range []int{1, 2, 5, 16} {
+			label := fmt.Sprintf("width=%d donors=%d max=%d k=%d",
+				cfg.width, cfg.donors, cfg.maxVariants, k)
+			pruned, err := w.SearchTopK(v, c, snap, k)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			assertParity(t, label, exhaustiveTopK(t, w, v, c, snap, k), pruned)
+		}
+	}
+}
+
+// randomWarehouseSetup builds a random information space (relations with
+// random cardinalities, PC and join constraints), a random view over its
+// first relation, and a random applicable capability change — the
+// warehouse-level analogue of the synchronizer's fuzz generator.
+func randomWarehouseSetup(t *testing.T, rng *rand.Rand) (*Warehouse, *View, space.Change) {
+	t.Helper()
+	sp := space.New()
+	mkb := sp.MKB()
+	nRels := 2 + rng.Intn(4)
+	names := make([]string, nRels)
+	attrsOf := map[string][]string{}
+	for i := 0; i < nRels; i++ {
+		name := fmt.Sprintf("G%d", i)
+		names[i] = name
+		src := fmt.Sprintf("IS%d", i%3)
+		if sp.Source(src) == nil {
+			if _, err := sp.AddSource(src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nAttrs := 1 + rng.Intn(4)
+		attrs := make([]relation.Attribute, nAttrs)
+		attrNames := make([]string, nAttrs)
+		for j := range attrs {
+			attrNames[j] = fmt.Sprintf("A%d", j)
+			attrs[j] = relation.Attribute{Name: attrNames[j], Type: relation.TypeInt, Size: 25}
+		}
+		attrsOf[name] = attrNames
+		if err := sp.AddRelation(src, relation.New(name, relation.NewSchema(attrs...))); err != nil {
+			t.Fatal(err)
+		}
+		mkb.SetCard(name, 10+rng.Intn(1000))
+	}
+	for i := 0; i < nRels; i++ {
+		for j := 0; j < nRels; j++ {
+			if i == j || rng.Intn(3) != 0 {
+				continue
+			}
+			a, b := names[i], names[j]
+			k := len(attrsOf[a])
+			if len(attrsOf[b]) < k {
+				k = len(attrsOf[b])
+			}
+			if k == 0 {
+				continue
+			}
+			take := 1 + rng.Intn(k)
+			mkb.AddPCConstraint(misd.PCConstraint{ //nolint:errcheck
+				Left:  misd.Fragment{Rel: misd.RelRef{Rel: a}, Attrs: attrsOf[a][:take]},
+				Right: misd.Fragment{Rel: misd.RelRef{Rel: b}, Attrs: attrsOf[b][:take]},
+				Rel:   misd.Rel(rng.Intn(3)),
+			})
+		}
+	}
+	for i := 0; i+1 < nRels; i++ {
+		if rng.Intn(2) == 0 {
+			mkb.AddJoinConstraint(misd.JoinConstraint{ //nolint:errcheck
+				R1:      misd.RelRef{Rel: names[i]},
+				R2:      misd.RelRef{Rel: names[i+1]},
+				Clauses: []misd.JoinClause{{Attr1: "A0", Op: relation.OpEQ, Attr2: "A0"}},
+			})
+		}
+	}
+
+	target := names[0]
+	v := &esql.ViewDef{Name: "V", Extent: esql.ExtentParam(rng.Intn(4))}
+	v.From = append(v.From, esql.FromItem{
+		Rel:         target,
+		Dispensable: rng.Intn(2) == 0,
+		Replaceable: rng.Intn(2) == 0,
+	})
+	if nRels > 1 && rng.Intn(2) == 0 {
+		other := names[1]
+		v.From = append(v.From, esql.FromItem{Rel: other, Dispensable: true, Replaceable: true})
+		v.Select = append(v.Select, esql.SelectItem{
+			Attr:        esql.AttrRef{Rel: other, Attr: "A0"},
+			Alias:       "OtherA0",
+			Dispensable: true,
+			Replaceable: true,
+		})
+		v.Where = append(v.Where, esql.CondItem{
+			Clause: esql.Clause{
+				Left:  esql.AttrRef{Rel: target, Attr: "A0"},
+				Op:    relation.OpEQ,
+				Right: esql.AttrRef{Rel: other, Attr: "A0"},
+			},
+			Dispensable: rng.Intn(2) == 0,
+			Replaceable: rng.Intn(2) == 0,
+		})
+	}
+	for _, a := range attrsOf[target] {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		v.Select = append(v.Select, esql.SelectItem{
+			Attr:        esql.AttrRef{Rel: target, Attr: a},
+			Dispensable: rng.Intn(2) == 0,
+			Replaceable: rng.Intn(2) == 0,
+		})
+	}
+	if len(v.Select) == 0 {
+		v.Select = append(v.Select, esql.SelectItem{
+			Attr:        esql.AttrRef{Rel: target, Attr: "A0"},
+			Dispensable: true,
+			Replaceable: true,
+		})
+	}
+	seen := map[string]int{}
+	for i := range v.Select {
+		n := v.Select[i].OutputName()
+		if seen[n] > 0 {
+			v.Select[i].Alias = fmt.Sprintf("%s_%d", n, seen[n])
+		}
+		seen[n]++
+	}
+
+	var c space.Change
+	if rng.Intn(2) == 0 {
+		c = space.Change{Kind: space.DeleteRelation, Rel: target}
+	} else {
+		attrs := attrsOf[target]
+		c = space.Change{Kind: space.DeleteAttribute, Rel: target, Attr: attrs[rng.Intn(len(attrs))]}
+	}
+
+	w := New(sp)
+	w.Synchronizer.EnumerateDropVariants = true
+	return w, &View{Def: v}, c
+}
+
+// TestSearchTopKRandomParity is the differential property test of the
+// cost-bounded search: across randomized information spaces, views, and
+// capability changes, the pruned top-K search returns the same winner and
+// the same top-K QC score sequence (i.e. the same set modulo score ties) as
+// exhaustive enumeration followed by a full ranking.
+func TestSearchTopKRandomParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	for trial := 0; trial < 300; trial++ {
+		w, v, c := randomWarehouseSetup(t, rng)
+		if err := v.Def.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid generated view: %v", trial, err)
+		}
+		snap := w.TakeSnapshot()
+		k := 1 + rng.Intn(5)
+		pruned, err := w.SearchTopK(v, c, snap, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertParity(t, fmt.Sprintf("trial %d (k=%d, change %s)", trial, k, c),
+			exhaustiveTopK(t, w, v, c, snap, k), pruned)
+	}
+}
+
+// TestApplyChangeTopKAgreesWithExhaustive drives two identical warehouses
+// through the same capability change — one with the TopK knob, one on the
+// exhaustive path — and checks that both adopt rewritings with the same QC
+// score, and that deceased verdicts agree.
+func TestApplyChangeTopKAgreesWithExhaustive(t *testing.T) {
+	build := func(topK int) (*Warehouse, error) {
+		sp, err := scenario.WideSpace(6, 2)
+		if err != nil {
+			return nil, err
+		}
+		w := New(sp)
+		w.TopK = topK
+		w.Synchronizer.EnumerateDropVariants = true
+		if _, err := w.RegisterView(scenario.WideView(6)); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	exh, err := build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topk, err := build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := space.Change{Kind: space.DeleteRelation, Rel: "W0"}
+	exhRes, err := exh.ApplyChange(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topkRes, err := topk.ApplyChange(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exhRes) != 1 || len(topkRes) != 1 {
+		t.Fatalf("expected one result each, got %d and %d", len(exhRes), len(topkRes))
+	}
+	if exhRes[0].Deceased != topkRes[0].Deceased {
+		t.Fatalf("deceased verdicts disagree: %v vs %v", exhRes[0].Deceased, topkRes[0].Deceased)
+	}
+	if exhRes[0].Chosen == nil || topkRes[0].Chosen == nil {
+		t.Fatal("both paths should adopt a rewriting")
+	}
+	if math.Abs(exhRes[0].Chosen.QC-topkRes[0].Chosen.QC) > 1e-12 {
+		t.Fatalf("adopted QC disagree: exhaustive %.15f vs topK %.15f",
+			exhRes[0].Chosen.QC, topkRes[0].Chosen.QC)
+	}
+	if got := len(topkRes[0].Ranking.Candidates); got > 3 {
+		t.Fatalf("TopK=3 ranking holds %d candidates", got)
+	}
+}
+
+// TestSearchTopKNilVariantWeightStaysCorrect: replacing the warehouse's
+// synchronizer loses the installed quality weight (VariantWeight == nil, so
+// variants stream in uniform order, which overestimates quality weights
+// below 1). The search must then disable its pruning bound and still match
+// the exhaustive path run over the same synchronizer (regression: pruning
+// against an overestimating weight silently drops top-K members).
+func TestSearchTopKNilVariantWeightStaysCorrect(t *testing.T) {
+	sp, err := scenario.WideSpace(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New(sp)
+	w.Synchronizer = synchronize.New(sp.MKB()) // discards the quality weight
+	w.Synchronizer.EnumerateDropVariants = true
+	w.Synchronizer.MaxDropVariants = 1 << 20
+	v := &View{Def: scenario.WideView(6)}
+	c := space.Change{Kind: space.DeleteRelation, Rel: "W0"}
+	snap := w.TakeSnapshot()
+	for _, k := range []int{1, 3, 8} {
+		pruned, err := w.SearchTopK(v, c, snap, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertParity(t, fmt.Sprintf("nil weight k=%d", k), exhaustiveTopK(t, w, v, c, snap, k), pruned)
+	}
+}
+
+// TestSearchTopKUnaffectedView: an unaffected view yields exactly its
+// identity rewriting, with no drop-variant expansion.
+func TestSearchTopKUnaffectedView(t *testing.T) {
+	sp, err := scenario.WideSpace(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New(sp)
+	w.Synchronizer.EnumerateDropVariants = true
+	v := &View{Def: scenario.WideView(4)}
+	ranking, err := w.SearchTopK(v,
+		space.Change{Kind: space.DeleteRelation, Rel: "D1"}, w.TakeSnapshot(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranking.Candidates) != 1 || ranking.Candidates[0].Rewriting.Note != "unaffected" {
+		t.Fatalf("expected exactly the identity rewriting, got %d candidates", len(ranking.Candidates))
+	}
+}
+
+// TestSearchTopKDeceased: a view whose only relation disappears without any
+// PC replacement has no legal rewriting; the search must return an empty
+// ranking rather than inventing candidates.
+func TestSearchTopKDeceased(t *testing.T) {
+	sp := space.New()
+	if _, err := sp.AddSource("IS1"); err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New("R", relation.NewSchema(
+		relation.Attribute{Name: "A", Type: relation.TypeInt, Size: 50},
+	))
+	if err := sp.AddRelation("IS1", r); err != nil {
+		t.Fatal(err)
+	}
+	w := New(sp)
+	def := &esql.ViewDef{
+		Name:   "V",
+		Extent: esql.ExtentAny,
+		Select: []esql.SelectItem{{Attr: esql.AttrRef{Rel: "R", Attr: "A"}}},
+		From:   []esql.FromItem{{Rel: "R"}},
+	}
+	ranking, err := w.SearchTopK(&View{Def: def},
+		space.Change{Kind: space.DeleteRelation, Rel: "R"}, w.TakeSnapshot(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranking.Candidates) != 0 {
+		t.Fatalf("expected empty ranking, got %d candidates", len(ranking.Candidates))
+	}
+}

@@ -1,8 +1,3 @@
-// Package warehouse assembles the EVE system of Figure 1: the View
-// Knowledge Base (registered E-SQL views with materialized extents), the
-// Meta Knowledge Base (via the information space), the View Synchronizer,
-// the QC-Model ranker, and the View Maintainer. It is the engine behind the
-// repository's public API.
 package warehouse
 
 import (
@@ -44,6 +39,13 @@ type Warehouse struct {
 	// default) means one worker per available CPU; one forces the
 	// sequential behavior of the original implementation.
 	Workers int
+	// TopK, when positive, switches ApplyChange's ranking phase to the
+	// lazy, cost-bounded top-K rewriting search (SearchTopK): per affected
+	// view only the K best-scoring rewritings are retained, and the
+	// exponential drop-variant spectrum is branch-and-bounded against the
+	// running K-th best QC score instead of being materialized. Zero (the
+	// default) keeps the exhaustive enumerate-then-rank reference path.
+	TopK int
 
 	views map[string]*View
 	order []string
@@ -52,13 +54,19 @@ type Warehouse struct {
 // New creates a warehouse over an information space with the paper's
 // default parameters.
 func New(sp *space.Space) *Warehouse {
-	return &Warehouse{
+	w := &Warehouse{
 		Space:        sp,
 		Tradeoff:     core.DefaultTradeoff(),
 		Cost:         core.DefaultCostModel(),
 		Synchronizer: synchronize.New(sp.MKB()),
 		views:        make(map[string]*View),
 	}
+	// Order drop-variant enumeration by the QC quality weight of the
+	// dropped items (reading the warehouse's current Tradeoff), so the lazy
+	// top-K search's pruning bound is exact and the exhaustive and pruned
+	// paths agree on the capped variant universe.
+	w.Synchronizer.VariantWeight = w.qualityWeight
+	return w
 }
 
 // DefineView parses, qualifies, materializes, and registers an E-SQL view.
@@ -216,16 +224,12 @@ func (w *Warehouse) ApplyChange(c space.Change) ([]SyncResult, error) {
 		if !p.affected {
 			return nil
 		}
-		rws, err := w.Synchronizer.Synchronize(p.v.Def, c)
+		ranking, err := w.rankFor(p.v, c, snap)
 		if err != nil {
 			return err
 		}
-		if len(rws) == 0 {
+		if ranking == nil {
 			return nil
-		}
-		ranking, err := w.RankRewritings(p.v, rws, snap)
-		if err != nil {
-			return err
 		}
 		p.res.Ranking = ranking
 		p.res.Chosen = ranking.Best()
