@@ -1,12 +1,27 @@
 GO ?= go
 
-.PHONY: build test bench bench-wide vet doclint doc ci
+.PHONY: build test stress fuzz cover bench bench-wide bench-churn vet doclint doc ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# Dedicated race-detector stress pass: concurrent evolution sessions and
+# ApplyChange loops on independent warehouses.
+stress:
+	$(GO) test -race -run Stress ./...
+
+# Short native fuzzing pass over the E-SQL parser (the seed corpus always
+# runs as part of plain `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/esql
+
+# Coverage profile with a per-function summary; the total prints last.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 # Planner and pipeline micro-benchmarks (before/after comparison).
 bench:
@@ -17,6 +32,11 @@ bench:
 # that is the point being measured.
 bench-wide:
 	$(GO) test -run='^$$' -bench=BenchmarkSynchronizeWide -benchtime=1x .
+
+# Evolution-session benchmark: the cold per-change ApplyChange loop vs one
+# EvolveBatch over a scenario.Churn history (240 changes, 20 twin views).
+bench-churn:
+	$(GO) test -run='^$$' -bench=BenchmarkEvolveChurn -benchtime=3x .
 
 vet:
 	$(GO) vet ./...
@@ -33,5 +53,10 @@ doc:
 		echo "godoc listening on http://localhost:6060/pkg/repro/" && godoc -http=:6060 || \
 		{ $(GO) doc -all .; for d in internal/*; do $(GO) doc -all ./$$d; done; }
 
-ci: vet doclint build test
+# CI runs the race suite once, with the coverage profile folded in; the
+# dedicated stress step and the coverage summary reuse that single run.
+# `test` and `cover` stay standalone targets for local iteration.
+ci: vet doclint build stress
+	$(GO) test -race -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 	$(GO) test -run='^$$' -bench=BenchmarkEvaluate -benchtime=1x ./...

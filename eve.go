@@ -66,6 +66,7 @@ package eve
 import (
 	"repro/internal/core"
 	"repro/internal/esql"
+	"repro/internal/evolve"
 	"repro/internal/exec"
 	"repro/internal/maintain"
 	"repro/internal/misd"
@@ -75,14 +76,49 @@ import (
 	"repro/internal/warehouse"
 )
 
+// System is the assembled EVE instance: information space + MKB + view
+// knowledge base + synchronizer + QC ranker + maintainer, plus the
+// evolution-session engine for batched change streams. The embedded
+// warehouse is the paper's Figure 1 system; Session and EvolveBatch expose
+// internal/evolve's amortized driver on top of it.
+type System struct {
+	*warehouse.Warehouse
+
+	session *evolve.Session
+}
+
+// Session returns the system's evolution session, creating it on first
+// use. The session persists across calls so its footprint index amortizes
+// over the system's whole change history; see evolve.Session for the
+// ownership contract.
+func (s *System) Session() *evolve.Session {
+	if s.session == nil {
+		s.session = evolve.NewSession(s.Warehouse)
+	}
+	return s.session
+}
+
+// EvolveBatch applies a stream of capability changes through the evolution
+// session: changes whose footprint misses every live view skip the
+// synchronization pipeline, rewriting searches are memoized across
+// structurally identical views, and compatible consecutive changes
+// coalesce into a single synchronize→rank→adopt pass. The outcome is
+// identical to calling ApplyChange once per change (the step-by-step
+// reference the differential tests replay); only the work is smaller.
+func (s *System) EvolveBatch(changes []Change) ([]evolve.StepResult, error) {
+	return s.Session().EvolveBatch(changes)
+}
+
 // Re-exported core types. The internal packages remain the source of truth;
 // these aliases give library users one import path.
 type (
-	// System is the assembled EVE instance: information space + MKB +
-	// view knowledge base + synchronizer + QC ranker + maintainer.
-	System = warehouse.Warehouse
 	// View is a registered materialized view.
 	View = warehouse.View
+	// StepResult reports one change of an evolution batch.
+	StepResult = evolve.StepResult
+	// EvolveSession is the evolution-session engine driving a system
+	// through batched change streams (System.Session).
+	EvolveSession = evolve.Session
 	// SyncResult reports one view's outcome for a capability change.
 	SyncResult = warehouse.SyncResult
 
@@ -186,11 +222,11 @@ const (
 
 // NewSystem creates an EVE system over a fresh information space with the
 // paper's default trade-off parameters and cost model.
-func NewSystem() *System { return warehouse.New(space.New()) }
+func NewSystem() *System { return &System{Warehouse: warehouse.New(space.New())} }
 
 // NewSystemOver creates an EVE system over an existing information space
 // (e.g. one built by a scenario generator).
-func NewSystemOver(sp *Space) *System { return warehouse.New(sp) }
+func NewSystemOver(sp *Space) *System { return &System{Warehouse: warehouse.New(sp)} }
 
 // NewSpace creates an empty information space with its MKB.
 func NewSpace() *Space { return space.New() }

@@ -152,7 +152,10 @@ func (c Clause) String() string {
 		return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
 	}
 	if c.Const.Type() == relation.TypeString {
-		return fmt.Sprintf("%s %s '%s'", c.Left, c.Op, c.Const.Text())
+		// Embedded quotes are doubled, mirroring the lexer's '' escape, so
+		// printed clauses always re-parse (a property FuzzParse enforces).
+		escaped := strings.ReplaceAll(c.Const.Text(), "'", "''")
+		return fmt.Sprintf("%s %s '%s'", c.Left, c.Op, escaped)
 	}
 	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Const.Text())
 }

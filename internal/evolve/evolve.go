@@ -1,0 +1,303 @@
+package evolve
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/conc"
+	"repro/internal/core"
+	"repro/internal/esql"
+	"repro/internal/space"
+	"repro/internal/warehouse"
+)
+
+// Session drives one warehouse through a stream of capability changes with
+// footprint skipping, memoized rewriting search, and change coalescing (see
+// the package comment). A session assumes it is the warehouse's evolution
+// driver: apply changes through Evolve/EvolveBatch while it is active. Like
+// the warehouse itself, a session is not safe for concurrent use;
+// independent warehouses with independent sessions may run in parallel.
+type Session struct {
+	w *warehouse.Warehouse
+	// index maps a relation name to the set of live views whose FROM
+	// references it — the inverted footprint index behind skip decisions.
+	// viewEpoch is the warehouse.ViewEpoch the index was built against; the
+	// index is rebuilt only when the epoch moves, so an Evolve-per-change
+	// streaming driver does not pay an O(views) rebuild on changes that
+	// left the registry untouched.
+	index     map[string]map[*warehouse.View]bool
+	viewEpoch uint64
+
+	stats Stats
+}
+
+// Stats counts what the session saved relative to the cold per-change loop.
+type Stats struct {
+	// Changes is the number of capability changes applied.
+	Changes int
+	// Groups is the number of coalesced synchronize→rank→adopt passes
+	// actually run. Skip-only groups — every change footprint-missed all
+	// views — land on the space without a pass and are not counted.
+	Groups int
+	// Skipped counts changes whose footprint missed every live view, which
+	// therefore bypassed the synchronization pipeline entirely.
+	Skipped int
+	// Searches counts deduplicated rewriting searches actually run — one
+	// per distinct (view-signature, change) key per pass.
+	Searches int
+	// SearchesShared counts per-view searches avoided because a
+	// structurally identical view's result was reused within one pass.
+	SearchesShared int
+}
+
+// StepResult reports one change of an evolution batch: the per-view
+// outcomes for exactly the views the change affected, in view registration
+// order. Unaffected views are omitted — warehouse.ApplyChange reports them
+// as empty SyncResult rows, and a session exists to not visit them at all.
+type StepResult struct {
+	Change  space.Change
+	Results []warehouse.SyncResult
+}
+
+// NewSession creates an evolution session over the warehouse. Create one
+// session per warehouse and keep it — the footprint index amortizes over
+// the warehouse's whole change history and is refreshed whenever the
+// warehouse's view registry moves (warehouse.ViewEpoch), so views
+// registered between batches and changes applied around the session are
+// both picked up at the next batch boundary.
+func NewSession(w *warehouse.Warehouse) *Session {
+	s := &Session{w: w}
+	s.reindex()
+	return s
+}
+
+// Warehouse returns the warehouse the session drives.
+func (s *Session) Warehouse() *warehouse.Warehouse { return s.w }
+
+// Stats returns the session's amortization counters.
+func (s *Session) Stats() Stats { return s.stats }
+
+// reindex rebuilds the relation→views footprint index from the live views
+// and records the registry epoch it reflects.
+func (s *Session) reindex() {
+	s.index = make(map[string]map[*warehouse.View]bool)
+	for _, v := range s.w.Live() {
+		for _, f := range v.Def.From {
+			set := s.index[f.Rel]
+			if set == nil {
+				set = make(map[*warehouse.View]bool)
+				s.index[f.Rel] = set
+			}
+			set[v] = true
+		}
+	}
+	s.viewEpoch = s.w.ViewEpoch()
+}
+
+// changeKey canonicalizes a capability change for search keying. All four
+// discriminating fields participate; the separators cannot occur in
+// relation or attribute names.
+func changeKey(c space.Change) string {
+	return fmt.Sprintf("%d\x1f%s\x1f%s\x1f%s", c.Kind, c.Rel, c.Attr, c.NewName)
+}
+
+// searchKey keys a rewriting search by the view's structural signature and
+// the change. esql signatures deliberately exclude the view name, so
+// structurally identical twin views share one search within a pass. The
+// memo deliberately does not persist across passes: a key binds a search to
+// one concrete change, each change is processed exactly once, and once it
+// lands it cannot validly recur — so the memo's scope matches the lifetime
+// of the only state it is valid against, the pre-group snapshot.
+func searchKey(def *esql.ViewDef, c space.Change) string {
+	return def.Signature() + "\x1e" + changeKey(c)
+}
+
+// Evolve applies a single capability change through the session — the
+// streaming form of EvolveBatch for drivers that decide each change from
+// the previous outcome (experiments.RunExp1's adaptive walk).
+func (s *Session) Evolve(c space.Change) (StepResult, error) {
+	res, err := s.EvolveBatch([]space.Change{c})
+	if len(res) > 0 {
+		return res[0], err
+	}
+	return StepResult{Change: c}, err
+}
+
+// EvolveBatch applies a stream of capability changes in order and returns
+// one StepResult per change. Consecutive compatible changes (see
+// compatible) are coalesced into a single synchronize→rank→adopt pass; the
+// result is identical to feeding the changes one by one through
+// warehouse.ApplyChange — same surviving views, same adopted rewritings,
+// same QC scores — which the differential tests enforce over randomized
+// churn histories. On error the steps of every change that landed are
+// returned with the error and the batch stops; a change the space rejected
+// never lands, and neither does anything after it, so the warehouse is left
+// at the last landed change's consistent state (a rejection mid-group still
+// adopts/deceases for the group's earlier, landed changes).
+func (s *Session) EvolveBatch(changes []space.Change) ([]StepResult, error) {
+	if s.w.ViewEpoch() != s.viewEpoch {
+		s.reindex()
+	}
+	out := make([]StepResult, 0, len(changes))
+	for start := 0; start < len(changes); {
+		group := []*member{s.newMember(changes[start])}
+		for _, c := range changes[start+1:] {
+			m := s.newMember(c)
+			if !compatible(group, m) {
+				break
+			}
+			group = append(group, m)
+		}
+		res, err := s.processGroup(group)
+		out = append(out, res...)
+		if err != nil {
+			return out, err
+		}
+		start += len(group)
+	}
+	return out, nil
+}
+
+// unit is one (change, affected view) pair of a coalesced pass.
+type unit struct {
+	m    *member
+	v    *warehouse.View
+	task *task
+	res  warehouse.SyncResult
+}
+
+// task is one deduplicated rewriting search shared by every unit whose view
+// has the same structural signature under the same change.
+type task struct {
+	rep     *unit
+	ranking *core.Ranking
+}
+
+// processGroup runs one coalesced synchronize→rank→adopt pass: deduplicated
+// phase-1 rankings against the shared pre-group state, the base changes
+// landing in order, then a concurrent adopt/decease phase — the session
+// analogue of warehouse.ApplyChange's two phases around the change.
+func (s *Session) processGroup(group []*member) ([]StepResult, error) {
+	// Phase 1: one deduplicated search per distinct (signature, change).
+	var units []*unit
+	var searches []*task
+	taskOf := make(map[string]*task)
+	for _, m := range group {
+		for _, v := range m.affected {
+			u := &unit{m: m, v: v, res: warehouse.SyncResult{ViewName: v.Def.Name}}
+			key := searchKey(v.Def, m.c)
+			t := taskOf[key]
+			if t != nil {
+				s.stats.SearchesShared++
+			} else {
+				t = &task{rep: u}
+				taskOf[key] = t
+				searches = append(searches, t)
+				s.stats.Searches++
+			}
+			u.task = t
+			units = append(units, u)
+		}
+	}
+	if len(units) > 0 {
+		s.stats.Groups++
+	}
+	if len(searches) > 0 {
+		snap := s.w.TakeSnapshot()
+		err := conc.ForEach(len(searches), s.w.Workers, func(i int) error {
+			t := searches[i]
+			ranking, err := s.w.RankFor(t.rep.v, t.rep.m.c, snap)
+			if err != nil {
+				return err
+			}
+			t.ranking = ranking
+			return nil
+		})
+		if err != nil {
+			// No base change has landed yet: the warehouse is untouched,
+			// still at its pre-group state.
+			return nil, err
+		}
+	}
+
+	// The base changes land exactly once each, in stream order. A rejected
+	// change stops the group: everything before it landed and proceeds to
+	// phase 2, the rejected change and everything after it never land.
+	landed := 0
+	var landErr error
+	for _, m := range group {
+		if err := s.w.Space.ApplyChange(m.c); err != nil {
+			landErr = err
+			break
+		}
+		landed++
+		s.stats.Changes++
+		if len(m.affected) == 0 {
+			s.stats.Skipped++
+		}
+	}
+
+	results, err := s.finish(group[:landed], units)
+	if landErr != nil {
+		// An adopt failure in the landed prefix must surface alongside the
+		// rejection — neither error may mask the other.
+		return results, errors.Join(err, landErr)
+	}
+	return results, err
+}
+
+// finish runs phase 2 for the landed prefix of a group — adopt or decease
+// concurrently, each worker writing only its own view against the shared
+// post-group space — then prunes dead views, refreshes the footprint index,
+// and assembles per-change results. Units of changes that never landed are
+// discarded: their phase-1 rankings were computed but must not be adopted.
+func (s *Session) finish(landed []*member, units []*unit) ([]StepResult, error) {
+	in := make(map[*member]bool, len(landed))
+	for _, m := range landed {
+		in[m] = true
+	}
+	live := units[:0]
+	for _, u := range units {
+		if in[u.m] {
+			live = append(live, u)
+		}
+	}
+	err := conc.ForEach(len(live), s.w.Workers, func(i int) error {
+		u := live[i]
+		ranking := u.task.ranking
+		if ranking == nil || len(ranking.Candidates) == 0 {
+			s.w.MarkDeceased(u.v, u.m.c)
+			u.res.Deceased = true
+			return nil
+		}
+		u.res.Ranking = ranking
+		chosen := ranking.Best()
+		if err := s.w.AdoptRewriting(u.v, chosen.Rewriting, u.m.c); err != nil {
+			return err
+		}
+		// Chosen is only reported once the adoption actually took effect,
+		// so an errored step cannot claim a rewriting the view never got.
+		u.res.Chosen = chosen
+		return nil
+	})
+	// Even on an adopt error, prune and reindex so ViewNames/LiveViews stay
+	// consistent with whatever the workers managed to commit. A pass with
+	// no units marked nothing deceased and adopted nothing, so the index
+	// and registry are untouched.
+	if len(live) > 0 {
+		s.w.PruneDeceased()
+		s.reindex()
+	}
+
+	results := make([]StepResult, 0, len(landed))
+	for _, m := range landed {
+		step := StepResult{Change: m.c}
+		for _, u := range live {
+			if u.m == m {
+				step.Results = append(step.Results, u.res)
+			}
+		}
+		results = append(results, step)
+	}
+	return results, err
+}

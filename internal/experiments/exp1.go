@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/evolve"
 	"repro/internal/scenario"
 	"repro/internal/space"
 	"repro/internal/synchronize"
@@ -73,13 +74,20 @@ func runExp1Case(w1, w2 float64) (Exp1Outcome, error) {
 		return out, err
 	}
 
+	// The survival walk is adaptive — each change targets whatever relation
+	// the view rewrote onto — so it streams single changes through an
+	// evolution session (evolve.Session) rather than batching upfront. The
+	// session is the amortized driver the Exp1-at-scale benchmark uses; on
+	// this three-step walk it simply reproduces the reference loop's
+	// outcomes (a guarantee the differential tests in internal/evolve pin).
+	sess := evolve.NewSession(wh)
 	apply := func(c space.Change) error {
-		results, err := wh.ApplyChange(c)
+		res, err := sess.Evolve(c)
 		if err != nil {
 			return err
 		}
 		step := Exp1Step{Change: c.String(), Survived: !v.Deceased}
-		for _, r := range results {
+		for _, r := range res.Results {
 			if r.Ranking != nil {
 				step.NumLegal = len(r.Ranking.Candidates)
 			}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// update regenerates the golden files from the current implementation:
+//
+//	go test ./internal/experiments -run Golden -update
+//
+// Review the diff before committing — these files are the pinned renderings
+// of the paper's experiment reports, and an unintended change here is
+// exactly the regression this test exists to catch.
+var update = flag.Bool("update", false, "rewrite testdata/*.golden from current output")
+
+// goldenCompare checks got against testdata/<name>.golden, rewriting the
+// file under -update.
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output changed; run with -update if intended.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenExp1 pins the Figure 12 survival report — including that the
+// evolution-session driver behind RunExp1 reproduces the reference loop's
+// steps, choices, and life spans byte for byte.
+func TestGoldenExp1(t *testing.T) {
+	res, err := RunExp1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "exp1", res.String())
+}
+
+// TestGoldenExp2 pins the Figure 13 cost-factor table.
+func TestGoldenExp2(t *testing.T) {
+	res := RunExp2(scenario.DefaultParams(), core.DefaultCostModel())
+	goldenCompare(t, "exp2", res.String())
+}
+
+// TestGoldenExp3 pins the Figure 14 distribution table at the default js.
+func TestGoldenExp3(t *testing.T) {
+	res := RunExp3(scenario.DefaultParams(), 0.005, core.DefaultCostModel())
+	goldenCompare(t, "exp3", res.String())
+}
+
+// TestGoldenExp4 pins the Table 4 / Figure 15 ranking report.
+func TestGoldenExp4(t *testing.T) {
+	res, err := RunExp4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "exp4", res.String())
+}
+
+// TestGoldenExp5 pins the Table 5/6 workload report.
+func TestGoldenExp5(t *testing.T) {
+	res, err := RunExp5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "exp5", res.String())
+}

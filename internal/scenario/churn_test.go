@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/space"
+)
+
+// TestChurnDeterministic: equal params must yield byte-identical histories
+// — the property that lets one history drive both sides of a differential
+// or benchmark comparison.
+func TestChurnDeterministic(t *testing.T) {
+	p := DefaultChurnParams()
+	a, err := Churn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Churn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Changes) != p.Changes || len(b.Changes) != p.Changes {
+		t.Fatalf("history lengths %d/%d, want %d", len(a.Changes), len(b.Changes), p.Changes)
+	}
+	for i := range a.Changes {
+		if a.Changes[i] != b.Changes[i] {
+			t.Fatalf("change %d diverged: %v vs %v", i, a.Changes[i], b.Changes[i])
+		}
+	}
+}
+
+// TestChurnHistoryValid replays a history directly against a fresh space:
+// every generated change must be applicable at its position (the contract
+// the warehouse-level replays rely on).
+func TestChurnHistoryValid(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 42} {
+		p := DefaultChurnParams()
+		p.Seed = seed
+		p.AllowDecease = true
+		h, err := Churn(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := h.BuildSpace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range h.Changes {
+			if err := sp.ApplyChange(c); err != nil {
+				t.Fatalf("seed %d: change %d (%s) invalid: %v", seed, i, c, err)
+			}
+		}
+	}
+}
+
+// TestChurnViewsWellFormed validates the twin definitions and checks the
+// family-delete guard: without AllowDecease, every view keeps at least one
+// SELECT item's worth of referenced attributes through the whole history.
+func TestChurnViewsWellFormed(t *testing.T) {
+	p := DefaultChurnParams()
+	h, err := Churn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := h.Views()
+	if len(views) != p.Families*p.TwinsPerFamily {
+		t.Fatalf("got %d views, want %d", len(views), p.Families*p.TwinsPerFamily)
+	}
+	for _, v := range views {
+		if err := v.Validate(); err != nil {
+			t.Errorf("view %s invalid: %v", v.Name, err)
+		}
+	}
+	// Drop-only mode never deletes a family's last referenced attribute:
+	// count deletes per family relation (renames tracked through).
+	current := map[string]string{} // current name -> original family
+	remaining := map[string]int{}
+	for f := 1; f <= p.Families; f++ {
+		fam := views[(f-1)*p.TwinsPerFamily].From[0].Rel
+		current[fam] = fam
+		remaining[fam] = p.Width
+	}
+	for _, c := range h.Changes {
+		fam, tracked := current[c.Rel]
+		if !tracked {
+			continue
+		}
+		switch c.Kind {
+		case space.DeleteAttribute:
+			remaining[fam]--
+			if remaining[fam] < 1 {
+				t.Fatalf("family %s lost its last referenced attribute via %s", fam, c)
+			}
+		case space.RenameRelation:
+			delete(current, c.Rel)
+			current[c.NewName] = fam
+		}
+	}
+}

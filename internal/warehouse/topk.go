@@ -132,10 +132,17 @@ func (w *Warehouse) SearchTopK(v *View, c space.Change, snap *Snapshot, k int) (
 	return ranker.Ranking(t, cm), nil
 }
 
-// rankFor runs phase 1's synchronize-and-rank for one affected view, picking
+// RankFor runs phase 1's synchronize-and-rank for one affected view, picking
 // the lazy top-K search when the TopK knob is set and the exhaustive
 // enumerate-then-rank reference path otherwise. A nil ranking means the view
-// has no legal rewriting.
+// has no legal rewriting (the view deceases). It only reads shared state —
+// the MKB, the snapshot, and the view's definition — so the evolution
+// session in internal/evolve can fan rankings out over a worker pool and
+// memoize the result for structurally identical views.
+func (w *Warehouse) RankFor(v *View, c space.Change, snap *Snapshot) (*core.Ranking, error) {
+	return w.rankFor(v, c, snap)
+}
+
 func (w *Warehouse) rankFor(v *View, c space.Change, snap *Snapshot) (*core.Ranking, error) {
 	if w.TopK > 0 {
 		ranking, err := w.SearchTopK(v, c, snap, w.TopK)

@@ -49,6 +49,11 @@ type Warehouse struct {
 
 	views map[string]*View
 	order []string
+	// viewEpoch counts view-registry generations: it is bumped whenever the
+	// registered view set or an adopted definition may have changed (see
+	// ViewEpoch), letting the evolution session in internal/evolve skip
+	// rebuilding its footprint index across batches.
+	viewEpoch uint64
 }
 
 // New creates a warehouse over an information space with the paper's
@@ -95,14 +100,40 @@ func (w *Warehouse) RegisterView(def *esql.ViewDef) (*View, error) {
 	v.maintainer = maintain.New(w.Space, q, ext)
 	w.views[def.Name] = v
 	w.order = append(w.order, def.Name)
+	w.viewEpoch++
 	return v, nil
 }
 
-// View returns the named registered view, or nil.
+// ViewEpoch returns a counter that changes whenever the set of registered
+// views or their adopted definitions may have changed: RegisterView and
+// PruneDeceased bump it, and every synchronization pass (the reference
+// ApplyChange loop as well as the session's coalesced passes) ends in
+// PruneDeceased. A caller that cached view-derived state can compare epochs
+// instead of rescanning the registry. Like the rest of the warehouse it is
+// only coherent from a single goroutine.
+func (w *Warehouse) ViewEpoch() uint64 { return w.viewEpoch }
+
+// View returns the named registered view, or nil. Deceased views remain
+// reachable here (their History is part of the experiment record) even
+// though they no longer appear in ViewNames or LiveViews.
 func (w *Warehouse) View(name string) *View { return w.views[name] }
 
-// ViewNames lists registered views in definition order.
+// ViewNames lists live views in registration order. Views that deceased
+// during a change sequence are pruned from the order, so ViewNames and
+// LiveViews always agree on the surviving set.
 func (w *Warehouse) ViewNames() []string { return append([]string(nil), w.order...) }
+
+// Live returns the live view objects in registration order — the set every
+// synchronization pass iterates.
+func (w *Warehouse) Live() []*View {
+	out := make([]*View, 0, len(w.order))
+	for _, name := range w.order {
+		if v := w.views[name]; !v.Deceased {
+			out = append(out, v)
+		}
+	}
+	return out
+}
 
 // ApplyUpdate routes a data update through every live view's maintainer and
 // returns the summed measured metrics.
@@ -209,11 +240,10 @@ func (w *Warehouse) ApplyChange(c space.Change) ([]SyncResult, error) {
 		res      SyncResult
 		affected bool
 	}
-	work := make([]*pending, 0, len(w.order))
-	for _, name := range w.order {
-		if v := w.views[name]; !v.Deceased {
-			work = append(work, &pending{v: v, res: SyncResult{ViewName: v.Def.Name}})
-		}
+	live := w.Live()
+	work := make([]*pending, 0, len(live))
+	for _, v := range live {
+		work = append(work, &pending{v: v, res: SyncResult{ViewName: v.Def.Name}})
 	}
 
 	// Phase 1: per-view synchronize + rank, concurrently over the shared
@@ -252,13 +282,15 @@ func (w *Warehouse) ApplyChange(c space.Change) ([]SyncResult, error) {
 			return nil
 		}
 		if p.res.Chosen == nil {
-			p.v.Deceased = true
-			p.v.History = append(p.v.History, fmt.Sprintf("%s: no legal rewriting — view deceased", c))
+			w.MarkDeceased(p.v, c)
 			p.res.Deceased = true
 			return nil
 		}
 		return w.adopt(p.v, p.res.Chosen.Rewriting, c)
 	})
+	// Prune even when an adopt failed: other workers may have marked views
+	// deceased, and ViewNames/LiveViews must not report those as live.
+	w.PruneDeceased()
 	if err != nil {
 		return nil, err
 	}
@@ -268,6 +300,29 @@ func (w *Warehouse) ApplyChange(c space.Change) ([]SyncResult, error) {
 		results[i] = p.res
 	}
 	return results, nil
+}
+
+// MarkDeceased records that change c left view v without any legal
+// rewriting. It writes only v's own fields, so concurrent workers may mark
+// distinct views; callers must follow up with PruneDeceased (single
+// goroutine) to drop dead views from the registration order.
+func (w *Warehouse) MarkDeceased(v *View, c space.Change) {
+	v.Deceased = true
+	v.History = append(v.History, fmt.Sprintf("%s: no legal rewriting — view deceased", c))
+}
+
+// PruneDeceased removes deceased views from the registration order so
+// ViewNames and LiveViews stay consistent. The view objects themselves stay
+// reachable through View for post-mortem inspection.
+func (w *Warehouse) PruneDeceased() {
+	keep := w.order[:0]
+	for _, name := range w.order {
+		if v := w.views[name]; v != nil && !v.Deceased {
+			keep = append(keep, name)
+		}
+	}
+	w.order = keep
+	w.viewEpoch++
 }
 
 // RankRewritings scores a set of legal rewritings for a view using the
@@ -359,6 +414,15 @@ func (w *Warehouse) ScenarioFor(def *esql.ViewDef, snap *Snapshot) core.UpdateSc
 	return u
 }
 
+// AdoptRewriting replaces v's definition with the chosen rewriting and
+// re-materializes its extent from the (post-change) space — phase 2 of the
+// synchronization pipeline, exported for the evolution-session engine in
+// internal/evolve. It writes only v's own fields and reads the shared
+// space, so concurrent workers may adopt into distinct views.
+func (w *Warehouse) AdoptRewriting(v *View, rw *synchronize.Rewriting, c space.Change) error {
+	return w.adopt(v, rw, c)
+}
+
 // adopt replaces the view definition with the chosen rewriting and
 // re-materializes the extent from the post-change space.
 func (w *Warehouse) adopt(v *View, rw *synchronize.Rewriting, c space.Change) error {
@@ -379,14 +443,11 @@ func (w *Warehouse) adopt(v *View, rw *synchronize.Rewriting, c space.Change) er
 	return nil
 }
 
-// LiveViews returns the names of views that are not deceased, sorted.
+// LiveViews returns the names of views that are not deceased, sorted. It is
+// always consistent with ViewNames: both draw from the pruned registration
+// order, so a view that died mid-sequence appears in neither.
 func (w *Warehouse) LiveViews() []string {
-	var out []string
-	for name, v := range w.views {
-		if !v.Deceased {
-			out = append(out, name)
-		}
-	}
+	out := append([]string(nil), w.order...)
 	sort.Strings(out)
 	return out
 }

@@ -236,6 +236,55 @@ func TestMultiViewSynchronization(t *testing.T) {
 	}
 }
 
+// TestViewNamesPrunesDeceased is the regression test for the ViewNames /
+// LiveViews consistency fix: a view dying mid-sequence must disappear from
+// both (the registration order is pruned), while View() keeps the corpse
+// reachable for its History.
+func TestViewNamesPrunesDeceased(t *testing.T) {
+	wh := New(replicaSpace(t))
+	if _, err := wh.DefineView(replicaView); err != nil { // "V", survives
+		t.Fatal(err)
+	}
+	if _, err := wh.DefineView(`CREATE VIEW Rigid AS SELECT R.B FROM R`); err != nil { // dies
+		t.Fatal(err)
+	}
+	if _, err := wh.DefineView(`CREATE VIEW Bystander AS SELECT Rep.A FROM Rep`); err != nil {
+		t.Fatal(err)
+	}
+	if got := wh.ViewNames(); len(got) != 3 {
+		t.Fatalf("ViewNames before change = %v", got)
+	}
+	if _, err := wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: "R"}); err != nil {
+		t.Fatal(err)
+	}
+	names := wh.ViewNames()
+	if len(names) != 2 || names[0] != "V" || names[1] != "Bystander" {
+		t.Errorf("ViewNames after decease = %v, want [V Bystander] in registration order", names)
+	}
+	live := wh.LiveViews()
+	if len(live) != len(names) {
+		t.Fatalf("LiveViews %v inconsistent with ViewNames %v", live, names)
+	}
+	seen := map[string]bool{}
+	for _, n := range live {
+		seen[n] = true
+	}
+	for _, n := range names {
+		if !seen[n] {
+			t.Errorf("view %s in ViewNames but not LiveViews (%v vs %v)", n, names, live)
+		}
+	}
+	corpse := wh.View("Rigid")
+	if corpse == nil || !corpse.Deceased || len(corpse.History) == 0 {
+		t.Errorf("deceased view should stay reachable with its history, got %+v", corpse)
+	}
+	for _, v := range wh.Live() {
+		if v.Deceased {
+			t.Errorf("Live() returned deceased view %s", v.Def.Name)
+		}
+	}
+}
+
 // TestEndToEndExp1Lifecycle drives the full Experiment 1 walk through the
 // public warehouse API.
 func TestEndToEndExp1Lifecycle(t *testing.T) {

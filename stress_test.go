@@ -1,0 +1,105 @@
+package eve
+
+// Race-detector stress: many goroutines drive evolution concurrently on
+// independent warehouses — half through evolution sessions (EvolveBatch),
+// half through the cold per-change ApplyChange loop — while each
+// warehouse's own worker pool fans synchronization out underneath. Every
+// shared-state discipline in the stack is exercised at once: the immutable
+// pre-change Snapshot, the read-only phase-1 rankings, the write-isolated
+// phase-2 adoptions, and the session's memo cache and footprint index.
+//
+// CI runs this under the race detector as a dedicated step:
+//
+//	go test -race -run Stress ./...
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// stressChurnParams keeps per-goroutine histories small enough that the
+// race-instrumented run stays fast while still deceasing views, migrating
+// twins onto donors, and skipping view-free changes.
+func stressChurnParams(seed int64) scenario.ChurnParams {
+	return scenario.ChurnParams{
+		Families:          2,
+		TwinsPerFamily:    3,
+		Width:             5,
+		Donors:            2,
+		Spares:            3,
+		SpareAttrs:        4,
+		Changes:           60,
+		Seed:              seed,
+		FamilyDeleteRatio: 0.15,
+		FamilyRenameRatio: 0.10,
+		DonorRatio:        0.10,
+		ReplaceableViews:  seed%2 == 0,
+		AllowDecease:      true,
+	}
+}
+
+// TestStressConcurrentSessions runs 8 goroutines, each replaying its own
+// churn history on its own warehouse: even goroutines batch through an
+// evolution session, odd ones loop over ApplyChange. Any cross-warehouse
+// sharing bug or unsynchronized access inside the pipeline surfaces as a
+// race report or a divergent survivor count.
+func TestStressConcurrentSessions(t *testing.T) {
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	survivors := make([]int, goroutines)
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Goroutine pairs (2k, 2k+1) share a seed: one replays through
+			// a session, the other through the reference loop, so the
+			// final survivor counts must agree pairwise.
+			h, err := scenario.Churn(stressChurnParams(int64(100 + g/2)))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			sp, err := h.BuildSpace()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			sys := NewSystemOver(sp)
+			sys.Synchronizer.EnumerateDropVariants = true
+			for _, def := range h.Views() {
+				if _, err := sys.RegisterView(def); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+			if g%2 == 0 {
+				_, errs[g] = sys.EvolveBatch(h.Changes)
+			} else {
+				for _, c := range h.Changes {
+					if _, err := sys.ApplyChange(c); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}
+			survivors[g] = len(sys.LiveViews())
+		}(g)
+	}
+	wg.Wait()
+
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g := 0; g+1 < goroutines; g += 2 {
+		if survivors[g] != survivors[g+1] {
+			t.Errorf("seed pair %d: session kept %d views, reference loop %d",
+				g/2, survivors[g], survivors[g+1])
+		}
+	}
+}
