@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test stress fuzz cover bench bench-wide bench-churn vet doclint doc ci
+.PHONY: build test stress fuzz cover bench bench-wide bench-churn vet doclint vulncheck doc ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,16 @@ bench-churn:
 vet:
 	$(GO) vet ./...
 
+# Known-vulnerability scan over the module and its (stdlib-only)
+# dependency graph. Skips gracefully where the tool is not installed, so
+# offline development keeps working; CI installs it explicitly.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # Fail if any exported identifier in the root eve package or internal/...
 # lacks a doc comment, or any linted package lacks a package comment.
 doclint:
@@ -56,7 +66,7 @@ doc:
 # CI runs the race suite once, with the coverage profile folded in; the
 # dedicated stress step and the coverage summary reuse that single run.
 # `test` and `cover` stay standalone targets for local iteration.
-ci: vet doclint build stress
+ci: vet doclint vulncheck build stress
 	$(GO) test -race -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 	$(GO) test -run='^$$' -bench=BenchmarkEvaluate -benchtime=1x ./...

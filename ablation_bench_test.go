@@ -6,6 +6,7 @@ package eve
 // of the model to the convention visible in one bench run.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -89,13 +90,13 @@ func BenchmarkAblationDropVariants(b *testing.B) {
 	var baseN, cvsN int
 	for i := 0; i < b.N; i++ {
 		sy := synchronize.New(sp.MKB())
-		rws, err := sy.Synchronize(orig, c)
+		rws, err := sy.Synchronize(context.Background(), orig, c)
 		if err != nil {
 			b.Fatal(err)
 		}
 		baseN = len(rws)
 		sy.EnumerateDropVariants = true
-		rws, err = sy.Synchronize(orig, c)
+		rws, err = sy.Synchronize(context.Background(), orig, c)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -18,6 +18,7 @@ package eve
 // evaluate, maintain).
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -155,7 +156,7 @@ func BenchmarkSynchronizeDeleteRelation(b *testing.B) {
 	c := space.Change{Kind: space.DeleteRelation, Rel: "R2"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sy.Synchronize(orig, c); err != nil {
+		if _, err := sy.Synchronize(context.Background(), orig, c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -170,7 +171,7 @@ func BenchmarkRankRewritings(b *testing.B) {
 	}
 	orig := scenario.Exp4View()
 	sy := synchronize.New(sp.MKB())
-	rws, err := sy.Synchronize(orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
+	rws, err := sy.Synchronize(context.Background(), orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func BenchmarkEvaluateJoinView(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exec.Evaluate(q, sp); err != nil {
+		if _, err := exec.Evaluate(context.Background(), q, sp); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -225,7 +226,7 @@ func BenchmarkIncrementalMaintenance(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ext, err := exec.Evaluate(q, sp)
+	ext, err := exec.Evaluate(context.Background(), q, sp)
 	if err != nil {
 		b.Fatal(err)
 	}

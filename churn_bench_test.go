@@ -18,6 +18,7 @@ package eve
 // prove the outcomes identical; this benchmark measures the saved work.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/scenario"
@@ -73,7 +74,7 @@ func BenchmarkEvolveChurn(b *testing.B) {
 			sys := buildChurnSystem(b, h)
 			b.StartTimer()
 			for _, c := range h.Changes {
-				if _, err := sys.ApplyChange(c); err != nil {
+				if _, err := sys.ApplyChange(context.Background(), c); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -85,7 +86,7 @@ func BenchmarkEvolveChurn(b *testing.B) {
 			b.StopTimer()
 			sys := buildChurnSystem(b, h)
 			b.StartTimer()
-			if _, err := sys.EvolveBatch(h.Changes); err != nil {
+			if _, err := sys.EvolveBatch(context.Background(), h.Changes); err != nil {
 				b.Fatal(err)
 			}
 			last = sys

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"repro/internal/esql"
 	"repro/internal/persist"
@@ -27,6 +29,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	// The v2 pipeline is cancellable end to end: ^C aborts the pass with
+	// ctx.Err(), leaving the warehouse at the last landed change.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 	changeFlag := flag.String("change", "customer", "capability change to demo: customer | flightres | attr")
 	verbose := flag.Bool("verbose", false, "print all ranked rewritings")
 	loadPath := flag.String("load", "", "load the information space from a JSON file instead of the built-in travel scenario")
@@ -68,7 +74,7 @@ func main() {
 	}
 
 	fmt.Printf("Applying capability change: %s\n\n", change)
-	results, err := wh.ApplyChange(change)
+	results, err := wh.ApplyChange(ctx, change)
 	fail(err)
 
 	for _, res := range results {

@@ -11,15 +11,32 @@
 //
 // # Quickstart
 //
-//	sys := eve.NewSystem()
-//	src, _ := sys.AddSource("IS1")
-//	_ = src // relations are added through the system
-//	...
-//	view, _ := sys.DefineView(`CREATE VIEW V (VE = ~) AS
+//	sys, err := eve.New() // defaults; see Option for the knobs
+//	if err != nil { ... }
+//	if _, err := sys.Space.AddSource("IS1"); err != nil { ... }
+//	// ... add relations and MKB constraints to sys.Space ...
+//	view, err := sys.DefineView(`CREATE VIEW V (VE = ~) AS
 //	    SELECT R.A (AD = true, AR = true) FROM R (RR = true)`)
-//	results, _ := sys.ApplyChange(eve.DeleteRelation("R"))
+//	if err != nil { ... }
+//	results, err := sys.ApplyChange(ctx, eve.DeleteRelation("R"))
 //
-// See the examples/ directory for complete programs.
+// See the examples/ directory for complete programs, and the README's
+// "v2 API" section for the v1→v2 migration table.
+//
+// # The v2 surface
+//
+// Construction is option-based and validated: eve.New(eve.WithTopK(5),
+// eve.WithDropVariants(true), ...) freezes a coherent configuration or
+// fails with ErrInvalidOption. Every heavy entry point (ApplyChange,
+// EvolveBatch, Stream, Evaluate) takes a context.Context and honors
+// cancellation with an exact consistency contract: a cancelled pass either
+// never landed its change or fully adopted it, and a cancelled batch keeps
+// exactly its landed prefix (see System.ApplyChange). Failures surface
+// through a typed taxonomy — sentinels like ErrViewNotFound and
+// ErrNoRewriting for errors.Is, structured types like *ParseError and
+// *ChangeError for errors.As. The pipeline is observable: WithObserver
+// installs OnChange/OnSync/OnAdopt/OnDecease hooks (MetricsObserver is the
+// ready-made counter set).
 //
 // # Execution and debugging
 //
@@ -36,7 +53,7 @@
 //	//    └─ Filter [R.A > 1] [est=200] ...
 //
 // System.ApplyChange synchronizes affected views on a bounded worker pool
-// (System.Workers; default one worker per CPU) while always returning
+// (eve.WithWorkers; default one worker per CPU) while always returning
 // results in view registration order.
 //
 // # Rewriting search
@@ -58,18 +75,21 @@
 //     the exhaustive path (a guarantee enforced by differential property
 //     tests; see internal/warehouse.SearchTopK for the argument).
 //
-//     sys.TopK = 5                                  // keep the 5 best rewritings per view
-//     sys.Synchronizer.EnumerateDropVariants = true // opt into the CVS spectrum
-//     results, _ := sys.ApplyChange(eve.DeleteRelation("R"))
+//     sys, _ := eve.New(eve.WithTopK(5), eve.WithDropVariants(true))
+//     results, _ := sys.ApplyChange(ctx, eve.DeleteRelation("R"))
 package eve
 
 import (
+	"context"
+	"iter"
+
 	"repro/internal/core"
 	"repro/internal/esql"
 	"repro/internal/evolve"
 	"repro/internal/exec"
 	"repro/internal/maintain"
 	"repro/internal/misd"
+	"repro/internal/persist"
 	"repro/internal/relation"
 	"repro/internal/space"
 	"repro/internal/synchronize"
@@ -105,8 +125,29 @@ func (s *System) Session() *evolve.Session {
 // coalesce into a single synchronize→rank→adopt pass. The outcome is
 // identical to calling ApplyChange once per change (the step-by-step
 // reference the differential tests replay); only the work is smaller.
-func (s *System) EvolveBatch(changes []Change) ([]evolve.StepResult, error) {
-	return s.Session().EvolveBatch(changes)
+//
+// Cancelling ctx returns the landed steps with ctx.Err() within one
+// coalesced pass: every returned step has fully adopted or deceased its
+// affected views, and nothing after the landed prefix has touched the
+// space.
+func (s *System) EvolveBatch(ctx context.Context, changes []Change) ([]evolve.StepResult, error) {
+	return s.Session().EvolveBatch(ctx, changes)
+}
+
+// Stream drives the system from an unbounded change feed, yielding one
+// StepResult per landed change in feed order. Consecutive compatible
+// changes coalesce into single passes exactly as EvolveBatch coalesces
+// them, so results lag their changes by at most one pass. The sequence
+// ends after the first error (yielded as the final element): a rejected
+// change (*ChangeError), an adopt failure, or ctx.Err() after a
+// cancellation — with the same landed-prefix guarantee as EvolveBatch.
+//
+//	for step, err := range sys.Stream(ctx, feed) {
+//	    if err != nil { ... }
+//	    // step.Change landed; step.Results cover its affected views
+//	}
+func (s *System) Stream(ctx context.Context, changes iter.Seq[Change]) iter.Seq2[evolve.StepResult, error] {
+	return s.Session().Stream(ctx, changes)
 }
 
 // Re-exported core types. The internal packages remain the source of truth;
@@ -222,11 +263,26 @@ const (
 
 // NewSystem creates an EVE system over a fresh information space with the
 // paper's default trade-off parameters and cost model.
+//
+// Deprecated: use New. NewSystem remains for v1 compatibility; tuning the
+// returned system by assigning exported fields (sys.TopK = 5) is the
+// deprecated v1 style — it bypasses both construction-time validation and
+// the knob synchronization the Set* methods provide.
 func NewSystem() *System { return &System{Warehouse: warehouse.New(space.New())} }
 
 // NewSystemOver creates an EVE system over an existing information space
 // (e.g. one built by a scenario generator).
+//
+// Deprecated: use New with WithSpace. See NewSystem.
 func NewSystemOver(sp *Space) *System { return &System{Warehouse: warehouse.New(sp)} }
+
+// SaveSpace writes an information space to path as the versioned JSON
+// document internal/persist defines.
+func SaveSpace(path string, sp *Space) error { return persist.SaveFile(path, sp) }
+
+// LoadSpace reads an information space previously written by SaveSpace. A
+// document written by a newer format returns a *VersionError.
+func LoadSpace(path string) (*Space, error) { return persist.LoadFile(path) }
 
 // NewSpace creates an empty information space with its MKB.
 func NewSpace() *Space { return space.New() }
@@ -247,8 +303,13 @@ func MustParseView(src string) *ViewDef { return esql.MustParse(src) }
 func PrintView(v *ViewDef) string { return esql.Print(v) }
 
 // Evaluate materializes a view over a space (the Query Executor). The view
-// is compiled to a physical plan (internal/plan) and executed.
-func Evaluate(v *ViewDef, sp *Space) (*Relation, error) { return exec.Evaluate(v, sp) }
+// is compiled to a physical plan (internal/plan) and executed; ctx is
+// observed between plan operators and every few thousand tuples inside
+// them, so cancelling a long evaluation returns ctx.Err() promptly and no
+// partial extent.
+func Evaluate(ctx context.Context, v *ViewDef, sp *Space) (*Relation, error) {
+	return exec.Evaluate(ctx, v, sp)
+}
 
 // Explain renders the physical plan Evaluate would run for the view — one
 // operator per line with cardinality estimates, for debugging and tests.

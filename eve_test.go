@@ -1,6 +1,7 @@
 package eve
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -62,7 +63,7 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 	if view.Extent.Card() != 3 {
 		t.Fatalf("extent = %d", view.Extent.Card())
 	}
-	results, err := sys.ApplyChange(DeleteRelation("Parts"))
+	results, err := sys.ApplyChange(context.Background(), DeleteRelation("Parts"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestPublicAPIRenameKeepsViewWorking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.ApplyChange(RenameRelation("Parts", "Inventory")); err != nil {
+	if _, err := sys.ApplyChange(context.Background(), RenameRelation("Parts", "Inventory")); err != nil {
 		t.Fatal(err)
 	}
 	if view.Deceased {

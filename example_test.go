@@ -1,7 +1,10 @@
 package eve_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"slices"
 
 	eve "repro"
 )
@@ -49,7 +52,7 @@ func Example() {
 	}
 	fmt.Println("tuples before:", view.Extent.Card())
 
-	results, err := sys.ApplyChange(eve.DeleteRelation("Orders"))
+	results, err := sys.ApplyChange(context.Background(), eve.DeleteRelation("Orders"))
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -87,4 +90,104 @@ func ExampleDefaultTradeoff() {
 		t.W1, t.W2, t.RhoQuality, t.RhoCost)
 	// Output:
 	// w1=0.7 w2=0.3 rho_quality=0.9 rho_cost=0.1
+}
+
+// ExampleNew shows the option-based v2 construction: configuration is
+// validated and frozen at New, so an invalid combination fails fast
+// instead of silently misbehaving.
+func ExampleNew() {
+	metrics := &eve.MetricsObserver{}
+	sys, err := eve.New(
+		eve.WithSpace(buildSpace()),
+		eve.WithTopK(3),
+		eve.WithDropVariants(true),
+		eve.WithObserver(metrics),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := sys.DefineView(`
+		CREATE VIEW Open (VE = ~) AS
+		SELECT O.ID (AR = true), O.Item (AR = true)
+		FROM Orders O (RR = true)`); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := sys.ApplyChange(context.Background(), eve.DeleteRelation("Orders")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("changes=%d searches=%d adoptions=%d\n",
+		metrics.Changes(), metrics.Syncs(), metrics.Adopts())
+
+	// Invalid combinations fail at construction.
+	_, err = eve.New(eve.WithTopK(-1))
+	fmt.Println("invalid option rejected:", errors.Is(err, eve.ErrInvalidOption))
+	// Output:
+	// changes=1 searches=1 adoptions=1
+	// invalid option rejected: true
+}
+
+// ExampleSystem_Stream drives a system from a change feed: consecutive
+// compatible changes coalesce into single passes, and one StepResult per
+// landed change is yielded in feed order.
+func ExampleSystem_Stream() {
+	sys, err := eve.New(eve.WithSpace(buildSpace()))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	view, err := sys.DefineView(`
+		CREATE VIEW Open (VE = ~) AS
+		SELECT O.ID (AR = true), O.Item (AR = true)
+		FROM Orders O (RR = true)`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	feed := slices.Values([]eve.Change{
+		eve.AddAttribute("Archive", "Note", eve.TypeString),
+		eve.DeleteRelation("Orders"),
+	})
+	for step, err := range sys.Stream(context.Background(), feed) {
+		if err != nil {
+			fmt.Println("stream error:", err)
+			return
+		}
+		fmt.Printf("%s: %d affected view(s)\n", step.Change, len(step.Results))
+	}
+	fmt.Println("now reading from:", view.Def.From[0].Rel)
+	// Output:
+	// add-attribute Archive.Note string: 0 affected view(s)
+	// delete-relation Orders: 1 affected view(s)
+	// now reading from: Archive
+}
+
+// ExampleMetricsObserver shows the ready-made Observer implementation: the
+// pipeline reports every change, search, adoption, and decease to it, from
+// either driver (ApplyChange or the evolution session).
+func ExampleMetricsObserver() {
+	metrics := &eve.MetricsObserver{}
+	sys, err := eve.New(eve.WithSpace(buildSpace()), eve.WithObserver(metrics))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// This view has no evolution preferences at all, so losing its base
+	// relation leaves no legal rewriting: it deceases.
+	if _, err := sys.DefineView(`CREATE VIEW Doomed AS SELECT O.ID FROM Orders O`); err != nil {
+		fmt.Println(err)
+		return
+	}
+	results, err := sys.ApplyChange(context.Background(), eve.DeleteRelation("Orders"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("deceased:", errors.Is(results[0].Err(), eve.ErrNoRewriting))
+	fmt.Printf("observed %d decease(s)\n", metrics.Deceases())
+	// Output:
+	// deceased: true
+	// observed 1 decease(s)
 }

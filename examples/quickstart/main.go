@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,9 +52,16 @@ func main() {
 		Rel:   eve.Equal,
 	}))
 
-	// 3. Define an evolvable view: Price is dispensable, the rest
+	// 3. Assemble the system over the space with the v2 options API — a
+	//    metrics observer counts pipeline events as they happen.
+	metrics := &eve.MetricsObserver{}
+	sys, err := eve.New(eve.WithSpace(sp), eve.WithObserver(metrics))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Define an evolvable view: Price is dispensable, the rest
 	//    replaceable, and the relation itself may be replaced.
-	sys := eve.NewSystemOver(sp)
 	view, err := sys.DefineView(`
 		CREATE VIEW Catalog (VE = ~) AS
 		SELECT P.PartID (AR = true), P.Name (AR = true), P.Price (AD = true)
@@ -66,8 +74,8 @@ func main() {
 	fmt.Println(eve.PrintView(view.Def))
 	fmt.Printf("\nExtent: %d tuples\n\n", view.Extent.Card())
 
-	// 4. The source withdraws the Parts relation. EVE synchronizes.
-	results, err := sys.ApplyChange(eve.DeleteRelation("Parts"))
+	// 5. The source withdraws the Parts relation. EVE synchronizes.
+	results, err := sys.ApplyChange(context.Background(), eve.DeleteRelation("Parts"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,4 +93,6 @@ func main() {
 	fmt.Println("Adopted definition:")
 	fmt.Println(eve.PrintView(view.Def))
 	fmt.Printf("\nNew extent: %d tuples (was built from the replica)\n", view.Extent.Card())
+	fmt.Printf("\nObserved: %d change(s), %d search(es), %d adoption(s), %d decease(s)\n",
+		metrics.Changes(), metrics.Syncs(), metrics.Adopts(), metrics.Deceases())
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,11 +29,15 @@ func run(w1, w2 float64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := eve.NewSystemOver(sp)
-	sys.Tradeoff.W1, sys.Tradeoff.W2 = w1, w2
 	// Experiment 1 studies the interface dimension in isolation.
-	sys.Tradeoff.RhoAttr, sys.Tradeoff.RhoExt = 1, 0
-	sys.Tradeoff.RhoQuality, sys.Tradeoff.RhoCost = 1, 0
+	t := eve.DefaultTradeoff()
+	t.W1, t.W2 = w1, w2
+	t.RhoAttr, t.RhoExt = 1, 0
+	t.RhoQuality, t.RhoCost = 1, 0
+	sys, err := eve.New(eve.WithSpace(sp), eve.WithTradeoff(t))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	view, err := sys.RegisterView(scenario.Exp1View())
 	if err != nil {
@@ -56,7 +61,7 @@ func run(w1, w2 float64) {
 			c = eve.DeleteRelation(view.Def.From[0].Rel)
 		}
 		fmt.Printf("\n-- change %d: %s --\n", step+1, c)
-		results, err := sys.ApplyChange(c)
+		results, err := sys.ApplyChange(context.Background(), c)
 		if err != nil {
 			log.Fatal(err)
 		}

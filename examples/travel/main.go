@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := eve.NewSystemOver(sp)
+	sys, err := eve.New(eve.WithSpace(sp))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	view, err := sys.DefineView(scenario.AsiaCustomerESQL)
 	if err != nil {
@@ -66,7 +70,7 @@ func main() {
 }
 
 func report(sys *eve.System, c eve.Change) {
-	results, err := sys.ApplyChange(c)
+	results, err := sys.ApplyChange(context.Background(), c)
 	if err != nil {
 		log.Fatal(err)
 	}

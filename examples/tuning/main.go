@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 	preCards := map[string]int{"R1": 400, "R2": 4000}
 
 	sy := synchronize.New(sp.MKB())
-	rws, err := sy.Synchronize(orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
+	rws, err := sy.Synchronize(context.Background(), orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package conc
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,18 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // deterministic output ordering regardless of scheduling. After an error,
 // in-flight calls finish but no new indexes are claimed.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach under a context: no new indexes are claimed once
+// ctx is cancelled, every in-flight call finishes, and all workers drain
+// before the call returns (no goroutine outlives it). The result is the
+// first fn error if one occurred, else ctx.Err() if cancellation left part
+// of the range unprocessed, else nil — a cancellation that lands after the
+// last call completed is not an error, because the work it guards is done.
+// fn is responsible for observing ctx inside long-running calls; ForEachCtx
+// guarantees promptness only at call boundaries.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -28,6 +41,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -36,17 +52,21 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 
 	var (
-		next    atomic.Int64
-		failed  atomic.Bool
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		firstEr error
+		next      atomic.Int64
+		completed atomic.Int64
+		failed    atomic.Bool
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstEr   error
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
@@ -56,9 +76,17 @@ func ForEach(n, workers int, fn func(i int) error) error {
 					failed.Store(true)
 					return
 				}
+				completed.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
-	return firstEr
+	if firstEr != nil {
+		return firstEr
+	}
+	if completed.Load() < int64(n) {
+		// Only cancellation can leave a shortfall without an fn error.
+		return ctx.Err()
+	}
+	return nil
 }

@@ -1,0 +1,33 @@
+package esql
+
+import "fmt"
+
+// ParseError reports a lexical or syntactic error in an E-SQL view
+// definition, carrying the byte offset into the source where the parse
+// failed. It is the typed form of every error Parse returns for malformed
+// input (semantic validation errors from ViewDef.Validate remain plain);
+// callers unwrap it with errors.As:
+//
+//	var perr *esql.ParseError
+//	if errors.As(err, &perr) {
+//	    fmt.Printf("syntax error at byte %d: %s\n", perr.Offset, perr.Msg)
+//	}
+type ParseError struct {
+	// Offset is the byte offset into the source at which the error was
+	// detected.
+	Offset int
+	// Msg describes the failure, without the "esql:" prefix or position
+	// suffix (Error adds both).
+	Msg string
+}
+
+// Error renders the error in the package's historical format, so the typed
+// error is a drop-in replacement for the fmt.Errorf strings it replaced.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("esql: %s (at offset %d)", e.Msg, e.Offset)
+}
+
+// parseErrorf builds a *ParseError at the given offset.
+func parseErrorf(offset int, format string, args ...interface{}) error {
+	return &ParseError{Offset: offset, Msg: fmt.Sprintf(format, args...)}
+}

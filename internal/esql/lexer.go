@@ -116,7 +116,7 @@ scan:
 			b.WriteByte(l.src[l.pos])
 			l.pos++
 		}
-		return token{}, fmt.Errorf("esql: unterminated string literal at offset %d", start)
+		return token{}, parseErrorf(start, "unterminated string literal")
 	case c == '<' || c == '>' || c == '=' || c == '!' || c == '~':
 		op := string(c)
 		l.pos++
@@ -148,7 +148,7 @@ scan:
 		}
 		return token{tokIdent, l.src[start:l.pos], start}, nil
 	}
-	return token{}, fmt.Errorf("esql: unexpected character %q at offset %d", c, l.pos)
+	return token{}, parseErrorf(l.pos, "unexpected character %q", c)
 }
 
 func isIdentStart(r rune) bool {

@@ -1,7 +1,6 @@
 package esql
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 
@@ -60,7 +59,7 @@ func (p *parser) peek() token {
 }
 
 func (p *parser) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("esql: "+format+" (at offset %d)", append(args, p.cur().pos)...)
+	return parseErrorf(p.cur().pos, format, args...)
 }
 
 // keyword consumes an identifier matching kw case-insensitively.

@@ -1,0 +1,170 @@
+package evolve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/space"
+	"repro/internal/warehouse"
+)
+
+// cancelAfterChanges cancels a context once the n-th capability change has
+// landed — OnChange fires at exactly the landing point, so the cancellation
+// is observed deterministically by the very next landing attempt.
+type cancelAfterChanges struct {
+	warehouse.NopObserver
+	mu     sync.Mutex
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterChanges) OnChange(space.Change) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+	if c.n == 0 {
+		c.cancel()
+	}
+}
+
+// cancelOnFirstSync cancels during phase 1 of the first pass that ranks
+// anything — before any change of that pass lands.
+type cancelOnFirstSync struct {
+	warehouse.NopObserver
+	once   sync.Once
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnFirstSync) OnSync(string, *core.Ranking) {
+	c.once.Do(c.cancel)
+}
+
+func cancelChurnHistory(t *testing.T) *scenario.ChurnHistory {
+	t.Helper()
+	h, err := scenario.Churn(scenario.ChurnParams{
+		Families:          2,
+		TwinsPerFamily:    3,
+		Width:             6,
+		Donors:            2,
+		Spares:            3,
+		SpareAttrs:        4,
+		Changes:           80,
+		Seed:              31,
+		FamilyDeleteRatio: 0.2,
+		FamilyRenameRatio: 0.1,
+		DonorRatio:        0.1,
+		ReplaceableViews:  true,
+		AllowDecease:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func buildCancelWarehouse(t *testing.T, h *scenario.ChurnHistory) *warehouse.Warehouse {
+	t.Helper()
+	sp, err := h.BuildSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := warehouse.New(sp)
+	w.Synchronizer.EnumerateDropVariants = true
+	for _, def := range h.Views() {
+		if _, err := w.RegisterView(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// TestEvolveBatchCancelLandedPrefix is the acceptance test of the
+// cancellation contract: cancelling mid-EvolveBatch returns ctx.Err()
+// within one coalesced pass, the returned steps cover exactly the landed
+// prefix, every landed change has fully adopted/deceased (differentially
+// verified against the uncancelled replay of that prefix), and nothing
+// after the prefix touched the space.
+func TestEvolveBatchCancelLandedPrefix(t *testing.T) {
+	for _, cancelAt := range []int{1, 7, 23, 40} {
+		h := cancelChurnHistory(t)
+
+		w := buildCancelWarehouse(t, h)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		w.SetObserver(&cancelAfterChanges{n: cancelAt, cancel: cancel})
+		sess := NewSession(w)
+		steps, err := sess.EvolveBatch(ctx, h.Changes)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelAt=%d: err = %v, want context.Canceled", cancelAt, err)
+		}
+		// The landing loop observes ctx before each landing, so the landed
+		// prefix is exactly the changes landed before the cancellation —
+		// "within one coalesced pass" collapses to "immediately after the
+		// triggering change" here.
+		if len(steps) != cancelAt {
+			t.Fatalf("cancelAt=%d: %d steps landed, want exactly %d", cancelAt, len(steps), cancelAt)
+		}
+
+		// Differential check: an uncancelled replay of just the landed
+		// prefix must produce an identical warehouse — same survivors, same
+		// adopted signatures, same histories — and identical per-step
+		// outcomes.
+		ref := buildCancelWarehouse(t, h)
+		refSess := NewSession(ref)
+		refSteps, err := refSess.EvolveBatch(context.Background(), h.Changes[:cancelAt])
+		if err != nil {
+			t.Fatalf("cancelAt=%d: replay: %v", cancelAt, err)
+		}
+		var got, want []outcome
+		for i, s := range steps {
+			got = append(got, outcomesOf(i, s.Results)...)
+		}
+		for i, s := range refSteps {
+			want = append(want, outcomesOf(i, s.Results)...)
+		}
+		label := "cancelled-vs-replay"
+		comparePerChange(t, label, want, got)
+		compareFinalState(t, label, ref, w)
+	}
+}
+
+// TestEvolveBatchCancelDuringPhase1LandsNothing pins the commit-point rule
+// from the other side: a cancellation observed while phase 1 is still
+// ranking — before any change of the pass landed — aborts with the space
+// untouched by that pass.
+func TestEvolveBatchCancelDuringPhase1LandsNothing(t *testing.T) {
+	h := cancelChurnHistory(t)
+
+	w := buildCancelWarehouse(t, h)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w.SetObserver(&cancelOnFirstSync{cancel: cancel})
+	sess := NewSession(w)
+	steps, err := sess.EvolveBatch(ctx, h.Changes)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(steps) >= len(h.Changes) {
+		t.Fatalf("cancellation during phase 1 still landed all %d changes", len(steps))
+	}
+	// No step of the aborted pass may report an affected view: the pass
+	// whose phase 1 triggered the cancellation landed nothing, so every
+	// returned step belongs to earlier (skip-only) groups.
+	for i, s := range steps {
+		if len(s.Results) != 0 {
+			t.Fatalf("step %d (%s) reports affected views, but every ranking pass was aborted", i, s.Change)
+		}
+	}
+
+	// Replaying the landed prefix must reproduce the warehouse exactly.
+	ref := buildCancelWarehouse(t, h)
+	refSess := NewSession(ref)
+	if _, err := refSess.EvolveBatch(context.Background(), h.Changes[:len(steps)]); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	compareFinalState(t, "phase1-cancel-vs-replay", ref, w)
+}

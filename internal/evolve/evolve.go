@@ -1,6 +1,7 @@
 package evolve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -113,10 +114,11 @@ func searchKey(def *esql.ViewDef, c space.Change) string {
 }
 
 // Evolve applies a single capability change through the session — the
-// streaming form of EvolveBatch for drivers that decide each change from
-// the previous outcome (experiments.RunExp1's adaptive walk).
-func (s *Session) Evolve(c space.Change) (StepResult, error) {
-	res, err := s.EvolveBatch([]space.Change{c})
+// one-change form of EvolveBatch for drivers that decide each change from
+// the previous outcome (experiments.RunExp1's adaptive walk). For unbounded
+// change feeds, Stream keeps coalescing across the feed instead.
+func (s *Session) Evolve(ctx context.Context, c space.Change) (StepResult, error) {
+	res, err := s.EvolveBatch(ctx, []space.Change{c})
 	if len(res) > 0 {
 		return res[0], err
 	}
@@ -131,15 +133,26 @@ func (s *Session) Evolve(c space.Change) (StepResult, error) {
 // same QC scores — which the differential tests enforce over randomized
 // churn histories. On error the steps of every change that landed are
 // returned with the error and the batch stops; a change the space rejected
-// never lands, and neither does anything after it, so the warehouse is left
-// at the last landed change's consistent state (a rejection mid-group still
-// adopts/deceases for the group's earlier, landed changes).
-func (s *Session) EvolveBatch(changes []space.Change) ([]StepResult, error) {
+// never lands (the error carries it as a *space.ChangeError), and neither
+// does anything after it, so the warehouse is left at the last landed
+// change's consistent state (a rejection mid-group still adopts/deceases
+// for the group's earlier, landed changes).
+//
+// Cancellation follows the same landed-prefix contract: ctx is observed
+// between groups, throughout each group's phase 1, and between the landings
+// inside a group. Cancelling returns the landed steps together with
+// ctx.Err() within one coalesced pass — every change that landed has fully
+// adopted or deceased its affected views (exactly as the uncancelled replay
+// of that prefix would), and no later change has landed at all.
+func (s *Session) EvolveBatch(ctx context.Context, changes []space.Change) ([]StepResult, error) {
 	if s.w.ViewEpoch() != s.viewEpoch {
 		s.reindex()
 	}
 	out := make([]StepResult, 0, len(changes))
 	for start := 0; start < len(changes); {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		group := []*member{s.newMember(changes[start])}
 		for _, c := range changes[start+1:] {
 			m := s.newMember(c)
@@ -148,7 +161,7 @@ func (s *Session) EvolveBatch(changes []space.Change) ([]StepResult, error) {
 			}
 			group = append(group, m)
 		}
-		res, err := s.processGroup(group)
+		res, err := s.processGroup(ctx, group)
 		out = append(out, res...)
 		if err != nil {
 			return out, err
@@ -176,8 +189,13 @@ type task struct {
 // processGroup runs one coalesced synchronize→rank→adopt pass: deduplicated
 // phase-1 rankings against the shared pre-group state, the base changes
 // landing in order, then a concurrent adopt/decease phase — the session
-// analogue of warehouse.ApplyChange's two phases around the change.
-func (s *Session) processGroup(group []*member) ([]StepResult, error) {
+// analogue of warehouse.ApplyChange's two phases around the change. The
+// pass's knobs (Workers, TopK, Tradeoff, Cost) come from one Snapshot taken
+// at pass start. Cancellation before any change lands aborts with nothing
+// landed; cancellation between landings stops further landings but the
+// landed prefix still completes its adopt/decease phase (the commit-point
+// rule warehouse.ApplyChange documents).
+func (s *Session) processGroup(ctx context.Context, group []*member) ([]StepResult, error) {
 	// Phase 1: one deduplicated search per distinct (signature, change).
 	var units []*unit
 	var searches []*task
@@ -202,11 +220,12 @@ func (s *Session) processGroup(group []*member) ([]StepResult, error) {
 	if len(units) > 0 {
 		s.stats.Groups++
 	}
+	var snap *warehouse.Snapshot
 	if len(searches) > 0 {
-		snap := s.w.TakeSnapshot()
-		err := conc.ForEach(len(searches), s.w.Workers, func(i int) error {
+		snap = s.w.TakeSnapshot()
+		err := conc.ForEachCtx(ctx, len(searches), snap.Workers(), func(i int) error {
 			t := searches[i]
-			ranking, err := s.w.RankFor(t.rep.v, t.rep.m.c, snap)
+			ranking, err := s.w.RankFor(ctx, t.rep.v, t.rep.m.c, snap)
 			if err != nil {
 				return err
 			}
@@ -221,15 +240,21 @@ func (s *Session) processGroup(group []*member) ([]StepResult, error) {
 	}
 
 	// The base changes land exactly once each, in stream order. A rejected
-	// change stops the group: everything before it landed and proceeds to
-	// phase 2, the rejected change and everything after it never land.
+	// change — or a cancellation observed between landings — stops the
+	// group: everything before it landed and proceeds to phase 2, the
+	// stopped change and everything after it never land.
 	landed := 0
 	var landErr error
 	for _, m := range group {
+		if err := ctx.Err(); err != nil {
+			landErr = err
+			break
+		}
 		if err := s.w.Space.ApplyChange(m.c); err != nil {
 			landErr = err
 			break
 		}
+		s.w.Observer().OnChange(m.c)
 		landed++
 		s.stats.Changes++
 		if len(m.affected) == 0 {
@@ -237,7 +262,7 @@ func (s *Session) processGroup(group []*member) ([]StepResult, error) {
 		}
 	}
 
-	results, err := s.finish(group[:landed], units)
+	results, err := s.finish(group[:landed], units, snap)
 	if landErr != nil {
 		// An adopt failure in the landed prefix must surface alongside the
 		// rejection — neither error may mask the other.
@@ -251,7 +276,9 @@ func (s *Session) processGroup(group []*member) ([]StepResult, error) {
 // post-group space — then prunes dead views, refreshes the footprint index,
 // and assembles per-change results. Units of changes that never landed are
 // discarded: their phase-1 rankings were computed but must not be adopted.
-func (s *Session) finish(landed []*member, units []*unit) ([]StepResult, error) {
+// Like warehouse.ApplyChange's phase 2, finish runs under the background
+// context on purpose: the landed prefix is committed and must fully adopt.
+func (s *Session) finish(landed []*member, units []*unit, snap *warehouse.Snapshot) ([]StepResult, error) {
 	in := make(map[*member]bool, len(landed))
 	for _, m := range landed {
 		in[m] = true
@@ -262,7 +289,7 @@ func (s *Session) finish(landed []*member, units []*unit) ([]StepResult, error) 
 			live = append(live, u)
 		}
 	}
-	err := conc.ForEach(len(live), s.w.Workers, func(i int) error {
+	err := conc.ForEach(len(live), snap.Workers(), func(i int) error {
 		u := live[i]
 		ranking := u.task.ranking
 		if ranking == nil || len(ranking.Candidates) == 0 {
@@ -278,6 +305,7 @@ func (s *Session) finish(landed []*member, units []*unit) ([]StepResult, error) 
 		// Chosen is only reported once the adoption actually took effect,
 		// so an errored step cannot claim a rewriting the view never got.
 		u.res.Chosen = chosen
+		s.w.Observer().OnAdopt(u.v.Def.Name, chosen)
 		return nil
 	})
 	// Even on an adopt error, prune and reindex so ViewNames/LiveViews stay

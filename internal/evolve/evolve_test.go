@@ -1,6 +1,7 @@
 package evolve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -103,7 +104,7 @@ func TestSessionReplayParity(t *testing.T) {
 		ref := buildWarehouse(t, h, topK, enumerate)
 		var want []outcome
 		for i, c := range h.Changes {
-			results, err := ref.ApplyChange(c)
+			results, err := ref.ApplyChange(context.Background(), c)
 			if err != nil {
 				t.Fatalf("%s: reference change %d (%s): %v", label, i, c, err)
 			}
@@ -113,7 +114,7 @@ func TestSessionReplayParity(t *testing.T) {
 		// Session: one batch over an identical warehouse.
 		ses := buildWarehouse(t, h, topK, enumerate)
 		sess := NewSession(ses)
-		steps, err := sess.EvolveBatch(h.Changes)
+		steps, err := sess.EvolveBatch(context.Background(), h.Changes)
 		if err != nil {
 			t.Fatalf("%s: session: %v", label, err)
 		}
@@ -192,7 +193,7 @@ func TestSessionAmortization(t *testing.T) {
 	}
 	w := buildWarehouse(t, h, 0, true)
 	sess := NewSession(w)
-	if _, err := sess.EvolveBatch(h.Changes); err != nil {
+	if _, err := sess.EvolveBatch(context.Background(), h.Changes); err != nil {
 		t.Fatal(err)
 	}
 	st := sess.Stats()
@@ -234,7 +235,7 @@ func TestSessionMidBatchError(t *testing.T) {
 	valid := space.Change{Kind: space.DeleteAttribute, Rel: "W1", Attr: "A1"}
 	bogus := space.Change{Kind: space.DeleteAttribute, Rel: "NoSuchRel", Attr: "X"}
 	after := space.Change{Kind: space.DeleteAttribute, Rel: "W1", Attr: "A2"}
-	steps, err := sess.EvolveBatch([]space.Change{valid, bogus, after})
+	steps, err := sess.EvolveBatch(context.Background(), []space.Change{valid, bogus, after})
 	if err == nil {
 		t.Fatal("expected the space to reject the bogus change")
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -156,7 +157,7 @@ func TestPlannedMatchesNaive(t *testing.T) {
 					if err != nil {
 						t.Fatalf("naive: %v", err)
 					}
-					planned, err := Evaluate(v, sp)
+					planned, err := Evaluate(context.Background(), v, sp)
 					if err != nil {
 						t.Fatalf("planned: %v", err)
 					}
@@ -190,7 +191,7 @@ func TestPlannedMatchesNaiveOnMutatedSpace(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		planned, err := Evaluate(v, sp)
+		planned, err := Evaluate(context.Background(), v, sp)
 		if err != nil {
 			t.Fatal(err)
 		}

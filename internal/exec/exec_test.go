@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/esql"
@@ -34,7 +35,7 @@ func twoSourceSpace(t *testing.T) *space.Space {
 func TestEvaluateSingleRelation(t *testing.T) {
 	sp := twoSourceSpace(t)
 	v := esql.MustParse("CREATE VIEW V AS SELECT R.A, R.B FROM R WHERE R.A > 1")
-	ext, err := Evaluate(v, sp)
+	ext, err := Evaluate(context.Background(), v, sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestEvaluateSingleRelation(t *testing.T) {
 func TestEvaluateJoin(t *testing.T) {
 	sp := twoSourceSpace(t)
 	v := esql.MustParse("CREATE VIEW V AS SELECT R.B, S.C FROM R, S WHERE R.A = S.A")
-	ext, err := Evaluate(v, sp)
+	ext, err := Evaluate(context.Background(), v, sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestEvaluateJoin(t *testing.T) {
 func TestEvaluateAlias(t *testing.T) {
 	sp := twoSourceSpace(t)
 	v := esql.MustParse("CREATE VIEW V AS SELECT R.A AS Key FROM R")
-	ext, err := Evaluate(v, sp)
+	ext, err := Evaluate(context.Background(), v, sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestEvaluateAlias(t *testing.T) {
 func TestEvaluateBindingAlias(t *testing.T) {
 	sp := twoSourceSpace(t)
 	v := esql.MustParse("CREATE VIEW V AS SELECT X.A FROM R X WHERE X.B >= 20")
-	ext, err := Evaluate(v, sp)
+	ext, err := Evaluate(context.Background(), v, sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestEvaluateBindingAlias(t *testing.T) {
 func TestEvaluateMissingRelation(t *testing.T) {
 	sp := twoSourceSpace(t)
 	v := esql.MustParse("CREATE VIEW V AS SELECT Z.A FROM Z")
-	if _, err := Evaluate(v, sp); err == nil {
+	if _, err := Evaluate(context.Background(), v, sp); err == nil {
 		t.Error("evaluating over a missing relation should fail")
 	}
 }
@@ -100,7 +101,7 @@ func TestEvaluateDeduplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	v := esql.MustParse("CREATE VIEW V AS SELECT R.B FROM R")
-	ext, err := Evaluate(v, sp)
+	ext, err := Evaluate(context.Background(), v, sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestEvaluateStringCondition(t *testing.T) {
 		t.Fatal(err)
 	}
 	v := esql.MustParse("CREATE VIEW V AS SELECT P.Name FROM P WHERE P.City = 'Tokyo'")
-	ext, err := Evaluate(v, sp)
+	ext, err := Evaluate(context.Background(), v, sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestEvaluateStringCondition(t *testing.T) {
 func TestEvaluateMatchesManualJoin(t *testing.T) {
 	sp := twoSourceSpace(t)
 	v := esql.MustParse("CREATE VIEW V AS SELECT R.A, S.C FROM R, S WHERE R.A = S.A AND S.C > 100")
-	got, err := Evaluate(v, sp)
+	got, err := Evaluate(context.Background(), v, sp)
 	if err != nil {
 		t.Fatal(err)
 	}

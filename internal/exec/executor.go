@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/esql"
@@ -11,13 +12,15 @@ import (
 
 // Evaluate materializes the view over the space. The resulting relation's
 // columns carry the view's output names; duplicates are removed (set
-// semantics, as the paper's extent comparisons assume).
-func Evaluate(v *esql.ViewDef, sp *space.Space) (*relation.Relation, error) {
+// semantics, as the paper's extent comparisons assume). Cancellation is
+// observed between plan operators and every few thousand tuples inside
+// them; a cancelled evaluation returns ctx.Err() and no partial extent.
+func Evaluate(ctx context.Context, v *esql.ViewDef, sp *space.Space) (*relation.Relation, error) {
 	p, err := Plan(v, sp)
 	if err != nil {
 		return nil, err
 	}
-	return p.Execute()
+	return p.Execute(ctx)
 }
 
 // Plan qualifies the view and compiles it into a physical plan without

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -77,7 +78,7 @@ func RunCrossValidation(seed int64, updatesPerConfig int) (CrossValResult, error
 		if err != nil {
 			return res, err
 		}
-		ext, err := exec.Evaluate(q, sp)
+		ext, err := exec.Evaluate(context.Background(), q, sp)
 		if err != nil {
 			return res, err
 		}

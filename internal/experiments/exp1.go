@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -82,7 +83,7 @@ func runExp1Case(w1, w2 float64) (Exp1Outcome, error) {
 	// outcomes (a guarantee the differential tests in internal/evolve pin).
 	sess := evolve.NewSession(wh)
 	apply := func(c space.Change) error {
-		res, err := sess.Evolve(c)
+		res, err := sess.Evolve(context.Background(), c)
 		if err != nil {
 			return err
 		}
@@ -179,7 +180,7 @@ func Exp1Ranking(w1, w2 float64) (*core.Ranking, []*synchronize.Rewriting, error
 
 	orig := scenario.Exp1View()
 	sy := synchronize.New(sp.MKB())
-	rws, err := sy.Synchronize(orig, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "A"})
+	rws, err := sy.Synchronize(context.Background(), orig, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "A"})
 	if err != nil {
 		return nil, nil, err
 	}

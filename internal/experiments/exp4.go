@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -64,7 +65,7 @@ func runExp4Case(rhoQ, rhoC float64) (Exp4Case, error) {
 	preCards := map[string]int{"R1": 400, "R2": 4000}
 
 	sy := synchronize.New(sp.MKB())
-	rws, err := sy.Synchronize(orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
+	rws, err := sy.Synchronize(context.Background(), orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
 	if err != nil {
 		return Exp4Case{}, err
 	}
@@ -169,12 +170,12 @@ func Exp4Empirical(seed int64) ([]Exp4Row, error) {
 		return nil, err
 	}
 	orig := scenario.Exp4View()
-	origExt, err := exec.Evaluate(orig, sp)
+	origExt, err := exec.Evaluate(context.Background(), orig, sp)
 	if err != nil {
 		return nil, err
 	}
 	sy := synchronize.New(sp.MKB())
-	rws, err := sy.Synchronize(orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
+	rws, err := sy.Synchronize(context.Background(), orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +185,7 @@ func Exp4Empirical(seed int64) ([]Exp4Row, error) {
 	for _, rw := range ordered {
 		newDef := rw.View.Clone()
 		newDef.Name = "V" + rw.Replacements["R2"]
-		ext, err := exec.Evaluate(newDef, sp)
+		ext, err := exec.Evaluate(context.Background(), newDef, sp)
 		if err != nil {
 			return nil, err
 		}

@@ -82,3 +82,24 @@ func TestGoldenExp5(t *testing.T) {
 	}
 	goldenCompare(t, "exp5", res.String())
 }
+
+// TestGoldenHeuristics pins the heuristics comparison report — added with
+// the v2 API migration so the context-threaded drivers' output stays
+// byte-identical to the pre-migration rendering.
+func TestGoldenHeuristics(t *testing.T) {
+	res, err := RunHeuristics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "heuristics", res.String())
+}
+
+// TestGoldenCrossValidation pins the analytic-vs-measured cross-validation
+// report under a fixed seed, for the same reason.
+func TestGoldenCrossValidation(t *testing.T) {
+	res, err := RunCrossValidation(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "crossval", res.String())
+}

@@ -1,6 +1,7 @@
 package maintain
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/esql"
@@ -34,7 +35,7 @@ func joinSpace(t *testing.T) (*space.Space, *Maintainer) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ext, err := exec.Evaluate(q, sp)
+	ext, err := exec.Evaluate(context.Background(), q, sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func joinSpace(t *testing.T) (*space.Space, *Maintainer) {
 // maintained extent.
 func recompute(t *testing.T, sp *space.Space, m *Maintainer) {
 	t.Helper()
-	fresh, err := exec.Evaluate(m.View, sp)
+	fresh, err := exec.Evaluate(context.Background(), m.View, sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestUpdateStreamConvergence(t *testing.T) {
 		if _, err := m.Apply(u); err != nil {
 			t.Fatalf("step %d: %v", i, err)
 		}
-		fresh, err := exec.Evaluate(m.View, sp)
+		fresh, err := exec.Evaluate(context.Background(), m.View, sp)
 		if err != nil {
 			t.Fatalf("step %d: %v", i, err)
 		}
@@ -187,7 +188,7 @@ func TestLocalConditionFiltersDelta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ext, err := exec.Evaluate(q, sp)
+	ext, err := exec.Evaluate(context.Background(), q, sp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,27 @@ import (
 // FormatVersion identifies the document layout.
 const FormatVersion = 1
 
+// VersionError reports a document whose FormatVersion this package does not
+// understand — the typed form of the old "unsupported format version"
+// string, wired into the public error taxonomy so callers can distinguish a
+// version skew (re-export with a newer binary) from a corrupt file:
+//
+//	var verr *persist.VersionError
+//	if errors.As(err, &verr) {
+//	    log.Printf("space file is v%d, this binary reads v%d", verr.Got, verr.Want)
+//	}
+type VersionError struct {
+	// Got is the version the document declares.
+	Got int
+	// Want is the FormatVersion this package reads.
+	Want int
+}
+
+// Error renders the mismatch.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("persist: unsupported format version %d (want %d)", e.Got, e.Want)
+}
+
 // Doc is the on-disk representation of a space.
 type Doc struct {
 	Version   int          `json:"version"`
@@ -155,7 +176,7 @@ func Export(sp *space.Space) (*Doc, error) {
 // Import reconstructs a live space from a document.
 func Import(doc *Doc) (*space.Space, error) {
 	if doc.Version != FormatVersion {
-		return nil, fmt.Errorf("persist: unsupported format version %d", doc.Version)
+		return nil, &VersionError{Got: doc.Version, Want: FormatVersion}
 	}
 	sp := space.New()
 	mkb := sp.MKB()

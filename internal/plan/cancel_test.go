@@ -1,0 +1,87 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// cancelNode passes its child through and fires a cancellation the first
+// time it executes — a deterministic way to cancel "mid-plan", after the
+// operators below it ran and before the operators above it consume their
+// input.
+type cancelNode struct {
+	child  Node
+	cancel context.CancelFunc
+}
+
+func (c *cancelNode) Schema() *relation.Schema { return c.child.Schema() }
+func (c *cancelNode) Rows(ctx context.Context) ([]relation.Tuple, error) {
+	rows, err := c.child.Rows(ctx)
+	c.cancel()
+	return rows, err
+}
+func (c *cancelNode) EstRows() int     { return c.child.EstRows() }
+func (c *cancelNode) Children() []Node { return []Node{c.child} }
+func (c *cancelNode) Label() string    { return "CancelTrigger" }
+
+// TestExecuteCancelledMidPlan cancels between two operators of a running
+// plan and checks that execution aborts with ctx.Err() instead of
+// completing: the filter above the trigger polls the context on its first
+// input batch and must refuse to produce rows.
+func TestExecuteCancelledMidPlan(t *testing.T) {
+	base := relation.New("R", relation.NewSchema(
+		relation.Attribute{Name: "A", Type: relation.TypeInt},
+	))
+	for i := int64(0); i < 100; i++ {
+		if err := base.Insert(relation.Tuple{relation.Int(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scan, err := NewScan(base, "R", base.Card())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	filter, err := NewFilter(
+		&cancelNode{child: scan, cancel: cancel},
+		relation.AttrConst("R.A", relation.OpGE, relation.Int(0)),
+		base.Card(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Plan{View: "V", Root: NewDedup(filter, "V", base.Card())}
+
+	out, err := p.Execute(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Execute = (%v, %v), want context.Canceled", out, err)
+	}
+	if out != nil {
+		t.Fatal("a cancelled execution must not return a partial extent")
+	}
+}
+
+// TestExecutePreCancelled pins the fast path: an already-cancelled context
+// aborts before the scan produces anything.
+func TestExecutePreCancelled(t *testing.T) {
+	base := relation.New("R", relation.NewSchema(
+		relation.Attribute{Name: "A", Type: relation.TypeInt},
+	))
+	if err := base.Insert(relation.Tuple{relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := NewScan(base, "R", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Plan{View: "V", Root: NewDedup(scan, "V", 1)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Execute(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -15,7 +16,9 @@ type Node interface {
 	Schema() *relation.Schema
 	// Rows executes the subtree and returns its result tuples. Rows may
 	// contain duplicates; callers must not mutate the returned tuples.
-	Rows() ([]relation.Tuple, error)
+	// Operators observe ctx between inputs and every rowBatch tuples inside
+	// long loops, so cancelling aborts the execution promptly with ctx.Err().
+	Rows(ctx context.Context) ([]relation.Tuple, error)
 	// EstRows is the planner's cardinality estimate for this operator.
 	EstRows() int
 	// Children returns the operator's inputs, for plan rendering.
@@ -47,7 +50,12 @@ func NewScan(base *relation.Relation, binding string, est int) (*Scan, error) {
 func (s *Scan) Schema() *relation.Schema { return s.rel.Schema() }
 
 // Rows implements Node; it returns the shared base tuple slice.
-func (s *Scan) Rows() ([]relation.Tuple, error) { return s.rel.Tuples(), nil }
+func (s *Scan) Rows(ctx context.Context) ([]relation.Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.rel.Tuples(), nil
+}
 
 // EstRows implements Node.
 func (s *Scan) EstRows() int { return s.est }
@@ -85,13 +93,16 @@ func NewFilter(child Node, cond relation.Condition, est int) (*Filter, error) {
 func (f *Filter) Schema() *relation.Schema { return f.child.Schema() }
 
 // Rows implements Node.
-func (f *Filter) Rows() ([]relation.Tuple, error) {
-	in, err := f.child.Rows()
+func (f *Filter) Rows(ctx context.Context) ([]relation.Tuple, error) {
+	in, err := f.child.Rows(ctx)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]relation.Tuple, 0, len(in)/2)
-	for _, t := range in {
+	for i, t := range in {
+		if err := checkEvery(ctx, i); err != nil {
+			return nil, err
+		}
 		ok, err := f.bound(t)
 		if err != nil {
 			return nil, err
@@ -164,12 +175,12 @@ func (j *HashJoin) Schema() *relation.Schema { return j.schema }
 // join tree, but the accumulated intermediate is often the larger side);
 // the other input streams as probe. Output tuples are always left++right
 // regardless of build side.
-func (j *HashJoin) Rows() ([]relation.Tuple, error) {
-	lrows, err := j.left.Rows()
+func (j *HashJoin) Rows(ctx context.Context) ([]relation.Tuple, error) {
+	lrows, err := j.left.Rows(ctx)
 	if err != nil {
 		return nil, err
 	}
-	rrows, err := j.right.Rows()
+	rrows, err := j.right.Rows(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -182,13 +193,24 @@ func (j *HashJoin) Rows() ([]relation.Tuple, error) {
 		buildIsLeft = false
 	}
 	ht := make(map[string][]relation.Tuple, len(build))
-	for _, bt := range build {
+	for i, bt := range build {
+		if err := checkEvery(ctx, i); err != nil {
+			return nil, err
+		}
 		k := relation.TupleKey(bt, buildIdx)
 		ht[k] = append(ht[k], bt)
 	}
 	var out []relation.Tuple
-	for _, pt := range probe {
+	emitted := 0
+	for i, pt := range probe {
+		if err := checkEvery(ctx, i); err != nil {
+			return nil, err
+		}
 		for _, bt := range ht[relation.TupleKey(pt, probeIdx)] {
+			if err := checkEvery(ctx, emitted); err != nil {
+				return nil, err
+			}
+			emitted++
 			lt, rt := bt, pt
 			if !buildIsLeft {
 				lt, rt = pt, bt
@@ -258,18 +280,23 @@ func NewNestedLoop(left, right Node, cond relation.And, est int) (*NestedLoop, e
 func (j *NestedLoop) Schema() *relation.Schema { return j.schema }
 
 // Rows implements Node.
-func (j *NestedLoop) Rows() ([]relation.Tuple, error) {
-	lrows, err := j.left.Rows()
+func (j *NestedLoop) Rows(ctx context.Context) ([]relation.Tuple, error) {
+	lrows, err := j.left.Rows(ctx)
 	if err != nil {
 		return nil, err
 	}
-	rrows, err := j.right.Rows()
+	rrows, err := j.right.Rows(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var out []relation.Tuple
+	pairs := 0
 	for _, lt := range lrows {
 		for _, rt := range rrows {
+			if err := checkEvery(ctx, pairs); err != nil {
+				return nil, err
+			}
+			pairs++
 			t := concat(lt, rt)
 			if j.bound != nil {
 				ok, err := j.bound(t)
@@ -326,13 +353,16 @@ func NewProject(child Node, schema *relation.Schema, idx []int, est int) (*Proje
 func (p *Project) Schema() *relation.Schema { return p.schema }
 
 // Rows implements Node.
-func (p *Project) Rows() ([]relation.Tuple, error) {
-	in, err := p.child.Rows()
+func (p *Project) Rows(ctx context.Context) ([]relation.Tuple, error) {
+	in, err := p.child.Rows(ctx)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]relation.Tuple, len(in))
 	for i, t := range in {
+		if err := checkEvery(ctx, i); err != nil {
+			return nil, err
+		}
 		pt := make(relation.Tuple, len(p.idx))
 		for k, j := range p.idx {
 			pt[k] = t[j]
@@ -370,21 +400,24 @@ func NewDedup(child Node, name string, est int) *Dedup {
 func (d *Dedup) Schema() *relation.Schema { return d.child.Schema() }
 
 // Relation executes the subtree and materializes the duplicate-free extent.
-func (d *Dedup) Relation() (*relation.Relation, error) {
-	rows, err := d.child.Rows()
+func (d *Dedup) Relation(ctx context.Context) (*relation.Relation, error) {
+	rows, err := d.child.Rows(ctx)
 	if err != nil {
 		return nil, err
 	}
 	out := relation.New(d.name, d.child.Schema())
-	for _, t := range rows {
+	for i, t := range rows {
+		if err := checkEvery(ctx, i); err != nil {
+			return nil, err
+		}
 		out.Insert(t) //nolint:errcheck // arity matches child schema by construction
 	}
 	return out, nil
 }
 
 // Rows implements Node.
-func (d *Dedup) Rows() ([]relation.Tuple, error) {
-	r, err := d.Relation()
+func (d *Dedup) Rows(ctx context.Context) ([]relation.Tuple, error) {
+	r, err := d.Relation(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -399,6 +432,19 @@ func (d *Dedup) Children() []Node { return []Node{d.child} }
 
 // Label implements Node.
 func (d *Dedup) Label() string { return fmt.Sprintf("Dedup → %s [est=%d]", d.name, d.est) }
+
+// rowBatch is the granularity of in-operator cancellation checks: operator
+// loops poll ctx once per rowBatch input tuples, bounding both the polling
+// overhead and the latency of a cancellation.
+const rowBatch = 4096
+
+// checkEvery polls ctx when i falls on a rowBatch boundary.
+func checkEvery(ctx context.Context, i int) error {
+	if i%rowBatch == 0 {
+		return ctx.Err()
+	}
+	return nil
+}
 
 func concat(a, b relation.Tuple) relation.Tuple {
 	t := make(relation.Tuple, 0, len(a)+len(b))
@@ -415,12 +461,14 @@ type Plan struct {
 }
 
 // Execute runs the plan and returns the materialized extent with the view's
-// output column names and set semantics.
-func (p *Plan) Execute() (*relation.Relation, error) {
+// output column names and set semantics. Cancellation is checked between
+// operators and every rowBatch tuples inside operator loops; a cancelled
+// execution returns ctx.Err() and no partial extent.
+func (p *Plan) Execute(ctx context.Context) (*relation.Relation, error) {
 	if d, ok := p.Root.(*Dedup); ok {
-		return d.Relation()
+		return d.Relation(ctx)
 	}
-	rows, err := p.Root.Rows()
+	rows, err := p.Root.Rows(ctx)
 	if err != nil {
 		return nil, err
 	}

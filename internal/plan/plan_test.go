@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -51,7 +52,7 @@ func compile(t *testing.T, sp *space.Space, src string) *Plan {
 func TestCompileSingleRelation(t *testing.T) {
 	sp := testSpace(t)
 	p := compile(t, sp, "CREATE VIEW V AS SELECT R.A, R.B FROM R WHERE R.A > 1")
-	ext, err := p.Execute()
+	ext, err := p.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestCompileHashJoinForEquiClause(t *testing.T) {
 	if !strings.Contains(text, "HashJoin") {
 		t.Fatalf("equi-join should compile to a hash join:\n%s", text)
 	}
-	ext, err := p.Execute()
+	ext, err := p.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestCompileNestedLoopForThetaJoin(t *testing.T) {
 	if !strings.Contains(text, "NestedLoop") || strings.Contains(text, "HashJoin") {
 		t.Fatalf("pure theta join should fall back to nested loops:\n%s", text)
 	}
-	ext, err := p.Execute()
+	ext, err := p.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestCompileResidualOnHashJoin(t *testing.T) {
 	if !strings.Contains(text, "HashJoin") || !strings.Contains(text, "residual") {
 		t.Fatalf("non-equi clause over the joined pair should ride as residual:\n%s", text)
 	}
-	ext, err := p.Execute()
+	ext, err := p.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestJoinOrderPlacesSmallestFirst(t *testing.T) {
 	if ti > ri || ti > si {
 		t.Errorf("smallest relation T should be planned first:\n%s", text)
 	}
-	ext, err := p.Execute()
+	ext, err := p.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestCompileCrossJoinWhenUnconnected(t *testing.T) {
 	if !strings.Contains(text, "cross") {
 		t.Fatalf("join without predicates should be a cross product:\n%s", text)
 	}
-	ext, err := p.Execute()
+	ext, err := p.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestDedupEliminatesDuplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := compile(t, sp, "CREATE VIEW V AS SELECT R.B FROM R")
-	ext, err := p.Execute()
+	ext, err := p.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestScanSharesBaseTuples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := scan.Rows()
+	rows, err := scan.Rows(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

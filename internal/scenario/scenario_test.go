@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/esql"
@@ -109,7 +110,7 @@ func TestChainViewEvaluates(t *testing.T) {
 	if err := v.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	ext, err := exec.Evaluate(v, sp)
+	ext, err := exec.Evaluate(context.Background(), v, sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestTravelSpace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ext, err := exec.Evaluate(v, sp)
+	ext, err := exec.Evaluate(context.Background(), v, sp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,8 +75,17 @@ func (c Change) String() string {
 
 // ApplyChange executes a capability change against the space: the holding
 // source mutates its relation, the MKB evolves (dropping now-dangling
-// constraints), and subscribed listeners are notified.
+// constraints), and subscribed listeners are notified. A rejected change is
+// reported as a *ChangeError wrapping the offending change and the reason;
+// nothing lands on rejection.
 func (sp *Space) ApplyChange(c Change) error {
+	if err := sp.applyChange(c); err != nil {
+		return &ChangeError{Change: c, Err: err}
+	}
+	return nil
+}
+
+func (sp *Space) applyChange(c Change) error {
 	switch c.Kind {
 	case DeleteAttribute:
 		return sp.deleteAttribute(c)

@@ -1,0 +1,28 @@
+package space
+
+import "fmt"
+
+// ChangeError reports that the information space rejected a capability
+// change, wrapping both the offending change and the underlying reason. A
+// rejected change never lands: the space, the MKB, and every registered
+// view are exactly as they were before the attempt. Callers match it with
+// errors.As to recover which change of a batch failed:
+//
+//	var cerr *space.ChangeError
+//	if errors.As(err, &cerr) {
+//	    log.Printf("change %s rejected: %v", cerr.Change, cerr.Err)
+//	}
+type ChangeError struct {
+	// Change is the capability change the space rejected.
+	Change Change
+	// Err is the underlying rejection reason.
+	Err error
+}
+
+// Error renders the rejection with the offending change in front.
+func (e *ChangeError) Error() string {
+	return fmt.Sprintf("%s: %v", e.Change, e.Err)
+}
+
+// Unwrap exposes the underlying reason to errors.Is/As chains.
+func (e *ChangeError) Unwrap() error { return e.Err }

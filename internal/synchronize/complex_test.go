@@ -1,6 +1,7 @@
 package synchronize
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 // evalHelper materializes a view over the space for extent comparisons.
 func evalHelper(t *testing.T, sp *space.Space, v *esql.ViewDef) *relation.Relation {
 	t.Helper()
-	ext, err := exec.Evaluate(v, sp)
+	ext, err := exec.Evaluate(context.Background(), v, sp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func complexView() *esql.ViewDef {
 
 func TestJoinSubstitutionProduced(t *testing.T) {
 	sy := New(complexMKB(t))
-	rws, err := sy.Synchronize(complexView(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err := sy.Synchronize(context.Background(), complexView(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestJoinSubstitutionRespectsVE(t *testing.T) {
 	sy := New(complexMKB(t))
 	v := complexView()
 	v.Extent = esql.ExtentSubset // unknown-extent rewritings are illegal
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestJoinSubstitutionRequiresJC(t *testing.T) {
 		m2.AddPCConstraint(pc) //nolint:errcheck
 	}
 	sy := New(m2)
-	rws, err := sy.Synchronize(complexView(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err := sy.Synchronize(context.Background(), complexView(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestJoinSubstitutionNotForSingleNeed(t *testing.T) {
 	sy := New(complexMKB(t))
 	v := complexView()
 	v.Select = v.Select[:1] // only A needed; S alone covers it
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestJoinSubstitutionEvaluates(t *testing.T) {
 	})
 
 	sy := New(mkb)
-	rws, err := sy.Synchronize(complexView(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err := sy.Synchronize(context.Background(), complexView(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package synchronize
 
 import (
 	"container/heap"
+	"context"
 	"iter"
 	"sort"
 
@@ -64,8 +65,16 @@ func (sy *Synchronizer) BaseRewritings(v *esql.ViewDef, c space.Change) ([]*Rewr
 // A non-nil error is yielded at most once, as the final element. Stopping
 // early costs nothing beyond the variants already pulled, which is the point:
 // a wide view's exponential spectrum is never built unless a consumer walks
-// all of it.
-func (sy *Synchronizer) Enumerate(v *esql.ViewDef, c space.Change) iter.Seq2[*Rewriting, error] {
+// all of it. The stream polls ctx between variants and yields ctx.Err() as
+// its final element when cancelled, so a consumer draining an exponential
+// spectrum stops within one variant of the cancellation.
+func (sy *Synchronizer) Enumerate(ctx context.Context, v *esql.ViewDef, c space.Change) iter.Seq2[*Rewriting, error] {
+	return sy.EnumerateWeighted(ctx, v, c, sy.VariantWeight)
+}
+
+// EnumerateWeighted is Enumerate under an explicit drop-weight function
+// (see SynchronizeWeighted). A nil wf streams variants in uniform order.
+func (sy *Synchronizer) EnumerateWeighted(ctx context.Context, v *esql.ViewDef, c space.Change, wf DropWeight) iter.Seq2[*Rewriting, error] {
 	return func(yield func(*Rewriting, error) bool) {
 		bases, err := sy.BaseRewritings(v, c)
 		if err != nil {
@@ -85,8 +94,12 @@ func (sy *Synchronizer) Enumerate(v *esql.ViewDef, c space.Change) iter.Seq2[*Re
 			return
 		}
 		for _, b := range bases {
-			it := sy.Variants(b)
+			it := sy.VariantsWeighted(b, wf)
 			for {
+				if err := ctx.Err(); err != nil {
+					yield(nil, err)
+					return
+				}
 				rw, ok := it.Next()
 				if !ok {
 					break
@@ -165,7 +178,16 @@ type VariantIterator struct {
 // capped at MaxDropVariants valid variants, mirroring the exhaustive path's
 // universe exactly.
 func (sy *Synchronizer) Variants(base *Rewriting) *VariantIterator {
-	wf := sy.VariantWeight
+	return sy.VariantsWeighted(base, sy.VariantWeight)
+}
+
+// VariantsWeighted is Variants under an explicit drop-weight function,
+// overriding the synchronizer's VariantWeight for this iterator only. The
+// warehouse's top-K search passes a weight built from its per-pass knob
+// snapshot here, so a concurrent tuner adjusting the trade-off parameters
+// mid-pass cannot tear the enumeration order the pruning bound relies on.
+// A nil wf falls back to uniform weights.
+func (sy *Synchronizer) VariantsWeighted(base *Rewriting, wf DropWeight) *VariantIterator {
 	if wf == nil {
 		wf = uniformWeight
 	}

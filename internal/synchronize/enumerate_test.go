@@ -1,6 +1,7 @@
 package synchronize
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -162,7 +163,7 @@ func TestUnaffectedViewGetsNoVariants(t *testing.T) {
 		From: []esql.FromItem{{Rel: "R", Replaceable: true}},
 	}
 	c := space.Change{Kind: space.DeleteRelation, Rel: "U"} // not referenced by v
-	rws, err := sy.Synchronize(v, c)
+	rws, err := sy.Synchronize(context.Background(), v, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestUnaffectedViewGetsNoVariants(t *testing.T) {
 		t.Fatalf("unaffected view must yield exactly the identity rewriting, got:\n%s", Describe(rws))
 	}
 	n := 0
-	for _, err := range sy.Enumerate(v, c) {
+	for _, err := range sy.Enumerate(context.Background(), v, c) {
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +197,7 @@ func TestEnumerateMatchesSynchronize(t *testing.T) {
 		From: []esql.FromItem{{Rel: "R", Replaceable: true}},
 	}
 	c := space.Change{Kind: space.DeleteRelation, Rel: "R"}
-	exhaustive, err := sy.Synchronize(v, c)
+	exhaustive, err := sy.Synchronize(context.Background(), v, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestEnumerateMatchesSynchronize(t *testing.T) {
 		want[rw.View.Signature()] = true
 	}
 	got := map[string]bool{}
-	for rw, err := range sy.Enumerate(v, c) {
+	for rw, err := range sy.Enumerate(context.Background(), v, c) {
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -225,7 +226,7 @@ func TestEnumerateMatchesSynchronize(t *testing.T) {
 	}
 	// Early stop must not panic or error.
 	n := 0
-	for _, err := range sy.Enumerate(v, c) {
+	for _, err := range sy.Enumerate(context.Background(), v, c) {
 		if err != nil {
 			t.Fatal(err)
 		}

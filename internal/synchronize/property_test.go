@@ -1,6 +1,7 @@
 package synchronize
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -160,7 +161,7 @@ func TestSynchronizerInvariants(t *testing.T) {
 		}
 		sy := New(setup.mkb)
 		sy.EnumerateDropVariants = trial%3 == 0
-		rws, err := sy.Synchronize(setup.view, setup.change)
+		rws, err := sy.Synchronize(context.Background(), setup.view, setup.change)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -240,11 +241,11 @@ func TestSynchronizerDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	setup := genSetup(rng)
 	sy := New(setup.mkb)
-	a, err := sy.Synchronize(setup.view, setup.change)
+	a, err := sy.Synchronize(context.Background(), setup.view, setup.change)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := sy.Synchronize(setup.view, setup.change)
+	b, err := sy.Synchronize(context.Background(), setup.view, setup.change)
 	if err != nil {
 		t.Fatal(err)
 	}

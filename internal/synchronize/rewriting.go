@@ -1,6 +1,7 @@
 package synchronize
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -153,12 +154,24 @@ func Affected(v *esql.ViewDef, c space.Change) bool {
 // empty slice — the view is "deceased" in the paper's Experiment 1 sense.
 //
 // This is the exhaustive enumerate-everything reference path: it collects
-// the whole Enumerate stream eagerly. The warehouse's top-K search consumes
+// the whole Enumerate stream eagerly, observing ctx between variants (a
+// cancelled walk of a wide view's exponential spectrum returns ctx.Err()
+// instead of finishing the 2^width enumeration). The warehouse's top-K search consumes
 // BaseRewritings and Variants lazily instead, pruning the exponential
 // drop-variant spectrum against the running K-th best QC score.
-func (sy *Synchronizer) Synchronize(v *esql.ViewDef, c space.Change) ([]*Rewriting, error) {
+func (sy *Synchronizer) Synchronize(ctx context.Context, v *esql.ViewDef, c space.Change) ([]*Rewriting, error) {
+	return sy.SynchronizeWeighted(ctx, v, c, sy.VariantWeight)
+}
+
+// SynchronizeWeighted is Synchronize under an explicit drop-weight
+// function, overriding the synchronizer's VariantWeight for this call only
+// — the warehouse passes a weight built from its per-pass knob snapshot
+// here, so a concurrent tuner cannot tear the enumeration order or the
+// MaxDropVariants-capped universe mid-pass. A nil wf streams in uniform
+// order.
+func (sy *Synchronizer) SynchronizeWeighted(ctx context.Context, v *esql.ViewDef, c space.Change, wf DropWeight) ([]*Rewriting, error) {
 	var out []*Rewriting
-	for rw, err := range sy.Enumerate(v, c) {
+	for rw, err := range sy.EnumerateWeighted(ctx, v, c, wf) {
 		if err != nil {
 			return nil, err
 		}

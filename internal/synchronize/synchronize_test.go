@@ -1,6 +1,7 @@
 package synchronize
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestUnaffectedViewYieldsIdentity(t *testing.T) {
 		Select: []esql.SelectItem{selItem("R", "A", true, true)},
 		From:   []esql.FromItem{{Rel: "R", Replaceable: true}},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "U"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteRelation, Rel: "U"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestDeleteRelationSubstitution(t *testing.T) {
 		Select: []esql.SelectItem{selItem("R", "A", true, true), selItem("R", "B", true, true)},
 		From:   []esql.FromItem{{Rel: "R", Replaceable: true}},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestDeleteRelationNonReplaceableDies(t *testing.T) {
 		Select: []esql.SelectItem{selItem("R", "A", false, false)},
 		From:   []esql.FromItem{{Rel: "R"}}, // RD=false, RR=false
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestDeleteRelationDropPath(t *testing.T) {
 			Dispensable: true,
 		}},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestDeleteRelationDropBlockedByIndispensable(t *testing.T) {
 			{Rel: "U"},
 		},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestVEConstraintFiltersRewritings(t *testing.T) {
 		Select: []esql.SelectItem{selItem("R", "A", true, true), selItem("R", "B", true, true)},
 		From:   []esql.FromItem{{Rel: "R", Replaceable: true}},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestVEConstraintFiltersRewritings(t *testing.T) {
 	}
 	// VE = ≡ keeps only the equal substitution.
 	v.Extent = esql.ExtentEqual
-	rws, err = sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err = sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestDeleteAttributeDrop(t *testing.T) {
 		Select: []esql.SelectItem{selItem("R", "A", true, true), selItem("R", "B", true, false)},
 		From:   []esql.FromItem{{Rel: "R"}},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "B"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "B"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestDeleteAttributeIndispensableBlocksDrop(t *testing.T) {
 		Select: []esql.SelectItem{selItem("R", "B", false, false)},
 		From:   []esql.FromItem{{Rel: "R"}},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "B"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "B"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestDeleteAttributeSalvagedBySubstitution(t *testing.T) {
 		},
 		From: []esql.FromItem{{Rel: "R", Replaceable: true, Dispensable: true}},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "A"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "A"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestDeleteAttributePatchViaJoin(t *testing.T) {
 		},
 		From: []esql.FromItem{{Rel: "R"}},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "B"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "B"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +347,7 @@ func TestRenameRelation(t *testing.T) {
 			Left: esql.AttrRef{Rel: "R", Attr: "A"}, Op: relation.OpGT, Const: relation.Int(1),
 		}}},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.RenameRelation, Rel: "R", NewName: "R2"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.RenameRelation, Rel: "R", NewName: "R2"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestRenameAttributePreservesInterface(t *testing.T) {
 		Select: []esql.SelectItem{selItem("R", "A", true, true)},
 		From:   []esql.FromItem{{Rel: "R"}},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.RenameAttribute, Rel: "R", Attr: "A", NewName: "A2"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.RenameAttribute, Rel: "R", Attr: "A", NewName: "A2"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +394,7 @@ func TestAddChangesAreNoops(t *testing.T) {
 		{Kind: space.AddAttribute, Rel: "R", Attr: "Z", AttrType: relation.TypeInt},
 		{Kind: space.AddRelation, Rel: "W"},
 	} {
-		rws, err := sy.Synchronize(v, c)
+		rws, err := sy.Synchronize(context.Background(), v, c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -415,12 +416,12 @@ func TestDropVariantEnumeration(t *testing.T) {
 		},
 		From: []esql.FromItem{{Rel: "R", Replaceable: true}},
 	}
-	rws, err := sy.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	rws, err := sy.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	base := New(m)
-	baseRws, err := base.Synchronize(v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	baseRws, err := base.Synchronize(context.Background(), v, space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}

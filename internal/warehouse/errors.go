@@ -1,0 +1,49 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the view registry and synchronization pipeline. They
+// are matched with errors.Is; call sites wrap them with the view name for
+// context.
+var (
+	// ErrViewNotFound reports a lookup of a view name that was never
+	// registered.
+	ErrViewNotFound = errors.New("view not found")
+	// ErrViewDeceased reports an operation on a view that a capability
+	// change left without any legal rewriting (the paper's terminal state).
+	ErrViewDeceased = errors.New("view deceased")
+	// ErrNoRewriting reports that a capability change left a view without
+	// any legal rewriting — the reason a view deceases.
+	ErrNoRewriting = errors.New("no legal rewriting")
+	// ErrDuplicateView reports registering a view name twice.
+	ErrDuplicateView = errors.New("view already defined")
+)
+
+// GetView returns the named live view. It is the typed-error form of View:
+// an unknown name returns ErrViewNotFound, a deceased view returns
+// ErrViewDeceased (the view object itself stays reachable through View for
+// post-mortem inspection), both wrapped with the view name for errors.Is
+// matching and readable messages.
+func (w *Warehouse) GetView(name string) (*View, error) {
+	v := w.views[name]
+	if v == nil {
+		return nil, fmt.Errorf("warehouse: view %q: %w", name, ErrViewNotFound)
+	}
+	if v.Deceased {
+		return nil, fmt.Errorf("warehouse: view %q: %w", name, ErrViewDeceased)
+	}
+	return v, nil
+}
+
+// Err returns nil for a surviving or unaffected view and an error wrapping
+// ErrNoRewriting for a deceased one, so batch drivers can fold per-view
+// outcomes into error flows with errors.Is(err, ErrNoRewriting).
+func (r SyncResult) Err() error {
+	if !r.Deceased {
+		return nil
+	}
+	return fmt.Errorf("warehouse: view %q: %w", r.ViewName, ErrNoRewriting)
+}

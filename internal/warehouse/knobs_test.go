@@ -1,0 +1,128 @@
+package warehouse
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/space"
+)
+
+// tradeoffRecorder observes OnSync rankings and records, per pass, the set
+// of distinct W1 weights the pass's rankings were scored under. OnChange
+// closes a pass (it fires between phase 1 and phase 2), so all OnSync
+// calls between two OnChange calls belong to one pass.
+type tradeoffRecorder struct {
+	NopObserver
+	mu     sync.Mutex
+	inPass map[float64]bool
+	torn   bool
+}
+
+func (r *tradeoffRecorder) OnSync(view string, ranking *core.Ranking) {
+	if ranking == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inPass == nil {
+		r.inPass = map[float64]bool{}
+	}
+	r.inPass[ranking.Tradeoff.W1] = true
+	if len(r.inPass) > 1 {
+		r.torn = true
+	}
+}
+
+func (r *tradeoffRecorder) OnChange(space.Change) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inPass = nil
+}
+
+// TestKnobSnapshotUnderConcurrentTuner is the regression test for the
+// per-pass knob snapshot: a tuner goroutine hammers SetTopK, SetWorkers,
+// and SetTradeoff while a churn history replays through ApplyChange. Before
+// the snapshot, the pipeline re-read w.TopK and w.Tradeoff mid-pass, so the
+// tuner could tear a pass (some views ranked under the old weights, some
+// under the new — and a data race besides). Now every pass must score all
+// of its rankings under exactly one trade-off state, and the whole run must
+// be race-clean (the test is only meaningful under -race for the latter
+// half, but the torn-pass check holds regardless).
+func TestKnobSnapshotUnderConcurrentTuner(t *testing.T) {
+	h, err := scenario.Churn(scenario.ChurnParams{
+		Families:          2,
+		TwinsPerFamily:    3,
+		Width:             5,
+		Donors:            2,
+		Spares:            3,
+		SpareAttrs:        4,
+		Changes:           60,
+		Seed:              7,
+		FamilyDeleteRatio: 0.2,
+		FamilyRenameRatio: 0.1,
+		DonorRatio:        0.1,
+		ReplaceableViews:  true,
+		AllowDecease:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := h.BuildSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New(sp)
+	w.Synchronizer.EnumerateDropVariants = true
+	rec := &tradeoffRecorder{}
+	w.SetObserver(rec)
+	for _, def := range h.Views() {
+		if _, err := w.RegisterView(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two valid trade-off states the tuner flips between.
+	a := core.DefaultTradeoff()
+	b := core.DefaultTradeoff()
+	b.W1, b.W2 = 0.6, 0.4
+
+	done := make(chan struct{})
+	var tunerWG sync.WaitGroup
+	tunerWG.Add(1)
+	go func() {
+		defer tunerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				w.SetTradeoff(a)
+				w.SetTopK(0)
+			} else {
+				w.SetTradeoff(b)
+				w.SetTopK(2)
+			}
+			w.SetWorkers(1 + i%4)
+		}
+	}()
+
+	for i, c := range h.Changes {
+		if _, err := w.ApplyChange(context.Background(), c); err != nil {
+			t.Fatalf("change %d (%s): %v", i, c, err)
+		}
+	}
+	close(done)
+	tunerWG.Wait()
+
+	rec.mu.Lock()
+	torn := rec.torn
+	rec.mu.Unlock()
+	if torn {
+		t.Fatal("a pass ranked views under more than one trade-off state — knob snapshot torn")
+	}
+}

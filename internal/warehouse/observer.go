@@ -1,0 +1,85 @@
+package warehouse
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/space"
+)
+
+// Observer receives notifications from the synchronize→rank→adopt pipeline
+// as it runs — the instrumentation seam of the v2 API. One observer serves
+// both drivers: the warehouse's reference ApplyChange loop and the
+// evolution session's coalesced passes fire the same hooks at the same
+// semantic points.
+//
+// OnSync, OnAdopt, and OnDecease are invoked from the pipeline's worker
+// goroutines, possibly concurrently; implementations must be safe for
+// concurrent use (MetricsObserver uses atomics; a logging observer needs
+// its own lock). Hooks are called synchronously on the hot path, so they
+// should return quickly. Arguments are shared with the pipeline — treat the
+// ranking and candidate as read-only.
+type Observer interface {
+	// OnChange fires once per capability change, immediately after the
+	// change lands on the information space.
+	OnChange(c space.Change)
+	// OnSync fires once per rewriting search, after the legal rewritings of
+	// an affected view were generated and ranked (phase 1). The ranking is
+	// nil when the view has no legal rewriting. Under the evolution
+	// session's memoization, structurally identical views share one search
+	// and therefore one OnSync.
+	OnSync(view string, ranking *core.Ranking)
+	// OnAdopt fires when a view adopts its chosen rewriting (phase 2),
+	// after the re-materialized extent replaced the old one.
+	OnAdopt(view string, chosen *core.Candidate)
+	// OnDecease fires when change c leaves a view without any legal
+	// rewriting and the view is marked deceased.
+	OnDecease(view string, c space.Change)
+}
+
+// NopObserver is the default Observer: every hook is a no-op. Embed it to
+// implement only the hooks an observer cares about.
+type NopObserver struct{}
+
+// OnChange implements Observer.
+func (NopObserver) OnChange(space.Change) {}
+
+// OnSync implements Observer.
+func (NopObserver) OnSync(string, *core.Ranking) {}
+
+// OnAdopt implements Observer.
+func (NopObserver) OnAdopt(string, *core.Candidate) {}
+
+// OnDecease implements Observer.
+func (NopObserver) OnDecease(string, space.Change) {}
+
+// MetricsObserver counts pipeline events with atomic counters — the
+// ready-made Observer for dashboards and tests. The zero value is ready to
+// use and safe for concurrent use.
+type MetricsObserver struct {
+	changes, syncs, adopts, deceases atomic.Uint64
+}
+
+// OnChange implements Observer.
+func (m *MetricsObserver) OnChange(space.Change) { m.changes.Add(1) }
+
+// OnSync implements Observer.
+func (m *MetricsObserver) OnSync(string, *core.Ranking) { m.syncs.Add(1) }
+
+// OnAdopt implements Observer.
+func (m *MetricsObserver) OnAdopt(string, *core.Candidate) { m.adopts.Add(1) }
+
+// OnDecease implements Observer.
+func (m *MetricsObserver) OnDecease(string, space.Change) { m.deceases.Add(1) }
+
+// Changes returns the number of capability changes that landed.
+func (m *MetricsObserver) Changes() uint64 { return m.changes.Load() }
+
+// Syncs returns the number of rewriting searches ranked.
+func (m *MetricsObserver) Syncs() uint64 { return m.syncs.Load() }
+
+// Adopts returns the number of rewriting adoptions.
+func (m *MetricsObserver) Adopts() uint64 { return m.adopts.Load() }
+
+// Deceases returns the number of views that deceased.
+func (m *MetricsObserver) Deceases() uint64 { return m.deceases.Load() }

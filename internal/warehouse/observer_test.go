@@ -1,0 +1,108 @@
+package warehouse
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/misd"
+	"repro/internal/relation"
+	"repro/internal/space"
+)
+
+// observedSpace builds a one-source space with a relation R and a replica S
+// related by an equality PC constraint, so deleting R gives a view over R a
+// single substitution rewriting, and a view without replaceability
+// deceases.
+func observedSpace(t *testing.T) *space.Space {
+	t.Helper()
+	sp := space.New()
+	if _, err := sp.AddSource("IS1"); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name, a, b string) *relation.Relation {
+		r := relation.New(name, relation.NewSchema(
+			relation.Attribute{Name: a, Type: relation.TypeInt},
+			relation.Attribute{Name: b, Type: relation.TypeString},
+		))
+		for i := int64(1); i <= 3; i++ {
+			if err := r.Insert(relation.Tuple{relation.Int(i), relation.String("x")}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r
+	}
+	if err := sp.AddRelation("IS1", mk("R", "A", "B")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AddRelation("IS1", mk("S", "C", "D")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.MKB().AddPCConstraint(misd.PCConstraint{
+		Left:  misd.Fragment{Rel: misd.RelRef{Rel: "R"}, Attrs: []string{"A", "B"}},
+		Right: misd.Fragment{Rel: misd.RelRef{Rel: "S"}, Attrs: []string{"C", "D"}},
+		Rel:   misd.Equal,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestObserverHooksFireThroughApplyChange(t *testing.T) {
+	sp := observedSpace(t)
+	w := New(sp)
+	m := &MetricsObserver{}
+	w.SetObserver(m)
+
+	// Survivor adopts S; Doomed has no replaceable relation and deceases.
+	if _, err := w.DefineView(`CREATE VIEW Survivor AS SELECT R.A (AR = true) FROM R (RR = true)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.DefineView(`CREATE VIEW Doomed AS SELECT R.A FROM R`); err != nil {
+		t.Fatal(err)
+	}
+	results, err := w.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if got := m.Changes(); got != 1 {
+		t.Errorf("Changes = %d, want 1", got)
+	}
+	if got := m.Syncs(); got != 2 {
+		t.Errorf("Syncs = %d, want 2 (one per affected view)", got)
+	}
+	if got := m.Adopts(); got != 1 {
+		t.Errorf("Adopts = %d, want 1 (Survivor)", got)
+	}
+	if got := m.Deceases(); got != 1 {
+		t.Errorf("Deceases = %d, want 1 (Doomed)", got)
+	}
+
+	// The deceased outcome folds into the typed error taxonomy.
+	var deceasedErrs int
+	for _, r := range results {
+		if err := r.Err(); err != nil {
+			deceasedErrs++
+		}
+	}
+	if deceasedErrs != 1 {
+		t.Errorf("SyncResult.Err flagged %d views, want 1", deceasedErrs)
+	}
+}
+
+func TestObserverNopByDefault(t *testing.T) {
+	sp := observedSpace(t)
+	w := New(sp)
+	if _, err := w.DefineView(`CREATE VIEW V AS SELECT R.A (AR = true) FROM R (RR = true)`); err != nil {
+		t.Fatal(err)
+	}
+	// No observer installed: the pass must run exactly as before.
+	if _, err := w.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "R"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.View("V").Def.From[0].Rel; got != "S" {
+		t.Fatalf("adopted %q, want S", got)
+	}
+}

@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestApplyChangeConcurrentViews(t *testing.T) {
 			wh := New(replicaSpace(t))
 			wh.Workers = workers
 			registerFleet(t, wh, fleet)
-			results, err := wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: "R"})
+			results, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -76,7 +77,7 @@ func TestApplyChangeConcurrentMixedOutcomes(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	results, err := wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	results, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}

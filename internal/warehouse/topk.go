@@ -1,6 +1,8 @@
 package warehouse
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/esql"
 	"repro/internal/space"
@@ -9,19 +11,33 @@ import (
 
 // qualityWeight is the DropWeight the warehouse installs on its
 // synchronizer: the QC quality weight (Equation 12) of one dispensable
-// SELECT item under the warehouse's current trade-off parameters. With this
-// weight the drop-variant stream is ordered by nonincreasing achievable QC,
-// which makes the top-K search's pruning bound exact and keeps the
-// exhaustive and pruned paths enumerating the same MaxDropVariants-capped
-// universe.
+// SELECT item under the warehouse's current trade-off parameters (read
+// under the knob mutex, so a concurrent SetTradeoff never tears one read).
+// With this weight the drop-variant stream is ordered by nonincreasing
+// achievable QC, which makes the top-K search's pruning bound exact and
+// keeps the exhaustive and pruned paths enumerating the same
+// MaxDropVariants-capped universe. The top-K search itself uses
+// dropWeightFor over its knob snapshot instead, pinning the whole pass to
+// one trade-off state.
 func (w *Warehouse) qualityWeight(s esql.SelectItem) float64 {
-	switch s.Category() {
-	case 1:
-		return w.Tradeoff.W1
-	case 2:
-		return w.Tradeoff.W2
+	w.knobMu.Lock()
+	t := w.Tradeoff
+	w.knobMu.Unlock()
+	return dropWeightFor(t)(s)
+}
+
+// dropWeightFor builds the QC quality drop-weight for one fixed trade-off
+// state — the snapshot-pinned form of qualityWeight.
+func dropWeightFor(t core.Tradeoff) synchronize.DropWeight {
+	return func(s esql.SelectItem) float64 {
+		switch s.Category() {
+		case 1:
+			return t.W1
+		case 2:
+			return t.W2
+		}
+		return 0
 	}
-	return 0
 }
 
 // SearchTopK runs the lazy, cost-bounded top-K rewriting search for view v
@@ -41,9 +57,12 @@ func (w *Warehouse) qualityWeight(s esql.SelectItem) float64 {
 //   - a variant's DD_attr grows monotonically with its dropped quality
 //     weight, which is exactly the stream order.
 //
-// An empty ranking means the view has no legal rewriting (deceased).
-func (w *Warehouse) SearchTopK(v *View, c space.Change, snap *Snapshot, k int) (*core.Ranking, error) {
-	t, cm := w.Tradeoff, w.Cost
+// An empty ranking means the view has no legal rewriting (deceased). The
+// trade-off parameters and cost model come from the pass's knob snapshot;
+// ctx is polled once per variant pulled, so cancelling aborts a wide view's
+// exponential spectrum walk promptly with ctx.Err().
+func (w *Warehouse) SearchTopK(ctx context.Context, v *View, c space.Change, snap *Snapshot, k int) (*core.Ranking, error) {
+	t, cm := snap.tradeoff, snap.cost
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -86,21 +105,31 @@ func (w *Warehouse) SearchTopK(v *View, c space.Change, snap *Snapshot, k int) (
 	// base, so one failed bound check retires the base's entire spectrum.
 	//
 	// The bound is only valid when the stream weight underestimates (or
-	// equals) the dropped quality weight per item — the contract of the
-	// warehouse-installed qualityWeight. A nil VariantWeight means the
-	// synchronizer was replaced after New and streams in uniform order,
-	// which overestimates quality weights below 1; then the whole capped
-	// universe is streamed into the bounded heap instead (still correct,
-	// just without early exit).
+	// equals) the dropped quality weight per item. The stream is therefore
+	// ordered by the snapshot's trade-off state (dropWeightFor over the
+	// pass snapshot, via VariantsWeighted), never by live knob reads — a
+	// concurrent tuner cannot reorder a stream mid-walk. A nil
+	// VariantWeight means the synchronizer was replaced after New and its
+	// exhaustive path streams in uniform order, which overestimates quality
+	// weights below 1; then, to keep parity with that exhaustive universe,
+	// the whole capped universe is streamed into the bounded heap instead
+	// (still correct, just without early exit).
 	prune := sy.VariantWeight != nil
+	wf := synchronize.DropWeight(nil)
+	if prune {
+		wf = dropWeightFor(t)
+	}
 	seen := make(map[string]bool, len(bases))
 	for _, rw := range bases {
 		seen[rw.View.Signature()] = true
 	}
 	for i, base := range bases {
 		baseCand := baseCands[i]
-		it := sy.Variants(base)
+		it := sy.VariantsWeighted(base, wf)
 		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			weight, ok := it.PeekWeight()
 			if !ok {
 				break
@@ -133,19 +162,30 @@ func (w *Warehouse) SearchTopK(v *View, c space.Change, snap *Snapshot, k int) (
 }
 
 // RankFor runs phase 1's synchronize-and-rank for one affected view, picking
-// the lazy top-K search when the TopK knob is set and the exhaustive
-// enumerate-then-rank reference path otherwise. A nil ranking means the view
-// has no legal rewriting (the view deceases). It only reads shared state —
-// the MKB, the snapshot, and the view's definition — so the evolution
-// session in internal/evolve can fan rankings out over a worker pool and
-// memoize the result for structurally identical views.
-func (w *Warehouse) RankFor(v *View, c space.Change, snap *Snapshot) (*core.Ranking, error) {
-	return w.rankFor(v, c, snap)
+// the lazy top-K search when the snapshotted TopK knob is set and the
+// exhaustive enumerate-then-rank reference path otherwise. A nil ranking
+// means the view has no legal rewriting (the view deceases). It only reads
+// shared state — the MKB, the snapshot, and the view's definition — so the
+// evolution session in internal/evolve can fan rankings out over a worker
+// pool and memoize the result for structurally identical views. The
+// observer's OnSync hook fires once per call, after the ranking is built.
+// Cancelling ctx aborts the search with ctx.Err().
+func (w *Warehouse) RankFor(ctx context.Context, v *View, c space.Change, snap *Snapshot) (*core.Ranking, error) {
+	return w.rankFor(ctx, v, c, snap)
 }
 
-func (w *Warehouse) rankFor(v *View, c space.Change, snap *Snapshot) (*core.Ranking, error) {
-	if w.TopK > 0 {
-		ranking, err := w.SearchTopK(v, c, snap, w.TopK)
+func (w *Warehouse) rankFor(ctx context.Context, v *View, c space.Change, snap *Snapshot) (*core.Ranking, error) {
+	ranking, err := w.searchFor(ctx, v, c, snap)
+	if err != nil {
+		return nil, err
+	}
+	w.obs().OnSync(v.Def.Name, ranking)
+	return ranking, nil
+}
+
+func (w *Warehouse) searchFor(ctx context.Context, v *View, c space.Change, snap *Snapshot) (*core.Ranking, error) {
+	if snap.topK > 0 {
+		ranking, err := w.SearchTopK(ctx, v, c, snap, snap.topK)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +194,18 @@ func (w *Warehouse) rankFor(v *View, c space.Change, snap *Snapshot) (*core.Rank
 		}
 		return ranking, nil
 	}
-	rws, err := w.Synchronizer.Synchronize(v.Def, c)
+	// Pin the exhaustive path's drop-variant enumeration to the snapshot's
+	// trade-off state, exactly as the top-K path does: the installed
+	// VariantWeight reads the live Tradeoff per item, which a concurrent
+	// SetTradeoff could tear mid-enumeration (reordering the best-first
+	// stream and shifting the MaxDropVariants-capped universe). A nil
+	// VariantWeight (synchronizer replaced after New) keeps the uniform
+	// order, matching SearchTopK's parity rule.
+	var wf synchronize.DropWeight
+	if w.Synchronizer.VariantWeight != nil {
+		wf = dropWeightFor(snap.tradeoff)
+	}
+	rws, err := w.Synchronizer.SynchronizeWeighted(ctx, v.Def, c, wf)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -19,7 +20,7 @@ import (
 // its first k candidates.
 func exhaustiveTopK(t *testing.T, w *Warehouse, v *View, c space.Change, snap *Snapshot, k int) []*core.Candidate {
 	t.Helper()
-	rws, err := w.Synchronizer.Synchronize(v.Def, c)
+	rws, err := w.Synchronizer.Synchronize(context.Background(), v.Def, c)
 	if err != nil {
 		t.Fatalf("exhaustive synchronize: %v", err)
 	}
@@ -80,7 +81,7 @@ func TestSearchTopKWideParity(t *testing.T) {
 		for _, k := range []int{1, 2, 5, 16} {
 			label := fmt.Sprintf("width=%d donors=%d max=%d k=%d",
 				cfg.width, cfg.donors, cfg.maxVariants, k)
-			pruned, err := w.SearchTopK(v, c, snap, k)
+			pruned, err := w.SearchTopK(context.Background(), v, c, snap, k)
 			if err != nil {
 				t.Fatalf("%s: %v", label, err)
 			}
@@ -232,7 +233,7 @@ func TestSearchTopKRandomParity(t *testing.T) {
 		}
 		snap := w.TakeSnapshot()
 		k := 1 + rng.Intn(5)
-		pruned, err := w.SearchTopK(v, c, snap, k)
+		pruned, err := w.SearchTopK(context.Background(), v, c, snap, k)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -268,11 +269,11 @@ func TestApplyChangeTopKAgreesWithExhaustive(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := space.Change{Kind: space.DeleteRelation, Rel: "W0"}
-	exhRes, err := exh.ApplyChange(c)
+	exhRes, err := exh.ApplyChange(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	topkRes, err := topk.ApplyChange(c)
+	topkRes, err := topk.ApplyChange(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestSearchTopKNilVariantWeightStaysCorrect(t *testing.T) {
 	c := space.Change{Kind: space.DeleteRelation, Rel: "W0"}
 	snap := w.TakeSnapshot()
 	for _, k := range []int{1, 3, 8} {
-		pruned, err := w.SearchTopK(v, c, snap, k)
+		pruned, err := w.SearchTopK(context.Background(), v, c, snap, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -331,7 +332,7 @@ func TestSearchTopKUnaffectedView(t *testing.T) {
 	w := New(sp)
 	w.Synchronizer.EnumerateDropVariants = true
 	v := &View{Def: scenario.WideView(4)}
-	ranking, err := w.SearchTopK(v,
+	ranking, err := w.SearchTopK(context.Background(), v,
 		space.Change{Kind: space.DeleteRelation, Rel: "D1"}, w.TakeSnapshot(), 10)
 	if err != nil {
 		t.Fatal(err)
@@ -362,7 +363,7 @@ func TestSearchTopKDeceased(t *testing.T) {
 		Select: []esql.SelectItem{{Attr: esql.AttrRef{Rel: "R", Attr: "A"}}},
 		From:   []esql.FromItem{{Rel: "R"}},
 	}
-	ranking, err := w.SearchTopK(&View{Def: def},
+	ranking, err := w.SearchTopK(context.Background(), &View{Def: def},
 		space.Change{Kind: space.DeleteRelation, Rel: "R"}, w.TakeSnapshot(), 5)
 	if err != nil {
 		t.Fatal(err)

@@ -1,8 +1,10 @@
 package warehouse
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/conc"
 	"repro/internal/core"
@@ -47,6 +49,23 @@ type Warehouse struct {
 	// default) keeps the exhaustive enumerate-then-rank reference path.
 	TopK int
 
+	// knobMu guards the tuning knobs above (Tradeoff, Cost, Workers, TopK)
+	// and the observer field. Every synchronization pass snapshots the
+	// knobs once under this mutex (TakeSnapshot) and runs the whole pass
+	// against the snapshot, so a concurrent tuner calling the Set* methods
+	// between or during passes can never tear a pass: each pass ranks under
+	// exactly one coherent knob state. Direct field pokes (the deprecated
+	// v1 style) bypass the mutex and are only safe while no change is being
+	// applied.
+	knobMu sync.Mutex
+	// observer receives pipeline notifications; nil means none. Unlike the
+	// ranking knobs it is deliberately not part of the pass snapshot:
+	// observers are instrumentation, not semantics, and SetObserver takes
+	// effect immediately — a swap while a pass runs may deliver the
+	// remainder of that pass's events to the new observer. Accessed through
+	// obs() under knobMu.
+	observer Observer
+
 	views map[string]*View
 	order []string
 	// viewEpoch counts view-registry generations: it is bumped whenever the
@@ -86,13 +105,13 @@ func (w *Warehouse) DefineView(src string) (*View, error) {
 // RegisterView registers an already-built definition.
 func (w *Warehouse) RegisterView(def *esql.ViewDef) (*View, error) {
 	if _, dup := w.views[def.Name]; dup {
-		return nil, fmt.Errorf("warehouse: view %q already defined", def.Name)
+		return nil, fmt.Errorf("warehouse: view %q: %w", def.Name, ErrDuplicateView)
 	}
 	q, err := exec.Qualify(def, w.Space)
 	if err != nil {
 		return nil, err
 	}
-	ext, err := exec.Evaluate(q, w.Space)
+	ext, err := exec.Evaluate(context.Background(), q, w.Space)
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +131,69 @@ func (w *Warehouse) RegisterView(def *esql.ViewDef) (*View, error) {
 // instead of rescanning the registry. Like the rest of the warehouse it is
 // only coherent from a single goroutine.
 func (w *Warehouse) ViewEpoch() uint64 { return w.viewEpoch }
+
+// SetTopK switches the ranking phase to the lazy top-K search (k > 0) or
+// back to the exhaustive reference path (k == 0). Safe to call concurrently
+// with running passes: the new value applies from the next pass's knob
+// snapshot onward.
+func (w *Warehouse) SetTopK(k int) {
+	w.knobMu.Lock()
+	defer w.knobMu.Unlock()
+	w.TopK = k
+}
+
+// SetWorkers bounds the synchronization pipeline's worker pool from the
+// next pass onward (zero restores the one-per-CPU default). Safe to call
+// concurrently with running passes.
+func (w *Warehouse) SetWorkers(n int) {
+	w.knobMu.Lock()
+	defer w.knobMu.Unlock()
+	w.Workers = n
+}
+
+// SetTradeoff replaces the QC-Model trade-off parameters from the next
+// pass's knob snapshot onward. Safe to call concurrently with running
+// passes; it does not validate — construction-time validation is the v2
+// options API's job.
+func (w *Warehouse) SetTradeoff(t core.Tradeoff) {
+	w.knobMu.Lock()
+	defer w.knobMu.Unlock()
+	w.Tradeoff = t
+}
+
+// SetCostModel replaces the maintenance-cost statistics from the next
+// pass's knob snapshot onward. Safe to call concurrently with running
+// passes.
+func (w *Warehouse) SetCostModel(cm core.CostModel) {
+	w.knobMu.Lock()
+	defer w.knobMu.Unlock()
+	w.Cost = cm
+}
+
+// SetObserver installs the pipeline observer (nil removes it). It takes
+// effect immediately, even for a pass already running — swap observers
+// between passes if a pass's events must all land on one observer. Hooks
+// fire from worker goroutines; see Observer for the concurrency contract.
+func (w *Warehouse) SetObserver(o Observer) {
+	w.knobMu.Lock()
+	defer w.knobMu.Unlock()
+	w.observer = o
+}
+
+// Observer returns the installed observer, or the no-op default — the hook
+// surface for drivers outside this package (the evolution session fires
+// OnChange/OnAdopt through it so both pipelines notify identically).
+func (w *Warehouse) Observer() Observer { return w.obs() }
+
+// obs returns the installed observer, or the no-op default.
+func (w *Warehouse) obs() Observer {
+	w.knobMu.Lock()
+	defer w.knobMu.Unlock()
+	if w.observer == nil {
+		return NopObserver{}
+	}
+	return w.observer
+}
 
 // View returns the named registered view, or nil. Deceased views remain
 // reachable here (their History is part of the experiment record) even
@@ -181,22 +263,49 @@ type SyncResult struct {
 	Deceased bool
 }
 
-// Snapshot is an immutable copy of the pre-change MKB statistics the
-// QC-Model needs: the advertised cardinality of every registered relation
-// at snapshot time. It is built once per ApplyChange and shared, read-only,
-// by every concurrent ranker, so rankings are insensitive to both MKB
-// evolution and scheduling order.
+// Snapshot is an immutable copy of the per-pass state the synchronization
+// pipeline needs: the advertised MKB cardinality of every registered
+// relation, plus the warehouse's tuning knobs (TopK, Workers, Tradeoff,
+// Cost) read once under the knob mutex. It is built once per ApplyChange
+// (or per coalesced session pass) and shared, read-only, by every
+// concurrent ranker, so rankings are insensitive to MKB evolution,
+// scheduling order, and concurrent knob tuning alike — a tuner adjusting
+// TopK or the trade-off weights mid-pass cannot produce a torn pass where
+// some views rank under the old knobs and some under the new.
 type Snapshot struct {
-	cards map[string]int
+	cards    map[string]int
+	topK     int
+	workers  int
+	tradeoff core.Tradeoff
+	cost     core.CostModel
 }
 
-// TakeSnapshot captures the current MKB cardinalities.
+// TakeSnapshot captures the current MKB cardinalities and, under the knob
+// mutex, one coherent copy of the tuning knobs.
 func (w *Warehouse) TakeSnapshot() *Snapshot {
 	cards := make(map[string]int)
 	for _, info := range w.Space.MKB().Relations() {
 		cards[info.Ref.Rel] = info.Card
 	}
-	return &Snapshot{cards: cards}
+	w.knobMu.Lock()
+	defer w.knobMu.Unlock()
+	return &Snapshot{
+		cards:    cards,
+		topK:     w.TopK,
+		workers:  w.Workers,
+		tradeoff: w.Tradeoff,
+		cost:     w.Cost,
+	}
+}
+
+// Workers returns the snapshotted worker-pool bound, so one pass fans both
+// of its phases out over the same pool size regardless of concurrent
+// tuning. A nil snapshot reports zero (the one-per-CPU default).
+func (s *Snapshot) Workers() int {
+	if s == nil {
+		return 0
+	}
+	return s.workers
 }
 
 // Card returns the snapshotted cardinality of rel (zero when unknown). A
@@ -222,14 +331,25 @@ func (s *Snapshot) cardMap() map[string]int {
 // by the QC-Model, and the best one replaces the view definition. Views
 // with no legal rewriting become deceased.
 //
-// The work is pipelined over a bounded worker pool (Workers goroutines,
-// default one per CPU) in two phases around the single base-change
+// The work is pipelined over a bounded worker pool (the snapshotted Workers
+// knob, default one per CPU) in two phases around the single base-change
 // application: first every live view synchronizes and ranks against the
 // pre-change MKB (reads only, sharing one immutable Snapshot), then every
 // affected view adopts its chosen rewriting against the post-change space
 // (each worker mutates only its own view). Results are always returned in
 // view registration order, independent of scheduling.
-func (w *Warehouse) ApplyChange(c space.Change) ([]SyncResult, error) {
+//
+// Cancellation: ctx is observed throughout phase 1 — between views, inside
+// rewriting enumeration, and inside plan execution — and a cancellation
+// there aborts the pass with ctx.Err() before the change lands, leaving the
+// warehouse untouched. Once the change lands, the pass is committed: phase
+// 2 runs to completion regardless of ctx, because a landed change whose
+// affected views never adopted would be an inconsistent state. A cancelled
+// ApplyChange therefore either did nothing or did everything.
+func (w *Warehouse) ApplyChange(ctx context.Context, c space.Change) ([]SyncResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Synchronization and ranking run against the *pre-change* MKB: the
 	// PC constraints mentioning the deleted component are exactly what the
 	// quality estimator needs, and the MKB Evolver prunes them once the
@@ -248,13 +368,13 @@ func (w *Warehouse) ApplyChange(c space.Change) ([]SyncResult, error) {
 
 	// Phase 1: per-view synchronize + rank, concurrently over the shared
 	// pre-change state.
-	err := conc.ForEach(len(work), w.Workers, func(i int) error {
+	err := conc.ForEachCtx(ctx, len(work), snap.workers, func(i int) error {
 		p := work[i]
 		p.affected = synchronize.Affected(p.v.Def, c)
 		if !p.affected {
 			return nil
 		}
-		ranking, err := w.rankFor(p.v, c, snap)
+		ranking, err := w.rankFor(ctx, p.v, c, snap)
 		if err != nil {
 			return err
 		}
@@ -269,14 +389,23 @@ func (w *Warehouse) ApplyChange(c space.Change) ([]SyncResult, error) {
 		return nil, err
 	}
 
-	// The base change lands exactly once, between the two phases.
+	// The base change lands exactly once, between the two phases. This is
+	// the pass's commit point: from here on the pass completes regardless
+	// of ctx, and the check just before it is the last chance for a
+	// cancellation to abort the pass cleanly (a cancel that fired inside
+	// the final phase-1 ranking is caught here, not swallowed).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := w.Space.ApplyChange(c); err != nil {
 		return nil, err
 	}
+	w.obs().OnChange(c)
 
 	// Phase 2: adopt or decease, concurrently — re-materialization reads
 	// the shared post-change space, but each worker writes only its view.
-	err = conc.ForEach(len(work), w.Workers, func(i int) error {
+	// Deliberately not under ctx: see the commit-point note above.
+	err = conc.ForEach(len(work), snap.workers, func(i int) error {
 		p := work[i]
 		if !p.affected {
 			return nil
@@ -286,7 +415,11 @@ func (w *Warehouse) ApplyChange(c space.Change) ([]SyncResult, error) {
 			p.res.Deceased = true
 			return nil
 		}
-		return w.adopt(p.v, p.res.Chosen.Rewriting, c)
+		if err := w.adopt(p.v, p.res.Chosen.Rewriting, c); err != nil {
+			return err
+		}
+		w.obs().OnAdopt(p.v.Def.Name, p.res.Chosen)
+		return nil
 	})
 	// Prune even when an adopt failed: other workers may have marked views
 	// deceased, and ViewNames/LiveViews must not report those as live.
@@ -309,6 +442,7 @@ func (w *Warehouse) ApplyChange(c space.Change) ([]SyncResult, error) {
 func (w *Warehouse) MarkDeceased(v *View, c space.Change) {
 	v.Deceased = true
 	v.History = append(v.History, fmt.Sprintf("%s: no legal rewriting — view deceased", c))
+	w.obs().OnDecease(v.Def.Name, c)
 }
 
 // PruneDeceased removes deceased views from the registration order so
@@ -326,10 +460,10 @@ func (w *Warehouse) PruneDeceased() {
 }
 
 // RankRewritings scores a set of legal rewritings for a view using the
-// warehouse's trade-off parameters: extent sizes come from the analytic
-// estimator over the snapshot's pre-change cardinalities, cost scenarios
-// from the actual relation placement in the space. It only reads shared
-// state, so concurrent rankers may share one snapshot.
+// snapshot's trade-off parameters and cost model: extent sizes come from
+// the analytic estimator over the snapshot's pre-change cardinalities, cost
+// scenarios from the actual relation placement in the space. It only reads
+// shared state, so concurrent rankers may share one snapshot.
 func (w *Warehouse) RankRewritings(v *View, rws []*synchronize.Rewriting, snap *Snapshot) (*core.Ranking, error) {
 	est := core.NewEstimator(w.Space.MKB())
 	cands := make([]*core.Candidate, 0, len(rws))
@@ -340,7 +474,7 @@ func (w *Warehouse) RankRewritings(v *View, rws []*synchronize.Rewriting, snap *
 			Scenario:  w.ScenarioFor(rw.View, snap),
 		})
 	}
-	return core.Rank(v.Def, cands, w.Tradeoff, w.Cost)
+	return core.Rank(v.Def, cands, snap.tradeoff, snap.cost)
 }
 
 // ScenarioFor derives the cost model's update scenario from the rewriting's
@@ -424,7 +558,10 @@ func (w *Warehouse) AdoptRewriting(v *View, rw *synchronize.Rewriting, c space.C
 }
 
 // adopt replaces the view definition with the chosen rewriting and
-// re-materializes the extent from the post-change space.
+// re-materializes the extent from the post-change space. Adoption runs
+// under the background context on purpose: it only happens after the base
+// change landed, and a half-adopted view would break the adopted-prefix
+// consistency guarantee cancellation promises.
 func (w *Warehouse) adopt(v *View, rw *synchronize.Rewriting, c space.Change) error {
 	def := rw.View.Clone()
 	def.Name = v.Def.Name
@@ -432,7 +569,7 @@ func (w *Warehouse) adopt(v *View, rw *synchronize.Rewriting, c space.Change) er
 	if err != nil {
 		return err
 	}
-	ext, err := exec.Evaluate(q, w.Space)
+	ext, err := exec.Evaluate(context.Background(), q, w.Space)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestApplyChangeSubstitutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	results, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestApplyChangeDeceases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	results, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestApplyChangeDeceases(t *testing.T) {
 		t.Errorf("LiveViews = %v", got)
 	}
 	// Further changes skip deceased views.
-	results, err = wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: "Rep"})
+	results, err = wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "Rep"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestApplyChangeUnaffected(t *testing.T) {
 	if _, err := wh.DefineView(replicaView); err != nil {
 		t.Fatal(err)
 	}
-	results, err := wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: "Rep"})
+	results, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "Rep"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestMultiViewSynchronization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: "R"})
+	results, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestViewNamesPrunesDeceased(t *testing.T) {
 	if got := wh.ViewNames(); len(got) != 3 {
 		t.Fatalf("ViewNames before change = %v", got)
 	}
-	if _, err := wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: "R"}); err != nil {
+	if _, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "R"}); err != nil {
 		t.Fatal(err)
 	}
 	names := wh.ViewNames()
@@ -300,7 +301,7 @@ func TestEndToEndExp1Lifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Change 1: delete R.A → with default w1 > w2 the replica S or T wins.
-	if _, err := wh.ApplyChange(space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "A"}); err != nil {
+	if _, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "A"}); err != nil {
 		t.Fatal(err)
 	}
 	if v.Deceased {
@@ -311,7 +312,7 @@ func TestEndToEndExp1Lifecycle(t *testing.T) {
 		t.Fatalf("w1>w2 should pick a replica, got %q", first)
 	}
 	// Change 2: delete the adopted replica → the other replica salvages.
-	if _, err := wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: first}); err != nil {
+	if _, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: first}); err != nil {
 		t.Fatal(err)
 	}
 	if v.Deceased {
@@ -322,7 +323,7 @@ func TestEndToEndExp1Lifecycle(t *testing.T) {
 		t.Fatalf("unexpected second replica %q", second)
 	}
 	// Change 3: delete the second replica → deceased.
-	if _, err := wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: second}); err != nil {
+	if _, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: second}); err != nil {
 		t.Fatal(err)
 	}
 	if !v.Deceased {
@@ -346,7 +347,7 @@ func TestTravelScenarioEndToEnd(t *testing.T) {
 	if before == 0 {
 		t.Fatal("empty initial extent — scenario misconfigured")
 	}
-	if _, err := wh.ApplyChange(space.Change{Kind: space.DeleteRelation, Rel: "Customer"}); err != nil {
+	if _, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "Customer"}); err != nil {
 		t.Fatal(err)
 	}
 	if v.Deceased {

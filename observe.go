@@ -1,0 +1,23 @@
+package eve
+
+import "repro/internal/warehouse"
+
+// Observation surface of the v2 API: an Observer installed with
+// WithObserver (or System.SetObserver) receives a callback at each semantic
+// point of the synchronize→rank→adopt pipeline, identically under the
+// reference ApplyChange loop and the evolution session's coalesced passes.
+type (
+	// Observer receives pipeline notifications: OnChange when a capability
+	// change lands, OnSync after a view's rewritings are ranked, OnAdopt
+	// when a view adopts its chosen rewriting, OnDecease when a view is
+	// left without any legal rewriting. Hooks fire from worker goroutines,
+	// possibly concurrently — implementations must be safe for concurrent
+	// use. Embed NopObserver to implement a subset.
+	Observer = warehouse.Observer
+	// NopObserver is the do-nothing Observer, for embedding.
+	NopObserver = warehouse.NopObserver
+	// MetricsObserver counts pipeline events (changes landed, searches
+	// ranked, adoptions, deceases) with atomic counters; its zero value is
+	// ready to use.
+	MetricsObserver = warehouse.MetricsObserver
+)

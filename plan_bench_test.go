@@ -10,6 +10,7 @@ package eve
 // to see the hash-join + zero-copy-scan win directly in ns/op.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -70,7 +71,7 @@ func benchEvaluate(b *testing.B, eval func(*esql.ViewDef, *space.Space) (interfa
 // workloads.
 func BenchmarkEvaluatePlanned(b *testing.B) {
 	benchEvaluate(b, func(v *esql.ViewDef, sp *space.Space) (interface{ Card() int }, error) {
-		return exec.Evaluate(v, sp)
+		return exec.Evaluate(context.Background(), v, sp)
 	})
 }
 
@@ -108,7 +109,7 @@ func BenchmarkApplyChangePipeline(b *testing.B) {
 					}
 				}
 				b.StartTimer()
-				if _, err := wh.ApplyChange(DeleteAttribute("R", "A")); err != nil {
+				if _, err := wh.ApplyChange(context.Background(), DeleteAttribute("R", "A")); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -13,6 +13,7 @@ package eve
 //	go test -race -run Stress ./...
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -77,10 +78,10 @@ func TestStressConcurrentSessions(t *testing.T) {
 				}
 			}
 			if g%2 == 0 {
-				_, errs[g] = sys.EvolveBatch(h.Changes)
+				_, errs[g] = sys.EvolveBatch(context.Background(), h.Changes)
 			} else {
 				for _, c := range h.Changes {
-					if _, err := sys.ApplyChange(c); err != nil {
+					if _, err := sys.ApplyChange(context.Background(), c); err != nil {
 						errs[g] = err
 						return
 					}

@@ -14,6 +14,7 @@ package eve
 // is several orders of magnitude beyond the ≥5x acceptance bar.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -47,7 +48,7 @@ func BenchmarkSynchronizeWide(b *testing.B) {
 			var ranked int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rws, err := w.Synchronizer.Synchronize(v.Def, c)
+				rws, err := w.Synchronizer.Synchronize(context.Background(), v.Def, c)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -64,7 +65,7 @@ func BenchmarkSynchronizeWide(b *testing.B) {
 			var ranked int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ranking, err := w.SearchTopK(v, c, snap, 5)
+				ranking, err := w.SearchTopK(context.Background(), v, c, snap, 5)
 				if err != nil {
 					b.Fatal(err)
 				}
