@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test stress fuzz cover bench bench-wide bench-churn vet doclint vulncheck doc ci
+# Recipes pipe go test output through benchjson; without pipefail the pipe
+# would report only the last stage's status and mask a benchmark failure.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+.PHONY: build test stress fuzz cover bench bench-wide bench-churn bench-serve vet doclint vulncheck doc ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +43,15 @@ bench-wide:
 bench-churn:
 	$(GO) test -run='^$$' -bench=BenchmarkEvolveChurn -benchtime=3x .
 
+# Serving-path benchmark: lock-free epoch reads vs the serialized baseline,
+# plus the recompute path with/without the per-version plan cache, at
+# 1/4/16 reader goroutines against continuous churn. The parsed grid is
+# recorded in BENCH_serve.json so a regression shows up as a diff.
+SERVE_BENCHTIME ?= 1s
+bench-serve:
+	$(GO) test -run='^$$' -bench=BenchmarkServeConcurrent -benchtime=$(SERVE_BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_serve.json
+
 vet:
 	$(GO) vet ./...
 
@@ -70,3 +84,5 @@ ci: vet doclint vulncheck build stress
 	$(GO) test -race -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 	$(GO) test -run='^$$' -bench=BenchmarkEvaluate -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench=BenchmarkServeConcurrent -benchtime=1x . \
+		| $(GO) run ./cmd/benchjson -out /dev/null

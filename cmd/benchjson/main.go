@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` output into a JSON document.
+// It reads the benchmark run from stdin, echoes it unchanged to stdout (so
+// it drops into a pipeline without hiding the run), and writes the parsed
+// results to the file named by -out:
+//
+//	go test -bench=BenchmarkServeConcurrent . | go run ./cmd/benchjson -out BENCH_serve.json
+//
+// Every standard benchmark line — name, iteration count, and the
+// value/unit metric pairs (ns/op, custom b.ReportMetric units like
+// reads/s, B/op, allocs/op) — becomes one entry; context lines (goos, cpu,
+// PASS, ...) are carried in the header field. The Makefile's bench-serve
+// target uses it to record the serving-path benchmark grid so a regression
+// is visible as a diff, and CI smoke-runs the same pipeline so the serving
+// path can never silently stop building.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name including the sub-benchmark path, with
+	// the trailing -N GOMAXPROCS marker stripped so names stay stable
+	// across machines, e.g. "BenchmarkServeConcurrent/mode=epoch/readers=16".
+	Name string `json:"name"`
+	// Iters is the measured iteration count (the N in N ns/op).
+	Iters int64 `json:"iters"`
+	// Metrics maps unit to value for every "value unit" pair on the line.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the JSON document benchjson writes.
+type Doc struct {
+	// Header carries the run's context lines (goos, goarch, pkg, cpu).
+	Header []string `json:"header"`
+	// Benchmarks are the parsed result lines in input order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkX/sub-8   12345   67.8 ns/op   90 reads/s".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("out", "", "file to write the JSON document to (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+
+	doc := Doc{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			iters, err := strconv.ParseInt(m[2], 10, 64)
+			if err != nil {
+				continue
+			}
+			doc.Benchmarks = append(doc.Benchmarks, Result{
+				Name:    stripMaxprocs(m[1]),
+				Iters:   iters,
+				Metrics: parseMetrics(m[3]),
+			})
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			doc.Header = append(doc.Header, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// stripMaxprocs removes the trailing -N GOMAXPROCS marker from a benchmark
+// name (left unchanged when absent, e.g. on GOMAXPROCS=1 machines where go
+// test omits it).
+func stripMaxprocs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseMetrics splits the tail of a benchmark line into unit -> value.
+func parseMetrics(tail string) map[string]float64 {
+	fields := strings.Fields(tail)
+	out := make(map[string]float64, len(fields)/2)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[i+1]] = v
+	}
+	return out
+}

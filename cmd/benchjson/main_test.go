@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestBenchLineParsing(t *testing.T) {
+	m := benchLine.FindStringSubmatch("BenchmarkServeConcurrent/mode=epoch/readers=16-8   \t 7306026\t       139.0 ns/op\t   7196811 reads/s")
+	if m == nil {
+		t.Fatal("benchmark line did not match")
+	}
+	if got := m[1]; got != "BenchmarkServeConcurrent/mode=epoch/readers=16-8" {
+		t.Errorf("name = %q", got)
+	}
+	metrics := parseMetrics(m[3])
+	if metrics["ns/op"] != 139.0 {
+		t.Errorf("ns/op = %v", metrics["ns/op"])
+	}
+	if metrics["reads/s"] != 7196811 {
+		t.Errorf("reads/s = %v", metrics["reads/s"])
+	}
+}
+
+func TestStripMaxprocs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX/readers=16-8":     "BenchmarkX/readers=16",
+		"BenchmarkX":                  "BenchmarkX",
+		"BenchmarkX/mode=no-cache":    "BenchmarkX/mode=no-cache",
+		"BenchmarkX/mode=no-cache-4":  "BenchmarkX/mode=no-cache",
+		"BenchmarkServeConcurrent-16": "BenchmarkServeConcurrent",
+	}
+	for in, want := range cases {
+		if got := stripMaxprocs(in); got != want {
+			t.Errorf("stripMaxprocs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNonBenchLinesIgnored(t *testing.T) {
+	for _, line := range []string{"goos: linux", "PASS", "ok  \trepro\t3.3s", ""} {
+		if benchLine.MatchString(line) {
+			t.Errorf("%q should not parse as a benchmark line", line)
+		}
+	}
+}

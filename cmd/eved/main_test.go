@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHandlerServesDuringChurn drives the eved handler with httptest while
+// the churn stream applies, checking that every endpoint answers from a
+// coherent version.
+func TestHandlerServesDuringChurn(t *testing.T) {
+	sys, h, err := buildSystem(30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied atomic.Int64
+	srv := httptest.NewServer(newHandler(sys, &applied, len(h.Changes)))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// Serve before, during, and after churn.
+	checkAll := func() {
+		code, body := get("/")
+		if code != 200 || !strings.Contains(body, "versionSeq") {
+			t.Fatalf("/ = %d %q", code, body)
+		}
+		code, body = get("/views")
+		if code != 200 || !strings.Contains(body, "views") {
+			t.Fatalf("/views = %d %q", code, body)
+		}
+		var doc struct {
+			Views []struct {
+				Name string `json:"name"`
+			} `json:"views"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("/views JSON: %v in %q", err, body)
+		}
+		if len(doc.Views) == 0 {
+			t.Fatal("/views returned no views")
+		}
+		code, body = get("/views/" + doc.Views[0].Name)
+		if code != 200 || !strings.Contains(body, "version seq=") {
+			t.Fatalf("/views/%s = %d %q", doc.Views[0].Name, code, body)
+		}
+	}
+	checkAll()
+	ses := sys.Session()
+	for i, c := range h.Changes {
+		if _, err := ses.Evolve(context.Background(), c); err != nil {
+			t.Fatalf("change %d: %v", i, err)
+		}
+		applied.Add(1)
+		if i%10 == 0 {
+			checkAll()
+		}
+	}
+	checkAll()
+
+	if code, _ := get("/views/NoSuchView"); code != http.StatusNotFound {
+		t.Errorf("/views/NoSuchView = %d, want 404", code)
+	}
+	if code, _ := get("/bogus"); code != http.StatusNotFound {
+		t.Errorf("/bogus = %d, want 404", code)
+	}
+}

@@ -38,6 +38,18 @@
 // installs OnChange/OnSync/OnAdopt/OnDecease hooks (MetricsObserver is the
 // ready-made counter set).
 //
+// # Serving reads during evolution
+//
+// The system publishes an immutable Version at every commit point (view
+// registration, each ApplyChange pass, each coalesced session pass), so
+// any number of reader goroutines can serve queries lock-free while the
+// evolution writer runs: System.Serve(ctx, name) answers from the latest
+// version, System.Snapshot() pins one version for a multi-read
+// transaction. A reader never observes a half-applied pass, and versions
+// it holds are never mutated by later passes (adoption is copy-on-write).
+// Per-version compiled plans are cached, so the steady-state read is one
+// atomic load plus one plan execution. See Version.
+//
 // # Execution and debugging
 //
 // View evaluation compiles each definition into an explicit physical plan
@@ -60,13 +72,13 @@
 //
 // Two search paths generate and rank a view's legal rewritings:
 //
-//   - Exhaustive (the default, System.TopK == 0): every legal rewriting —
+//   - Exhaustive (the default, TopK() == 0): every legal rewriting —
 //     including, when Synchronizer.EnumerateDropVariants is set, the
 //     CVS-style 2^width spectrum of drop-variants — is materialized, scored
 //     by the QC-Model, and sorted. This is the executable reference
 //     matching the paper's enumerate-then-rank presentation.
 //
-//   - Lazy top-K (System.TopK > 0): base rewritings are scored eagerly,
+//   - Lazy top-K (TopK() > 0, via WithTopK or SetTopK): base rewritings are scored eagerly,
 //     and each base's drop-variant spectrum is streamed best-first and
 //     branch-and-bounded against the running K-th best QC score, so
 //     variants that cannot enter the ranking are never built. On wide
@@ -134,6 +146,30 @@ func (s *System) EvolveBatch(ctx context.Context, changes []Change) ([]evolve.St
 	return s.Session().EvolveBatch(ctx, changes)
 }
 
+// Snapshot acquires the latest published warehouse version — the lock-free
+// read surface for serving queries while the system evolves. One atomic
+// load, no locks, never nil; see Version for the consistency contract (a
+// reader never observes a half-applied pass, and later passes never mutate
+// an acquired version). Use one Snapshot for a multi-read transaction that
+// must be internally consistent; call again to pick up newer commits.
+//
+//	v := sys.Snapshot()
+//	for _, name := range v.ViewNames() {
+//	    ext, err := v.Evaluate(ctx, name) // all reads see one commit point
+//	    ...
+//	}
+func (s *System) Snapshot() *Version { return s.Acquire() }
+
+// Serve evaluates the named view against the latest published version —
+// the one-call serving read path, equivalent to
+// s.Snapshot().Evaluate(ctx, name). It is lock-free and safe to call from
+// any number of goroutines concurrently with ApplyChange, EvolveBatch, and
+// Stream; each call sees the most recent commit point. Unknown names return
+// ErrViewNotFound, deceased views ErrViewDeceased.
+func (s *System) Serve(ctx context.Context, name string) (*Relation, error) {
+	return s.Acquire().Evaluate(ctx, name)
+}
+
 // Stream drives the system from an unbounded change feed, yielding one
 // StepResult per landed change in feed order. Consecutive compatible
 // changes coalesce into single passes exactly as EvolveBatch coalesces
@@ -162,6 +198,12 @@ type (
 	EvolveSession = evolve.Session
 	// SyncResult reports one view's outcome for a capability change.
 	SyncResult = warehouse.SyncResult
+	// Version is one immutable published warehouse state — the lock-free
+	// serving snapshot System.Snapshot returns (see warehouse.Version for
+	// the full consistency contract).
+	Version = warehouse.Version
+	// VersionView is one view captured in a Version.
+	VersionView = warehouse.VersionView
 
 	// ViewDef is a parsed E-SQL view definition.
 	ViewDef = esql.ViewDef
@@ -264,10 +306,11 @@ const (
 // NewSystem creates an EVE system over a fresh information space with the
 // paper's default trade-off parameters and cost model.
 //
-// Deprecated: use New. NewSystem remains for v1 compatibility; tuning the
-// returned system by assigning exported fields (sys.TopK = 5) is the
-// deprecated v1 style — it bypasses both construction-time validation and
-// the knob synchronization the Set* methods provide.
+// Deprecated: use New. NewSystem remains for v1 compatibility, but the v1
+// habit of tuning the returned system by assigning exported fields
+// (sys.TopK = 5) no longer compiles: the knobs live behind the knob mutex
+// and are tuned through the Set* methods (SetTopK, SetWorkers,
+// SetTradeoff, SetCostModel), which are safe even against a running pass.
 func NewSystem() *System { return &System{Warehouse: warehouse.New(space.New())} }
 
 // NewSystemOver creates an EVE system over an existing information space

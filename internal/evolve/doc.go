@@ -36,6 +36,12 @@
 //     what makes this order-insensitive, so coalescing is semantically
 //     invisible (see Session.EvolveBatch for the argument).
 //
+// Sessions participate in epoch publication: after each group's
+// adopt/decease phase completes, the landed prefix is published as an
+// immutable warehouse.Version (warehouse.PublishVersion), so lock-free
+// readers serving from Acquire see session passes exactly as atomically
+// as reference ApplyChange passes — never a half-applied group.
+//
 // The related-work motivation is the incremental-reformulation framing of
 // Chirkova & Genesereth's "Database Reformulation with Integrity
 // Constraints" and the rewrite-caching discipline of "Efficient Cost-Based

@@ -316,6 +316,14 @@ func (s *Session) finish(landed []*member, units []*unit, snap *warehouse.Snapsh
 		s.w.PruneDeceased()
 		s.reindex()
 	}
+	// Publish the landed prefix as a new immutable version — the session's
+	// commit point for lock-free readers, mirroring ApplyChange's. Skip-only
+	// groups (changes landed, no views affected) publish too: the space
+	// moved even though the registry did not. A group cancelled before its
+	// first landing left the warehouse untouched and publishes nothing.
+	if len(landed) > 0 {
+		s.w.PublishVersion(snap)
+	}
 
 	results := make([]StepResult, 0, len(landed))
 	for _, m := range landed {

@@ -51,7 +51,7 @@ func buildWarehouse(t *testing.T, h *scenario.ChurnHistory, topK int, enumerate 
 		t.Fatal(err)
 	}
 	w := warehouse.New(sp)
-	w.TopK = topK
+	w.SetTopK(topK)
 	w.Synchronizer.EnumerateDropVariants = enumerate
 	for _, def := range h.Views() {
 		if _, err := w.RegisterView(def); err != nil {

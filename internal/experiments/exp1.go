@@ -64,11 +64,13 @@ func runExp1Case(w1, w2 float64) (Exp1Outcome, error) {
 		return out, err
 	}
 	wh := warehouse.New(sp)
-	wh.Tradeoff.W1, wh.Tradeoff.W2 = w1, w2
+	t := wh.Tradeoff()
+	t.W1, t.W2 = w1, w2
 	// Focus the experiment on interface quality, as the paper does
 	// ("ignoring the view extent quality factor for the time being").
-	wh.Tradeoff.RhoAttr, wh.Tradeoff.RhoExt = 1, 0
-	wh.Tradeoff.RhoQuality, wh.Tradeoff.RhoCost = 1, 0
+	t.RhoAttr, t.RhoExt = 1, 0
+	t.RhoQuality, t.RhoCost = 1, 0
+	wh.SetTradeoff(t)
 
 	v, err := wh.RegisterView(scenario.Exp1View())
 	if err != nil {

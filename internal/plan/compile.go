@@ -9,16 +9,60 @@ import (
 	"repro/internal/space"
 )
 
+// Catalog is the read surface Compile needs from its data source: relation
+// resolution, cardinality estimates, and default selectivities. space.Space
+// satisfies it through the spaceCatalog adapter; the warehouse's published
+// versions implement it over their captured (immutable) relation set, so
+// plans can be compiled against a snapshot without touching the live space
+// or its MKB.
+type Catalog interface {
+	// Relation resolves a relation name, or returns nil when unknown.
+	Relation(name string) *relation.Relation
+	// EstCard returns the advertised cardinality estimate for the relation
+	// (zero or negative means "use the relation's actual cardinality").
+	EstCard(name string) int
+	// Selectivities returns the default local selectivity σ and join
+	// selectivity; out-of-range values fall back to the paper's Table 1
+	// defaults inside CompileCatalog.
+	Selectivities() (sigma, js float64)
+}
+
+// spaceCatalog adapts a live space (relations + MKB statistics) to Catalog.
+type spaceCatalog struct{ sp *space.Space }
+
+func (c spaceCatalog) Relation(name string) *relation.Relation { return c.sp.Relation(name) }
+
+func (c spaceCatalog) EstCard(name string) int {
+	if info := c.sp.MKB().Relation(name); info != nil {
+		return info.Card
+	}
+	return 0
+}
+
+func (c spaceCatalog) Selectivities() (float64, float64) {
+	return c.sp.MKB().DefaultSelectivity, c.sp.MKB().DefaultJoinSelectivity
+}
+
 // Compile builds a physical plan for a fully qualified view (exec.Qualify
 // output) over a space. Constant and intra-relation predicates are pushed
 // below the joins, equi-join clauses become hash-join keys, and the join
 // order follows MKB cardinalities (smallest first, preferring equi-join
 // connected inputs over cross products).
 func Compile(q *esql.ViewDef, sp *space.Space) (*Plan, error) {
+	return CompileCatalog(q, spaceCatalog{sp})
+}
+
+// CompileCatalog is Compile over an explicit Catalog — the general entry
+// point for compiling against something other than a live space, e.g. a
+// published warehouse version's immutable relation snapshot. It only reads
+// the catalog during the call; the returned plan holds the resolved
+// relations (zero-copy rebound scans), so it stays executable for as long
+// as those relations are not mutated.
+func CompileCatalog(q *esql.ViewDef, cat Catalog) (*Plan, error) {
 	if len(q.From) == 0 {
 		return nil, fmt.Errorf("plan: view %s has no FROM relations", q.Name)
 	}
-	sigma, js := selectivities(sp)
+	sigma, js := clampSelectivities(cat.Selectivities())
 
 	pending := make([]relation.Clause, 0, len(q.Where))
 	for _, c := range q.Where {
@@ -32,13 +76,13 @@ func Compile(q *esql.ViewDef, sp *space.Space) (*Plan, error) {
 	}
 	inputs := make([]*input, 0, len(q.From))
 	for i, f := range q.From {
-		base := sp.Relation(f.Rel)
+		base := cat.Relation(f.Rel)
 		if base == nil {
 			return nil, fmt.Errorf("plan: view %s references missing relation %q", q.Name, f.Rel)
 		}
 		est := base.Card()
-		if info := sp.MKB().Relation(f.Rel); info != nil && info.Card > 0 {
-			est = info.Card
+		if c := cat.EstCard(f.Rel); c > 0 {
+			est = c
 		}
 		node, err := NewScan(base, f.Binding(), est)
 		if err != nil {
@@ -139,10 +183,10 @@ func Compile(q *esql.ViewDef, sp *space.Space) (*Plan, error) {
 	return &Plan{View: q.Name, Root: NewDedup(proj, q.Name, proj.EstRows())}, nil
 }
 
-// selectivities returns the MKB's default local selectivity σ and join
-// selectivity js, falling back to the paper's Table 1 values when unset.
-func selectivities(sp *space.Space) (sigma, js float64) {
-	sigma, js = sp.MKB().DefaultSelectivity, sp.MKB().DefaultJoinSelectivity
+// clampSelectivities falls back to the paper's Table 1 values for local
+// selectivity σ and join selectivity js when a catalog reports unset or
+// out-of-range statistics.
+func clampSelectivities(sigma, js float64) (float64, float64) {
 	if sigma <= 0 || sigma > 1 {
 		sigma = 0.5
 	}

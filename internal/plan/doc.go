@@ -21,6 +21,15 @@
 // eliminated once, at the Dedup root, which the set semantics of the final
 // extent makes equivalent to the naive path's per-operator dedup.
 //
+// Compilation reads its data source through the Catalog interface
+// (relation resolution, cardinality estimates, default selectivities):
+// Compile adapts a live space, CompileCatalog accepts anything else — in
+// particular the warehouse's published versions compile plans against
+// their immutable relation snapshots, which is what makes per-version
+// plan caching safe. Plan execution keeps all state on the stack, so one
+// compiled plan may be executed by any number of goroutines concurrently
+// as long as the scanned relations are not mutated.
+//
 // Paper mapping: the paper assumes set-semantics SELECT-FROM-WHERE
 // evaluation (Section 5.3) without prescribing an engine; this package is
 // the reproduction's engine, sized for the experiments' 10^3–10^4-tuple

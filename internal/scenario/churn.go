@@ -394,6 +394,28 @@ func (h *ChurnHistory) BuildSpace() (*space.Space, error) {
 	return sp, nil
 }
 
+// Populate inserts a deterministic set of rows tuples into every relation
+// of a space built by BuildSpace, so serving-path drivers (the eved demo
+// daemon, BenchmarkServeConcurrent) read and re-materialize real extents
+// instead of empty ones. The fill is a fixed function of row and column
+// index, so equal spaces populate identically.
+func Populate(sp *space.Space, rows int) error {
+	for _, name := range sp.RelationNames() {
+		r := sp.Relation(name)
+		width := r.Schema().Len()
+		for i := 0; i < rows; i++ {
+			t := make(relation.Tuple, width)
+			for j := range t {
+				t[j] = relation.Int(int64(i*7 + j))
+			}
+			if err := r.Insert(t); err != nil {
+				return fmt.Errorf("scenario: populate %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
 // Views returns fresh pre-history view definitions: TwinsPerFamily
 // structurally identical views per family, each selecting every A-attribute
 // of its family relation as a dispensable column. With ReplaceableViews the

@@ -17,9 +17,21 @@
 //     exhaustive enumerate-then-rank reference path, and the two agree on
 //     the winner and the top-K score sequence by construction (see
 //     SearchTopK).
+//   - version.go — the epoch-publication (MVCC-lite) serving layer: every
+//     commit point assembles an immutable Version (live views, adopted
+//     definitions, extents, captured base relations, the pass Snapshot)
+//     and publishes it with one atomic pointer swap. Acquire is the
+//     lock-free read surface; Version.Evaluate serves reads through a
+//     per-version compiled-plan cache. A reader never observes a
+//     half-applied pass, and adoption's copy-on-write discipline means
+//     later passes never mutate an acquired version.
 //
 // Concurrency model: ApplyChange pipelines per-view work over a bounded
-// worker pool (Workers) in two read-only/write-isolated phases around the
-// single base-change application; results always come back in view
-// registration order.
+// worker pool (the Workers knob) in two read-only/write-isolated phases
+// around the single base-change application; results always come back in
+// view registration order. Tuning knobs live behind the knob mutex
+// (Set*/accessor methods, snapshotted once per pass), the view registry
+// behind the registry lock, and concurrent query serving goes through the
+// published Version — the single evolution writer is the only remaining
+// single-threaded discipline.
 package warehouse

@@ -31,7 +31,7 @@ func TestApplyChangeConcurrentViews(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 8, 32} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			wh := New(replicaSpace(t))
-			wh.Workers = workers
+			wh.SetWorkers(workers)
 			registerFleet(t, wh, fleet)
 			results, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
 			if err != nil {
@@ -63,7 +63,7 @@ func TestApplyChangeConcurrentViews(t *testing.T) {
 // outcomes (adopt / decease / unaffected) straight when they interleave.
 func TestApplyChangeConcurrentMixedOutcomes(t *testing.T) {
 	wh := New(replicaSpace(t))
-	wh.Workers = 8
+	wh.SetWorkers(8)
 	// 4 survivors, 4 rigid views that will decease, 4 bystanders.
 	for i := 0; i < 4; i++ {
 		if _, err := wh.DefineView(fmt.Sprintf(`CREATE VIEW Live%d (VE = ~)

@@ -20,10 +20,7 @@ import (
 // dropWeightFor over its knob snapshot instead, pinning the whole pass to
 // one trade-off state.
 func (w *Warehouse) qualityWeight(s esql.SelectItem) float64 {
-	w.knobMu.Lock()
-	t := w.Tradeoff
-	w.knobMu.Unlock()
-	return dropWeightFor(t)(s)
+	return dropWeightFor(w.Tradeoff())(s)
 }
 
 // dropWeightFor builds the QC quality drop-weight for one fixed trade-off

@@ -253,7 +253,7 @@ func TestApplyChangeTopKAgreesWithExhaustive(t *testing.T) {
 			return nil, err
 		}
 		w := New(sp)
-		w.TopK = topK
+		w.SetTopK(topK)
 		w.Synchronizer.EnumerateDropVariants = true
 		if _, err := w.RegisterView(scenario.WideView(6)); err != nil {
 			return nil, err

@@ -1,0 +1,290 @@
+package warehouse
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/esql"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// VersionView is one view captured in a published Version: the adopted
+// definition, the materialized extent, and the synchronization history as
+// of the version's commit point. All three are immutable under evolution —
+// adoption replaces a view's definition and extent with fresh objects
+// instead of mutating the old ones, so a reader holding a VersionView keeps
+// seeing exactly the pass it was published by.
+type VersionView struct {
+	// Name is the view's registered name.
+	Name string
+	// Def is the (qualified) definition adopted as of this version.
+	Def *esql.ViewDef
+	// Extent is the materialized extent as of this version. Capability
+	// changes never mutate it (adoption re-materializes into a new
+	// relation); data updates routed through ApplyUpdate do write through
+	// it in place, unsynchronized with readers — see Version for the
+	// required coordination.
+	Extent *relation.Relation
+	// History records the synchronization steps applied up to this version.
+	History []string
+	// Deceased marks a view that a change up to this version left without
+	// any legal rewriting. Deceased views are excluded from Views and
+	// ViewNames but stay reachable through View for post-mortem reads.
+	Deceased bool
+}
+
+// Version is one immutable published state of the warehouse — the MVCC-lite
+// unit behind lock-free concurrent query serving during evolution. The
+// evolution writer assembles a Version at each commit point (view
+// registration, each ApplyChange pass, each evolution-session group pass)
+// and publishes it with one atomic pointer swap; Acquire hands the latest
+// one to readers with a single atomic load.
+//
+// Consistency contract: everything a Version exposes was captured at one
+// commit point, after the pass's base changes landed and every affected
+// view fully adopted or deceased. A reader therefore never observes a
+// half-applied pass — the reader-side extension of the landed-prefix rule
+// that cancellation already guarantees on the writer side. Because adoption
+// is copy-on-write (new definition, new extent, new base relation objects
+// on schema changes), later passes never mutate anything an older Version
+// references: under capability-change evolution a reader may keep a
+// Version for as long as it likes and re-read it consistently.
+//
+// The one exception is data updates: ApplyUpdate maintains extents and
+// base relations in place (incremental view maintenance is the point of
+// the paper's cost model), so tuples inserted or deleted after a Version
+// was published become visible through it — and those in-place writes are
+// NOT synchronized with readers. Versions isolate readers from schema
+// evolution only: while an ApplyUpdate runs, concurrent Evaluate/Extent
+// calls (on any version) race its slice mutations. Run ApplyUpdate from
+// the same single writer as the capability changes, and quiesce readers
+// around it (or serialize data updates with reads externally); under pure
+// capability-change evolution no such coordination is needed.
+//
+// Epoch is the warehouse's view-registry generation at publication
+// (ViewEpoch); Seq increases by one per publication, including
+// registry-neutral ones (e.g. a pass that only changed spare relations).
+type Version struct {
+	seq   uint64
+	epoch uint64
+	stats *Snapshot
+
+	views  []*VersionView
+	byName map[string]*VersionView
+	rels   map[string]*relation.Relation
+	cards  map[string]int
+	sigma  float64
+	js     float64
+
+	// plans caches compiled physical plans per view name. Within one
+	// version the captured relations never change, so a compiled plan stays
+	// valid for the version's whole lifetime and can be executed by any
+	// number of readers concurrently (plan operators keep all execution
+	// state on the stack). Two readers racing on a cold cache may both
+	// compile; compilation is deterministic, so either result serves.
+	plans sync.Map // view name -> *plan.Plan
+}
+
+// Seq returns the publication sequence number: strictly increasing by one
+// per published version of this warehouse, starting at 1 for the initial
+// (empty) version.
+func (v *Version) Seq() uint64 { return v.seq }
+
+// Epoch returns the warehouse's view-registry generation (ViewEpoch) this
+// version was stamped with. Two versions share an epoch only when the view
+// set and every adopted definition are identical between them; a reader
+// that cached per-epoch state can compare epochs instead of re-deriving it.
+func (v *Version) Epoch() uint64 { return v.epoch }
+
+// Stats returns the knob-and-cardinality snapshot of the pass that
+// published this version: the pre-change MKB cardinalities its rankings
+// were estimated against and the TopK/Workers/Tradeoff/CostModel knob state
+// the pass ran under. Versions published outside a synchronization pass
+// (view registration, data updates) carry the knob state at publication
+// time. The snapshot is immutable and safe to share.
+func (v *Version) Stats() *Snapshot { return v.stats }
+
+// Views returns the live views of this version in registration order.
+func (v *Version) Views() []*VersionView {
+	out := make([]*VersionView, 0, len(v.views))
+	for _, vv := range v.views {
+		if !vv.Deceased {
+			out = append(out, vv)
+		}
+	}
+	return out
+}
+
+// ViewNames lists the live view names of this version in registration
+// order — the version-pinned analogue of Warehouse.ViewNames.
+func (v *Version) ViewNames() []string {
+	out := make([]string, 0, len(v.views))
+	for _, vv := range v.views {
+		if !vv.Deceased {
+			out = append(out, vv.Name)
+		}
+	}
+	return out
+}
+
+// View returns the named view of this version — live or deceased — or nil
+// when the name was never registered as of this version.
+func (v *Version) View(name string) *VersionView { return v.byName[name] }
+
+// Relation returns the named base relation as captured at this version's
+// commit point, or nil. Schema changes replace relation objects, so the
+// returned relation reflects exactly this version's schema state.
+func (v *Version) Relation(name string) *relation.Relation { return v.rels[name] }
+
+// lookup resolves a view name to its live capture, mapping unknown names to
+// ErrViewNotFound and deceased views to ErrViewDeceased.
+func (v *Version) lookup(name string) (*VersionView, error) {
+	vv := v.byName[name]
+	if vv == nil {
+		return nil, fmt.Errorf("warehouse: view %q: %w", name, ErrViewNotFound)
+	}
+	if vv.Deceased {
+		return nil, fmt.Errorf("warehouse: view %q: %w", name, ErrViewDeceased)
+	}
+	return vv, nil
+}
+
+// Extent returns the named live view's materialized extent at this version:
+// the zero-cost read path when the maintained extent is the answer.
+// Unknown names return ErrViewNotFound, deceased views ErrViewDeceased.
+func (v *Version) Extent(name string) (*relation.Relation, error) {
+	vv, err := v.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return vv.Extent, nil
+}
+
+// Evaluate computes the named live view over this version's captured base
+// relations — the serving read path. The definition is compiled into a
+// physical plan on first use and cached for the version's lifetime (plans
+// are immutable per epoch), so the steady-state cost is one plan execution
+// with no recompilation; any number of readers may Evaluate concurrently
+// with each other and with the evolution writer. Cancellation follows
+// exec.Evaluate's contract: ctx.Err() and no partial extent.
+func (v *Version) Evaluate(ctx context.Context, name string) (*relation.Relation, error) {
+	vv, err := v.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := v.plans.Load(name); ok {
+		return p.(*plan.Plan).Execute(ctx)
+	}
+	p, err := plan.CompileCatalog(vv.Def, versionCatalog{v})
+	if err != nil {
+		return nil, err
+	}
+	v.plans.Store(name, p)
+	return p.Execute(ctx)
+}
+
+// Plan compiles (without caching) the physical plan Evaluate would run for
+// the named live view at this version — the cache-bypassing form, for
+// benchmarking the plan cache and for Explain-style debugging.
+func (v *Version) Plan(name string) (*plan.Plan, error) {
+	vv, err := v.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return plan.CompileCatalog(vv.Def, versionCatalog{v})
+}
+
+// versionCatalog adapts a Version's captured relations and statistics to
+// plan.Catalog, so plans compile against the immutable snapshot instead of
+// the live space and its (mutable) MKB.
+type versionCatalog struct{ v *Version }
+
+func (c versionCatalog) Relation(name string) *relation.Relation { return c.v.rels[name] }
+
+func (c versionCatalog) EstCard(name string) int { return c.v.cards[name] }
+
+func (c versionCatalog) Selectivities() (float64, float64) { return c.v.sigma, c.v.js }
+
+// Acquire returns the latest published warehouse version: one atomic load,
+// no locks, never nil. The returned version is immutable under evolution —
+// see Version for the exact contract — so a reader can serve any number of
+// reads from it and upgrade whenever it likes by acquiring again.
+func (w *Warehouse) Acquire() *Version { return w.published.Load() }
+
+// PublishVersion assembles the warehouse's current state into an immutable
+// Version and publishes it as the new serving snapshot, stamped with the
+// current ViewEpoch and the given pass snapshot (nil means "capture the
+// current knob state"). It is the commit-point hook for evolution drivers
+// outside this package — the evolution session calls it after each group's
+// adopt/decease phase completes, exactly where ApplyChange publishes — and
+// must only be called from the single evolution writer while no pass is
+// mid-flight.
+func (w *Warehouse) PublishVersion(snap *Snapshot) *Version { return w.publish(snap) }
+
+// publish captures the registry, the space's relation set, and the MKB
+// statistics into a fresh Version and swaps it in atomically.
+func (w *Warehouse) publish(snap *Snapshot) *Version {
+	if snap == nil {
+		snap = w.TakeSnapshot()
+	}
+	mkb := w.Space.MKB()
+	v := &Version{
+		seq:    w.versionSeq.Add(1),
+		epoch:  w.viewEpoch.Load(),
+		stats:  snap,
+		byName: make(map[string]*VersionView),
+		rels:   make(map[string]*relation.Relation),
+		cards:  make(map[string]int),
+		sigma:  mkb.DefaultSelectivity,
+		js:     mkb.DefaultJoinSelectivity,
+	}
+	for _, name := range w.Space.RelationNames() {
+		v.rels[name] = w.Space.Relation(name)
+	}
+	for _, info := range mkb.Relations() {
+		v.cards[info.Ref.Rel] = info.Card
+	}
+	w.regMu.RLock()
+	order := append([]string(nil), w.order...)
+	views := make(map[string]*View, len(w.views))
+	for name, view := range w.views {
+		views[name] = view
+	}
+	w.regMu.RUnlock()
+	live := make(map[string]bool, len(order))
+	for _, name := range order {
+		live[name] = true
+	}
+	add := func(name string, view *View) {
+		vv := &VersionView{
+			Name:     name,
+			Def:      view.Def,
+			Extent:   view.Extent,
+			History:  view.History[:len(view.History):len(view.History)],
+			Deceased: view.Deceased,
+		}
+		v.views = append(v.views, vv)
+		v.byName[name] = vv
+	}
+	// Live views first, in registration order; then the deceased corpses
+	// (reachable through View for post-mortem reads, skipped by Views),
+	// sorted so a version's layout is deterministic.
+	for _, name := range order {
+		add(name, views[name])
+	}
+	var dead []string
+	for name := range views {
+		if !live[name] {
+			dead = append(dead, name)
+		}
+	}
+	sort.Strings(dead)
+	for _, name := range dead {
+		add(name, views[name])
+	}
+	w.published.Store(v)
+	return v
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/conc"
 	"repro/internal/core"
@@ -31,33 +32,26 @@ type View struct {
 
 // Warehouse is the EVE system instance.
 type Warehouse struct {
-	Space    *space.Space
-	Tradeoff core.Tradeoff
-	Cost     core.CostModel
+	Space *space.Space
 	// Synchronizer generates legal rewritings; its options (e.g. CVS-style
 	// drop-variant enumeration) may be tuned before applying changes.
 	Synchronizer *synchronize.Synchronizer
-	// Workers bounds the synchronization pipeline's worker pool. Zero (the
-	// default) means one worker per available CPU; one forces the
-	// sequential behavior of the original implementation.
-	Workers int
-	// TopK, when positive, switches ApplyChange's ranking phase to the
-	// lazy, cost-bounded top-K rewriting search (SearchTopK): per affected
-	// view only the K best-scoring rewritings are retained, and the
-	// exponential drop-variant spectrum is branch-and-bounded against the
-	// running K-th best QC score instead of being materialized. Zero (the
-	// default) keeps the exhaustive enumerate-then-rank reference path.
-	TopK int
 
-	// knobMu guards the tuning knobs above (Tradeoff, Cost, Workers, TopK)
+	// knobMu guards the tuning knobs below (tradeoff, cost, workers, topK)
 	// and the observer field. Every synchronization pass snapshots the
 	// knobs once under this mutex (TakeSnapshot) and runs the whole pass
 	// against the snapshot, so a concurrent tuner calling the Set* methods
 	// between or during passes can never tear a pass: each pass ranks under
-	// exactly one coherent knob state. Direct field pokes (the deprecated
-	// v1 style) bypass the mutex and are only safe while no change is being
-	// applied.
-	knobMu sync.Mutex
+	// exactly one coherent knob state. The knobs are deliberately
+	// unexported — every read and write goes through the accessor/Set*
+	// methods and therefore through this mutex, so the deprecated v1
+	// field-poke style (sys.TopK = 5), which used to bypass the mutex and
+	// could tear a running pass, no longer compiles.
+	knobMu   sync.Mutex
+	tradeoff core.Tradeoff
+	cost     core.CostModel
+	workers  int
+	topK     int
 	// observer receives pipeline notifications; nil means none. Unlike the
 	// ranking knobs it is deliberately not part of the pass snapshot:
 	// observers are instrumentation, not semantics, and SetObserver takes
@@ -66,13 +60,31 @@ type Warehouse struct {
 	// obs() under knobMu.
 	observer Observer
 
+	// regMu guards the view registry (views, order) so the legacy registry
+	// readers (View, ViewNames, LiveViews, Live) cannot race RegisterView
+	// and PruneDeceased. Fields of the *View objects the registry hands out
+	// are still owned by the single evolution writer; concurrent readers
+	// get their consistent per-field snapshots from the published Version
+	// (Acquire) instead.
+	regMu sync.RWMutex
 	views map[string]*View
 	order []string
 	// viewEpoch counts view-registry generations: it is bumped whenever the
 	// registered view set or an adopted definition may have changed (see
 	// ViewEpoch), letting the evolution session in internal/evolve skip
-	// rebuilding its footprint index across batches.
-	viewEpoch uint64
+	// rebuilding its footprint index across batches. Atomic so concurrent
+	// readers can poll it against a published version's Epoch without
+	// racing the writer.
+	viewEpoch atomic.Uint64
+
+	// published is the epoch-publication point: the latest immutable
+	// Version, swapped in atomically at each commit point (RegisterView,
+	// ApplyChange, ApplyUpdate, and the evolution session's group passes).
+	// Readers acquire it lock-free through Acquire and never observe a
+	// half-applied pass.
+	published atomic.Pointer[Version]
+	// versionSeq numbers publications (Version.Seq), strictly increasing.
+	versionSeq atomic.Uint64
 }
 
 // New creates a warehouse over an information space with the paper's
@@ -80,8 +92,8 @@ type Warehouse struct {
 func New(sp *space.Space) *Warehouse {
 	w := &Warehouse{
 		Space:        sp,
-		Tradeoff:     core.DefaultTradeoff(),
-		Cost:         core.DefaultCostModel(),
+		tradeoff:     core.DefaultTradeoff(),
+		cost:         core.DefaultCostModel(),
 		Synchronizer: synchronize.New(sp.MKB()),
 		views:        make(map[string]*View),
 	}
@@ -90,6 +102,10 @@ func New(sp *space.Space) *Warehouse {
 	// top-K search's pruning bound is exact and the exhaustive and pruned
 	// paths agree on the capped variant universe.
 	w.Synchronizer.VariantWeight = w.qualityWeight
+	// Publish the (empty) initial version so Acquire is never nil and a
+	// reader started before the first view registration still gets a
+	// coherent snapshot.
+	w.publish(nil)
 	return w
 }
 
@@ -102,9 +118,10 @@ func (w *Warehouse) DefineView(src string) (*View, error) {
 	return w.RegisterView(def)
 }
 
-// RegisterView registers an already-built definition.
+// RegisterView registers an already-built definition and publishes a new
+// warehouse version including it.
 func (w *Warehouse) RegisterView(def *esql.ViewDef) (*View, error) {
-	if _, dup := w.views[def.Name]; dup {
+	if w.View(def.Name) != nil {
 		return nil, fmt.Errorf("warehouse: view %q: %w", def.Name, ErrDuplicateView)
 	}
 	q, err := exec.Qualify(def, w.Space)
@@ -117,9 +134,12 @@ func (w *Warehouse) RegisterView(def *esql.ViewDef) (*View, error) {
 	}
 	v := &View{Def: q, Extent: ext}
 	v.maintainer = maintain.New(w.Space, q, ext)
+	w.regMu.Lock()
 	w.views[def.Name] = v
 	w.order = append(w.order, def.Name)
-	w.viewEpoch++
+	w.regMu.Unlock()
+	w.viewEpoch.Add(1)
+	w.publish(nil)
 	return v, nil
 }
 
@@ -128,9 +148,11 @@ func (w *Warehouse) RegisterView(def *esql.ViewDef) (*View, error) {
 // PruneDeceased bump it, and every synchronization pass (the reference
 // ApplyChange loop as well as the session's coalesced passes) ends in
 // PruneDeceased. A caller that cached view-derived state can compare epochs
-// instead of rescanning the registry. Like the rest of the warehouse it is
-// only coherent from a single goroutine.
-func (w *Warehouse) ViewEpoch() uint64 { return w.viewEpoch }
+// instead of rescanning the registry. The counter is atomic, so concurrent
+// readers can poll it (e.g. against Acquire().Epoch()) without racing the
+// evolution writer; mid-pass it may briefly run ahead of the published
+// version.
+func (w *Warehouse) ViewEpoch() uint64 { return w.viewEpoch.Load() }
 
 // SetTopK switches the ranking phase to the lazy top-K search (k > 0) or
 // back to the exhaustive reference path (k == 0). Safe to call concurrently
@@ -139,7 +161,15 @@ func (w *Warehouse) ViewEpoch() uint64 { return w.viewEpoch }
 func (w *Warehouse) SetTopK(k int) {
 	w.knobMu.Lock()
 	defer w.knobMu.Unlock()
-	w.TopK = k
+	w.topK = k
+}
+
+// TopK returns the current top-K knob (zero means the exhaustive reference
+// path). Safe to call concurrently with running passes and tuners.
+func (w *Warehouse) TopK() int {
+	w.knobMu.Lock()
+	defer w.knobMu.Unlock()
+	return w.topK
 }
 
 // SetWorkers bounds the synchronization pipeline's worker pool from the
@@ -148,7 +178,15 @@ func (w *Warehouse) SetTopK(k int) {
 func (w *Warehouse) SetWorkers(n int) {
 	w.knobMu.Lock()
 	defer w.knobMu.Unlock()
-	w.Workers = n
+	w.workers = n
+}
+
+// Workers returns the current worker-pool bound (zero means one worker per
+// available CPU). Safe to call concurrently with running passes and tuners.
+func (w *Warehouse) Workers() int {
+	w.knobMu.Lock()
+	defer w.knobMu.Unlock()
+	return w.workers
 }
 
 // SetTradeoff replaces the QC-Model trade-off parameters from the next
@@ -158,7 +196,15 @@ func (w *Warehouse) SetWorkers(n int) {
 func (w *Warehouse) SetTradeoff(t core.Tradeoff) {
 	w.knobMu.Lock()
 	defer w.knobMu.Unlock()
-	w.Tradeoff = t
+	w.tradeoff = t
+}
+
+// Tradeoff returns the current QC-Model trade-off parameters. Safe to call
+// concurrently with running passes and tuners; tune with SetTradeoff.
+func (w *Warehouse) Tradeoff() core.Tradeoff {
+	w.knobMu.Lock()
+	defer w.knobMu.Unlock()
+	return w.tradeoff
 }
 
 // SetCostModel replaces the maintenance-cost statistics from the next
@@ -167,7 +213,15 @@ func (w *Warehouse) SetTradeoff(t core.Tradeoff) {
 func (w *Warehouse) SetCostModel(cm core.CostModel) {
 	w.knobMu.Lock()
 	defer w.knobMu.Unlock()
-	w.Cost = cm
+	w.cost = cm
+}
+
+// CostModel returns the current maintenance-cost statistics. Safe to call
+// concurrently with running passes and tuners; tune with SetCostModel.
+func (w *Warehouse) CostModel() core.CostModel {
+	w.knobMu.Lock()
+	defer w.knobMu.Unlock()
+	return w.cost
 }
 
 // SetObserver installs the pipeline observer (nil removes it). It takes
@@ -197,17 +251,33 @@ func (w *Warehouse) obs() Observer {
 
 // View returns the named registered view, or nil. Deceased views remain
 // reachable here (their History is part of the experiment record) even
-// though they no longer appear in ViewNames or LiveViews.
-func (w *Warehouse) View(name string) *View { return w.views[name] }
+// though they no longer appear in ViewNames or LiveViews. The registry
+// lookup itself is safe under concurrent evolution, but the returned
+// object's fields are owned by the evolution writer — concurrent readers
+// should take their snapshots from Acquire (or GetView) instead.
+func (w *Warehouse) View(name string) *View {
+	w.regMu.RLock()
+	defer w.regMu.RUnlock()
+	return w.views[name]
+}
 
 // ViewNames lists live views in registration order. Views that deceased
 // during a change sequence are pruned from the order, so ViewNames and
-// LiveViews always agree on the surviving set.
-func (w *Warehouse) ViewNames() []string { return append([]string(nil), w.order...) }
+// LiveViews always agree on the surviving set. The registration order is
+// read under the registry lock, so calling it concurrently with an
+// evolution pass is safe; mid-pass it reflects the last commit point.
+func (w *Warehouse) ViewNames() []string {
+	w.regMu.RLock()
+	defer w.regMu.RUnlock()
+	return append([]string(nil), w.order...)
+}
 
 // Live returns the live view objects in registration order — the set every
-// synchronization pass iterates.
+// synchronization pass iterates. Like View, the returned objects' fields
+// are owned by the evolution writer; concurrent readers use Acquire.
 func (w *Warehouse) Live() []*View {
+	w.regMu.RLock()
+	defer w.regMu.RUnlock()
 	out := make([]*View, 0, len(w.order))
 	for _, name := range w.order {
 		if v := w.views[name]; !v.Deceased {
@@ -226,11 +296,7 @@ func (w *Warehouse) ApplyUpdate(u maintain.Update) (maintain.Metrics, error) {
 	// view and let subsequent maintainers see a no-op (their Apply
 	// re-checks containment).
 	applied := false
-	for _, name := range w.order {
-		v := w.views[name]
-		if v.Deceased {
-			continue
-		}
+	for _, v := range w.Live() {
 		m, err := v.maintainer.Apply(u)
 		if err != nil {
 			return total, err
@@ -242,11 +308,19 @@ func (w *Warehouse) ApplyUpdate(u maintain.Update) (maintain.Metrics, error) {
 		// No views: still perform the base change.
 		switch u.Kind {
 		case maintain.Insert:
-			return total, w.Space.Insert(u.Rel, u.Tuple)
+			if err := w.Space.Insert(u.Rel, u.Tuple); err != nil {
+				return total, err
+			}
 		case maintain.Delete:
-			return total, w.Space.Delete(u.Rel, u.Tuple)
+			if err := w.Space.Delete(u.Rel, u.Tuple); err != nil {
+				return total, err
+			}
 		}
 	}
+	// Republish so new readers see the updated data. Data updates write
+	// through shared extents (see Version), so unlike a capability change
+	// this is a freshness signal, not an isolation boundary.
+	w.publish(nil)
 	return total, nil
 }
 
@@ -291,10 +365,10 @@ func (w *Warehouse) TakeSnapshot() *Snapshot {
 	defer w.knobMu.Unlock()
 	return &Snapshot{
 		cards:    cards,
-		topK:     w.TopK,
-		workers:  w.Workers,
-		tradeoff: w.Tradeoff,
-		cost:     w.Cost,
+		topK:     w.topK,
+		workers:  w.workers,
+		tradeoff: w.tradeoff,
+		cost:     w.cost,
 	}
 }
 
@@ -306,6 +380,33 @@ func (s *Snapshot) Workers() int {
 		return 0
 	}
 	return s.workers
+}
+
+// TopK returns the snapshotted top-K knob (zero means the exhaustive
+// reference path). A nil snapshot reports zero.
+func (s *Snapshot) TopK() int {
+	if s == nil {
+		return 0
+	}
+	return s.topK
+}
+
+// Tradeoff returns the snapshotted QC-Model trade-off parameters the pass
+// ranked under. A nil snapshot reports the zero value.
+func (s *Snapshot) Tradeoff() core.Tradeoff {
+	if s == nil {
+		return core.Tradeoff{}
+	}
+	return s.tradeoff
+}
+
+// CostModel returns the snapshotted maintenance-cost statistics the pass
+// ranked under. A nil snapshot reports the zero value.
+func (s *Snapshot) CostModel() core.CostModel {
+	if s == nil {
+		return core.CostModel{}
+	}
+	return s.cost
 }
 
 // Card returns the snapshotted cardinality of rel (zero when unknown). A
@@ -424,6 +525,12 @@ func (w *Warehouse) ApplyChange(ctx context.Context, c space.Change) ([]SyncResu
 	// Prune even when an adopt failed: other workers may have marked views
 	// deceased, and ViewNames/LiveViews must not report those as live.
 	w.PruneDeceased()
+	// Publish the post-pass state as a new immutable version — the pass's
+	// commit becomes visible to lock-free readers only here, all at once,
+	// so a reader can never observe a half-applied pass. Published even
+	// when an adopt failed: the change landed, and whatever the workers
+	// committed is the warehouse's consistent current state.
+	w.publish(snap)
 	if err != nil {
 		return nil, err
 	}
@@ -449,6 +556,7 @@ func (w *Warehouse) MarkDeceased(v *View, c space.Change) {
 // ViewNames and LiveViews stay consistent. The view objects themselves stay
 // reachable through View for post-mortem inspection.
 func (w *Warehouse) PruneDeceased() {
+	w.regMu.Lock()
 	keep := w.order[:0]
 	for _, name := range w.order {
 		if v := w.views[name]; v != nil && !v.Deceased {
@@ -456,7 +564,8 @@ func (w *Warehouse) PruneDeceased() {
 		}
 	}
 	w.order = keep
-	w.viewEpoch++
+	w.regMu.Unlock()
+	w.viewEpoch.Add(1)
 }
 
 // RankRewritings scores a set of legal rewritings for a view using the
@@ -582,9 +691,10 @@ func (w *Warehouse) adopt(v *View, rw *synchronize.Rewriting, c space.Change) er
 
 // LiveViews returns the names of views that are not deceased, sorted. It is
 // always consistent with ViewNames: both draw from the pruned registration
-// order, so a view that died mid-sequence appears in neither.
+// order (read under the registry lock, so concurrent evolution cannot tear
+// it), so a view that died mid-sequence appears in neither.
 func (w *Warehouse) LiveViews() []string {
-	out := append([]string(nil), w.order...)
+	out := w.ViewNames()
 	sort.Strings(out)
 	return out
 }

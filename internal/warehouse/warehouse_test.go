@@ -294,8 +294,10 @@ func TestEndToEndExp1Lifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	wh := New(sp)
-	wh.Tradeoff.RhoAttr, wh.Tradeoff.RhoExt = 1, 0
-	wh.Tradeoff.RhoQuality, wh.Tradeoff.RhoCost = 1, 0
+	to := wh.Tradeoff()
+	to.RhoAttr, to.RhoExt = 1, 0
+	to.RhoQuality, to.RhoCost = 1, 0
+	wh.SetTradeoff(to)
 	v, err := wh.RegisterView(scenario.Exp1View())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,113 @@
+package eve
+
+// Regression test for the deprecated v1 knob surface: sys.TopK = 5 style
+// field pokes used to bypass the knob mutex ("only safe while no change is
+// being applied"). The fields are now unexported behind the mutex, so the
+// poke path IS the Set* path — this test drives it from a tuner goroutine
+// in the middle of an EvolveBatch, with concurrent accessor reads, and must
+// be race-clean under -race.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestKnobPokesMidEvolveBatch hammers every knob setter and accessor while
+// a churn history runs through an evolution session. Before the knobs moved
+// behind the mutex this tore running passes (and raced outright); now each
+// pass snapshots one coherent knob state and the run must stay race-clean.
+func TestKnobPokesMidEvolveBatch(t *testing.T) {
+	h, err := scenario.Churn(scenario.ChurnParams{
+		Families:          2,
+		TwinsPerFamily:    3,
+		Width:             5,
+		Donors:            2,
+		Spares:            3,
+		SpareAttrs:        4,
+		Changes:           60,
+		Seed:              31,
+		FamilyDeleteRatio: 0.2,
+		FamilyRenameRatio: 0.1,
+		DonorRatio:        0.1,
+		ReplaceableViews:  true,
+		AllowDecease:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := h.BuildSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(WithSpace(sp), WithDropVariants(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, def := range h.Views() {
+		if _, err := sys.RegisterView(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a := DefaultTradeoff()
+	b := DefaultTradeoff()
+	b.W1, b.W2 = 0.6, 0.4
+	cm := DefaultCostModel()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// The tuner: the old v1 "field pokes", routed through the mutex.
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				sys.SetTradeoff(a)
+				sys.SetTopK(0)
+			} else {
+				sys.SetTradeoff(b)
+				sys.SetTopK(3)
+			}
+			sys.SetWorkers(1 + i%4)
+			sys.SetCostModel(cm)
+		}
+	}()
+	// A reader polling the accessors (the other half of the old race).
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			to := sys.Tradeoff()
+			if to.W1 != a.W1 && to.W1 != b.W1 {
+				t.Error("torn Tradeoff read")
+				return
+			}
+			if k := sys.TopK(); k != 0 && k != 3 {
+				t.Errorf("torn TopK read: %d", k)
+				return
+			}
+			_ = sys.Workers()
+			_ = sys.CostModel()
+		}
+	}()
+
+	if _, err := sys.EvolveBatch(context.Background(), h.Changes); err != nil {
+		close(done)
+		wg.Wait()
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+}

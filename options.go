@@ -157,8 +157,10 @@ func WithObserver(o Observer) Option {
 //
 // After construction, retune a running system through the Set* methods
 // (SetTopK, SetTradeoff, ...), which are safe to call concurrently with
-// running passes; direct field pokes remain for v1 compatibility but are
-// deprecated and bypass that synchronization.
+// running passes, and read knobs back through the matching accessors
+// (TopK, Tradeoff, ...). The v1 direct field pokes (sys.TopK = 5) no
+// longer compile: the knobs are unexported behind the knob mutex, so a
+// tuner can no longer tear a running pass.
 func New(opts ...Option) (*System, error) {
 	c := config{
 		tradeoff: core.DefaultTradeoff(),
@@ -173,7 +175,7 @@ func New(opts ...Option) (*System, error) {
 		}
 	}
 	if err := c.tradeoff.Validate(); err != nil {
-		return nil, fmt.Errorf("eve: WithTradeoff: %v: %w", err, ErrInvalidOption)
+		return nil, fmt.Errorf("eve: WithTradeoff: %w: %w", err, ErrInvalidOption)
 	}
 	if c.maxDropSet && !c.dropVariants {
 		return nil, optionErrf("WithMaxDropVariants requires WithDropVariants(true)")
@@ -183,10 +185,10 @@ func New(opts ...Option) (*System, error) {
 		sp = space.New()
 	}
 	w := warehouse.New(sp)
-	w.Tradeoff = c.tradeoff
-	w.Cost = c.cost
-	w.TopK = c.topK
-	w.Workers = c.workers
+	w.SetTradeoff(c.tradeoff)
+	w.SetCostModel(c.cost)
+	w.SetTopK(c.topK)
+	w.SetWorkers(c.workers)
 	w.Synchronizer.EnumerateDropVariants = c.dropVariants
 	if c.maxDropSet {
 		w.Synchronizer.MaxDropVariants = c.maxDropVariants
@@ -194,5 +196,9 @@ func New(opts ...Option) (*System, error) {
 	if c.observer != nil {
 		w.SetObserver(c.observer)
 	}
+	// warehouse.New published its initial version before the options above
+	// landed; republish so a reader sampling Snapshot().Stats() at startup
+	// sees the configured knob state, not the defaults.
+	w.PublishVersion(nil)
 	return &System{Warehouse: w}, nil
 }

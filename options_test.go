@@ -12,14 +12,14 @@ func TestNewDefaultsMatchNewSystem(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref := NewSystem()
-	if sys.Tradeoff != ref.Tradeoff {
-		t.Errorf("Tradeoff = %+v, want the paper default %+v", sys.Tradeoff, ref.Tradeoff)
+	if sys.Tradeoff() != ref.Tradeoff() {
+		t.Errorf("Tradeoff = %+v, want the paper default %+v", sys.Tradeoff(), ref.Tradeoff())
 	}
-	if sys.Cost != ref.Cost {
-		t.Errorf("Cost = %+v, want the paper default %+v", sys.Cost, ref.Cost)
+	if sys.CostModel() != ref.CostModel() {
+		t.Errorf("Cost = %+v, want the paper default %+v", sys.CostModel(), ref.CostModel())
 	}
-	if sys.TopK != 0 || sys.Workers != 0 {
-		t.Errorf("TopK/Workers = %d/%d, want 0/0", sys.TopK, sys.Workers)
+	if sys.TopK() != 0 || sys.Workers() != 0 {
+		t.Errorf("TopK/Workers = %d/%d, want 0/0", sys.TopK(), sys.Workers())
 	}
 	if sys.Synchronizer.EnumerateDropVariants {
 		t.Error("drop variants should default off")
@@ -47,11 +47,11 @@ func TestNewAppliesOptions(t *testing.T) {
 	if sys.Space != sp {
 		t.Error("WithSpace not applied")
 	}
-	if sys.TopK != 5 || sys.Workers != 3 {
-		t.Errorf("TopK/Workers = %d/%d", sys.TopK, sys.Workers)
+	if sys.TopK() != 5 || sys.Workers() != 3 {
+		t.Errorf("TopK/Workers = %d/%d", sys.TopK(), sys.Workers())
 	}
-	if sys.Tradeoff.W1 != 0.6 {
-		t.Errorf("Tradeoff.W1 = %g", sys.Tradeoff.W1)
+	if sys.Tradeoff().W1 != 0.6 {
+		t.Errorf("Tradeoff.W1 = %g", sys.Tradeoff().W1)
 	}
 	if !sys.Synchronizer.EnumerateDropVariants || sys.Synchronizer.MaxDropVariants != 7 {
 		t.Errorf("drop variants = %v cap %d, want true cap 7",

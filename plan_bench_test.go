@@ -100,7 +100,7 @@ func BenchmarkApplyChangePipeline(b *testing.B) {
 					b.Fatal(err)
 				}
 				wh := NewSystemOver(sp)
-				wh.Workers = workers
+				wh.SetWorkers(workers)
 				for v := 0; v < 32; v++ {
 					def := scenario.Exp1View()
 					def.Name = fmt.Sprintf("V%d", v)
