@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test stress fuzz cover bench bench-wide bench-churn bench-serve vet doclint vulncheck doc ci
+.PHONY: build test stress fuzz cover bench bench-wide bench-churn bench-serve bench-plan bench-compare vet doclint vulncheck doc ci
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,28 @@ bench-serve:
 	$(GO) test -run='^$$' -bench=BenchmarkServeConcurrent -benchtime=$(SERVE_BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_serve.json
 
+# Columnar-executor benchmark: the tuple-at-a-time reference vs the
+# vectorized batch path on the chain-join workloads (plus the naive
+# evaluator baseline), and the chunk-size × cardinality grid in
+# internal/plan. The parsed trajectory is recorded in BENCH_plan.json so
+# the speedup — and any regression — shows up as a diff.
+PLAN_BENCHTIME ?= 3x
+bench-plan:
+	$(GO) test -run='^$$' -bench='BenchmarkEvaluate(Planned|Naive|Tuple)|BenchmarkColumnarGrid' \
+		-benchtime=$(PLAN_BENCHTIME) . ./internal/plan \
+		| $(GO) run ./cmd/benchjson -out BENCH_plan.json
+
+# Compare two saved `go test -bench` text outputs with benchstat when it
+# is installed (go install golang.org/x/perf/cmd/benchstat@latest):
+#
+#	make bench-compare OLD=old.txt NEW=new.txt
+bench-compare:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(OLD) $(NEW); \
+	else \
+		echo "benchstat not installed; skipping (go install golang.org/x/perf/cmd/benchstat@latest)"; \
+	fi
+
 vet:
 	$(GO) vet ./...
 
@@ -85,4 +107,7 @@ ci: vet doclint vulncheck build stress
 	$(GO) tool cover -func=coverage.out | tail -n 1
 	$(GO) test -run='^$$' -bench=BenchmarkEvaluate -benchtime=1x ./...
 	$(GO) test -run='^$$' -bench=BenchmarkServeConcurrent -benchtime=1x . \
+		| $(GO) run ./cmd/benchjson -out /dev/null
+	$(GO) test -run='^$$' -bench='BenchmarkEvaluateTuple|BenchmarkColumnarGrid' \
+		-benchtime=1x . ./internal/plan \
 		| $(GO) run ./cmd/benchjson -out /dev/null

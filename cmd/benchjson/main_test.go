@@ -19,6 +19,29 @@ func TestBenchLineParsing(t *testing.T) {
 	}
 }
 
+// TestAllocAndThroughputMetrics pins the -benchmem/SetBytes line shape the
+// columnar benchmarks emit: MB/s, B/op, and allocs/op must all land in the
+// metric map alongside ns/op and custom units.
+func TestAllocAndThroughputMetrics(t *testing.T) {
+	m := benchLine.FindStringSubmatch("BenchmarkColumnarGrid/path=columnar/chunk=4096/card=100000-8 \t      42\t  27487210 ns/op\t 116.42 MB/s\t    100000 result-tuples\t17082208 B/op\t      61 allocs/op")
+	if m == nil {
+		t.Fatal("benchmark line did not match")
+	}
+	metrics := parseMetrics(m[3])
+	want := map[string]float64{
+		"ns/op":         27487210,
+		"MB/s":          116.42,
+		"result-tuples": 100000,
+		"B/op":          17082208,
+		"allocs/op":     61,
+	}
+	for unit, v := range want {
+		if metrics[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, metrics[unit], v)
+		}
+	}
+}
+
 func TestStripMaxprocs(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkX/readers=16-8":     "BenchmarkX/readers=16",

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/esql"
 	"repro/internal/relation"
 )
 
@@ -62,6 +63,118 @@ func TestExecuteCancelledMidPlan(t *testing.T) {
 	}
 	if out != nil {
 		t.Fatal("a cancelled execution must not return a partial extent")
+	}
+}
+
+// pollBudgetCtx is a context that reports Canceled after a fixed number of
+// Err polls — the deterministic way to cancel "mid-batch": the N-th poll of
+// the columnar executor (between chunks, inside kernels, at join probes)
+// observes the cancellation, wherever in the operator tree it happens to
+// land.
+type pollBudgetCtx struct {
+	context.Context
+	budget int64
+}
+
+func (c *pollBudgetCtx) Err() error {
+	c.budget--
+	if c.budget < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// columnarCancelPlan compiles a vectorizable two-relation hash-join view
+// with filters over enough rows to span several chunks at the test's
+// shrunken vecChunk, covering every poll site: scan ticks, filter kernels,
+// join build/probe ticks, and dedup.
+func columnarCancelPlan(t *testing.T) *Plan {
+	t.Helper()
+	mk := func(name string, attrs [2]string, n int64) *relation.Relation {
+		r := relation.New(name, relation.NewSchema(
+			relation.Attribute{Name: attrs[0], Type: relation.TypeInt},
+			relation.Attribute{Name: attrs[1], Type: relation.TypeInt},
+		))
+		for i := int64(0); i < n; i++ {
+			if err := r.Insert(relation.Tuple{relation.Int(i % 101), relation.Int(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r
+	}
+	r := mk("R", [2]string{"A", "B"}, 600)
+	s := mk("S", [2]string{"C", "D"}, 400)
+	q := esql.MustParse(`CREATE VIEW V AS SELECT R.B, S.D FROM R, S WHERE R.A = S.C AND R.B >= 0 AND S.D < 1000000`)
+	p, err := CompileCatalog(q, staticCatalog{
+		rels:  map[string]*relation.Relation{"R": r, "S": s},
+		cards: map[string]int{"R": r.Card(), "S": s.Card()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Vectorized() {
+		t.Fatal("plan did not vectorize")
+	}
+	return p
+}
+
+// TestColumnarCancelEveryPollSite sweeps the poll budget from zero to
+// beyond completion: every budget that cancels mid-execution must return
+// (nil, context.Canceled) — never a partial extent — and the first budget
+// that completes must return exactly the uncancelled result. Shrinking
+// vecChunk forces many batch boundaries, so cancellations land inside
+// scans, filter kernels, join builds, join probe emits, and the dedup.
+func TestColumnarCancelEveryPollSite(t *testing.T) {
+	old := vecChunk
+	vecChunk = 64
+	t.Cleanup(func() { vecChunk = old })
+
+	p := columnarCancelPlan(t)
+	want, err := p.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Count the polls one full run consumes.
+	probe := &pollBudgetCtx{Context: context.Background(), budget: 1 << 30}
+	if _, err := p.Execute(probe); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(1<<30) - probe.budget
+	if total < 10 {
+		t.Fatalf("only %d polls for a multi-chunk plan; chunk wiring broken?", total)
+	}
+
+	for budget := int64(0); budget < total; budget++ {
+		ctx := &pollBudgetCtx{Context: context.Background(), budget: budget}
+		out, err := p.Execute(ctx)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("budget %d/%d: err = %v, want context.Canceled", budget, total, err)
+		}
+		if out != nil {
+			t.Fatalf("budget %d/%d: cancelled execution returned a partial extent", budget, total)
+		}
+	}
+	out, err := p.Execute(&pollBudgetCtx{Context: context.Background(), budget: total})
+	if err != nil {
+		t.Fatalf("budget %d (full): %v", total, err)
+	}
+	if !out.Equal(want) {
+		t.Fatal("full-budget run diverges from uncancelled result")
+	}
+}
+
+// TestColumnarCancelChunkAligned pins that the default chunk size also
+// polls: with the production vecChunk a mid-batch poll budget still cancels
+// rather than running to completion.
+func TestColumnarCancelChunkAligned(t *testing.T) {
+	p := columnarCancelPlan(t)
+	out, err := p.Execute(&pollBudgetCtx{Context: context.Background(), budget: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled execution returned a partial extent")
 	}
 }
 

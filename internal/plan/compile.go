@@ -180,7 +180,8 @@ func CompileCatalog(q *esql.ViewDef, cat Catalog) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{View: q.Name, Root: NewDedup(proj, q.Name, proj.EstRows())}, nil
+	root := NewDedup(proj, q.Name, proj.EstRows())
+	return &Plan{View: q.Name, Root: root, vec: vectorize(root)}, nil
 }
 
 // clampSelectivities falls back to the paper's Table 1 values for local

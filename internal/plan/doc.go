@@ -21,6 +21,32 @@
 // eliminated once, at the Dedup root, which the set semantics of the final
 // extent makes equivalent to the naive path's per-operator dedup.
 //
+// # Columnar execution
+//
+// Every compiled plan carries two executable forms. The Node.Rows tree
+// above is the tuple-at-a-time reference — the executable specification —
+// reachable through Plan.ExecuteReference. When vectorize recognizes the
+// whole tree (the operator set above with flat AND/Clause conditions),
+// Plan.Execute instead runs a columnar batch executor over
+// relation.ColumnBatch inputs:
+//
+//   - filters run typed kernels over column vectors, producing selection
+//     vectors (relation.Sel) instead of copying tuples;
+//   - hash joins build an open-addressing table over the smaller side's
+//     key columns and emit (build, probe) row-index pairs;
+//   - all operators pass around row indices into the leaf batches (late
+//     materialization) — only the Dedup root gathers output columns and
+//     constructs the extent, columnar-born via relation.FromColumns, so
+//     tuple boxing is deferred until someone actually reads tuples.
+//
+// Join/dedup grouping uses the strict typed key semantics of Tuple.Key
+// (Int(1) ≠ Float(1)), while predicate kernels mirror Equal/Compare
+// (numeric widening, the NaN and negative-zero rules), exactly matching
+// the reference path; the differential and fuzz suites pin that parity.
+// Cancellation is polled at batch boundaries — every vecChunk rows inside
+// kernels and loops — preserving the commit-point rule: a cancelled
+// execution returns ctx.Err() and no partial extent.
+//
 // Compilation reads its data source through the Catalog interface
 // (relation resolution, cardinality estimates, default selectivities):
 // Compile adapts a live space, CompileCatalog accepts anything else — in

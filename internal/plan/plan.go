@@ -458,13 +458,37 @@ type Plan struct {
 	View string
 	// Root is the plan root (a Dedup over the projection).
 	Root Node
+
+	// vec is the columnar mirror of Root, compiled by vectorize when every
+	// operator in the tree is vectorizable; nil means Execute runs the
+	// tuple-at-a-time reference path.
+	vec *vdedup
 }
 
+// Vectorized reports whether Execute will run the columnar batch path.
+// Compile-produced plans over standard operators always vectorize; plans
+// holding hand-built Node implementations or non-clause conditions fall
+// back to the reference path.
+func (p *Plan) Vectorized() bool { return p.vec != nil }
+
 // Execute runs the plan and returns the materialized extent with the view's
-// output column names and set semantics. Cancellation is checked between
-// operators and every rowBatch tuples inside operator loops; a cancelled
-// execution returns ctx.Err() and no partial extent.
+// output column names and set semantics. The columnar batch path is used
+// when the plan vectorized (see Vectorized); otherwise the tuple-at-a-time
+// reference path runs. Cancellation is checked between operators and every
+// rowBatch tuples (one vecChunk per batch kernel on the columnar path)
+// inside operator loops; a cancelled execution returns ctx.Err() and no
+// partial extent.
 func (p *Plan) Execute(ctx context.Context) (*relation.Relation, error) {
+	if p.vec != nil {
+		return p.vec.run(ctx, vecChunk)
+	}
+	return p.ExecuteReference(ctx)
+}
+
+// ExecuteReference runs the tuple-at-a-time Node.Rows path regardless of
+// whether the plan vectorized — the executable specification the columnar
+// path is differentially tested against.
+func (p *Plan) ExecuteReference(ctx context.Context) (*relation.Relation, error) {
 	if d, ok := p.Root.(*Dedup); ok {
 		return d.Relation(ctx)
 	}

@@ -59,6 +59,11 @@ func ParseOp(s string) (Op, error) {
 	return OpInvalid, fmt.Errorf("relation: unknown operator %q", s)
 }
 
+// Apply evaluates "a θ b" — the single-pair comparison primitive shared by
+// Condition.Eval, Bind closures, and the vectorized kernels' generic
+// fallback (mixed-type columns, NULLs).
+func (o Op) Apply(a, b Value) (bool, error) { return o.apply(a, b) }
+
 // apply evaluates "a θ b".
 func (o Op) apply(a, b Value) (bool, error) {
 	switch o {

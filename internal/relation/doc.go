@@ -8,8 +8,25 @@
 // E-SQL layer or the meta-knowledge base, so it can be reused as a small
 // general-purpose relational engine.
 //
+// # Columnar layout
+//
+// Alongside the row-major Tuple storage, relations expose a columnar image
+// for the vectorized executor in internal/plan: ColumnBatch holds one
+// typed compact vector per attribute (pointer-free []int64/[]float64 for
+// the numeric types), built on demand by Relation.Columns and memoized
+// until the next mutation invalidates it. Sel is the selection-vector
+// currency of the batch kernels; Column.Hash/KeyEqual provide the strict
+// typed-key semantics of Tuple.Key for vectorized join and dedup, while
+// Gather/BatchFromColumns assemble result batches without boxing values.
+// FromColumns completes the loop: a columnar-born relation whose batch is
+// the storage of record and whose tuple image and dedup index materialize
+// lazily, each at most once, on first row-level access.
+//
 // Paper mapping: Definition 1 and Figure 7 (projection onto the common
 // attribute subset followed by intersection) are the operators DD_ext
-// measurement needs; Rebind/Qualify/Bind are reproduction additions that
-// let the physical planner (internal/plan) avoid copying tuple storage.
+// measurement needs; Rebind/Qualify/Bind and the columnar layer are
+// reproduction additions that let the physical planner (internal/plan)
+// avoid copying — or even constructing — tuple storage. Section 5.3's
+// set-semantics extents are unaffected: both storage forms present the
+// same duplicate-free relation.
 package relation

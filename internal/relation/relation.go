@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Relation is a set of tuples over a schema. The paper's quality model works
@@ -11,17 +12,107 @@ import (
 // a duplicate-free invariant: Insert of an existing tuple is a no-op.
 //
 // Relation is not safe for concurrent mutation; the space simulator wraps
-// mutating access in its own lock.
+// mutating access in its own lock. Concurrent reads are safe, including
+// Columns (atomic batch cache) and the first keyed read of a lazily indexed
+// relation (sync.Once).
 type Relation struct {
 	Name   string
 	schema *Schema
 	tuples []Tuple
-	seen   map[string]int // tuple key -> index into tuples
+	seen   map[string]int // tuple key -> index into tuples; nil ⇒ deferred
+	lazy   *lazySeen      // deferred dedup index (FromDistinctRows/FromColumns)
+	cols   *colCache      // memoized columnar image of tuples
+	born   *lazyTuples    // columnar-born rows (FromColumns); tuples on demand
+}
+
+// lazyTuples holds the rows of a columnar-born relation (FromColumns): the
+// batch is the storage of record and the tuple image is materialized at
+// most once, on first tuple-level access, race-safely. Extent readers that
+// only need cardinality or columnar access never pay for boxing.
+type lazyTuples struct {
+	batch *ColumnBatch
+	once  sync.Once
+	rows  []Tuple
+}
+
+// rows returns the relation's tuples, materializing a columnar-born image
+// on first use.
+func (r *Relation) rows() []Tuple {
+	if r.born == nil {
+		return r.tuples
+	}
+	r.born.once.Do(func() {
+		r.born.rows = r.born.batch.Tuples()
+	})
+	return r.born.rows
+}
+
+// force converts a columnar-born relation to tuple-backed storage, ahead
+// of mutation. Mutation requires exclusive access (see type comment), so
+// clearing the columnar-born marker here is safe.
+func (r *Relation) force() {
+	if r.born == nil {
+		return
+	}
+	r.tuples = r.rows()
+	r.born = nil
+}
+
+// lazySeen defers the string-keyed dedup index of a relation whose rows are
+// known duplicate-free at construction (the columnar executor's output —
+// it already deduplicated by hash). The index is only needed by keyed
+// operations (Contains/Insert/Delete/…), so extent-serving reads never pay
+// for building the key strings. The box is shared by renamed/rebound copies
+// and built at most once, race-safely.
+type lazySeen struct {
+	once sync.Once
+	m    map[string]int
+}
+
+// index returns the tuple-key index, building a deferred one on first use.
+func (r *Relation) index() map[string]int {
+	if r.seen != nil {
+		return r.seen
+	}
+	r.lazy.once.Do(func() {
+		rows := r.rows()
+		m := make(map[string]int, len(rows))
+		for i, t := range rows {
+			k := t.Key()
+			if _, dup := m[k]; !dup {
+				m[k] = i
+			}
+		}
+		r.lazy.m = m
+	})
+	return r.lazy.m
 }
 
 // New creates an empty relation with the given name and schema.
 func New(name string, schema *Schema) *Relation {
-	return &Relation{Name: name, schema: schema, seen: make(map[string]int)}
+	return &Relation{Name: name, schema: schema, seen: make(map[string]int), cols: &colCache{}}
+}
+
+// FromDistinctRows creates a relation directly over a duplicate-free tuple
+// slice, taking ownership of it. Unlike FromRows it copies nothing and
+// defers building the dedup index until a keyed operation first needs it —
+// the constructor the columnar executor materializes extents through, where
+// duplicates were already eliminated by hash. Rows must match the schema
+// arity and be free of key duplicates; both hold by construction there.
+func FromDistinctRows(name string, schema *Schema, rows []Tuple) *Relation {
+	return &Relation{Name: name, schema: schema, tuples: rows, lazy: &lazySeen{}, cols: &colCache{}}
+}
+
+// FromColumns creates a relation whose rows live in columnar form — the
+// extent constructor of the vectorized executor. The batch is the storage
+// of record (Columns returns it directly) and must hold duplicate-free
+// rows matching the schema arity; the tuple image and the dedup index are
+// each materialized at most once, on first demand. Callers must not mutate
+// the batch afterwards.
+func FromColumns(name string, schema *Schema, batch *ColumnBatch) *Relation {
+	r := &Relation{Name: name, schema: schema, lazy: &lazySeen{}, cols: &colCache{}, born: &lazyTuples{batch: batch}}
+	r.cols.batch.Store(batch)
+	return r
 }
 
 // FromRows creates a relation and inserts every row. Rows that do not match
@@ -63,14 +154,19 @@ func IntRows(rows ...[]int64) []Tuple {
 func (r *Relation) Schema() *Schema { return r.schema }
 
 // Card returns the cardinality |R| (number of distinct tuples).
-func (r *Relation) Card() int { return len(r.tuples) }
+func (r *Relation) Card() int {
+	if r.born != nil {
+		return r.born.batch.Rows()
+	}
+	return len(r.tuples)
+}
 
 // Tuples returns the underlying tuple slice; callers must not mutate it.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+func (r *Relation) Tuples() []Tuple { return r.rows() }
 
 // Contains reports whether the relation holds the given tuple.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.seen[t.Key()]
+	_, ok := r.index()[t.Key()]
 	return ok
 }
 
@@ -79,19 +175,24 @@ func (r *Relation) Insert(t Tuple) error {
 	if len(t) != r.schema.Len() {
 		return fmt.Errorf("relation %s: tuple arity %d != schema arity %d", r.Name, len(t), r.schema.Len())
 	}
+	r.force()
+	seen := r.index()
 	k := t.Key()
-	if _, dup := r.seen[k]; dup {
+	if _, dup := seen[k]; dup {
 		return nil
 	}
-	r.seen[k] = len(r.tuples)
+	seen[k] = len(r.tuples)
 	r.tuples = append(r.tuples, t)
+	r.cols.batch.Store(nil)
 	return nil
 }
 
 // Delete removes a tuple if present and reports whether it was present.
 func (r *Relation) Delete(t Tuple) bool {
+	r.force()
+	seen := r.index()
 	k := t.Key()
-	i, ok := r.seen[k]
+	i, ok := seen[k]
 	if !ok {
 		return false
 	}
@@ -99,10 +200,11 @@ func (r *Relation) Delete(t Tuple) bool {
 	if i != last {
 		moved := r.tuples[last]
 		r.tuples[i] = moved
-		r.seen[moved.Key()] = i
+		seen[moved.Key()] = i
 	}
 	r.tuples = r.tuples[:last]
-	delete(r.seen, k)
+	delete(seen, k)
+	r.cols.batch.Store(nil)
 	return true
 }
 
@@ -110,7 +212,7 @@ func (r *Relation) Delete(t Tuple) bool {
 // copied individually).
 func (r *Relation) Clone() *Relation {
 	out := New(r.Name, r.schema)
-	for _, t := range r.tuples {
+	for _, t := range r.rows() {
 		out.Insert(t.Clone()) //nolint:errcheck // same schema, cannot fail
 	}
 	return out
@@ -126,7 +228,7 @@ func (r *Relation) Rebind(name string, schema *Schema) (*Relation, error) {
 	if schema.Len() != r.schema.Len() {
 		return nil, fmt.Errorf("relation %s: rebind schema arity %d != %d", r.Name, schema.Len(), r.schema.Len())
 	}
-	return &Relation{Name: name, schema: schema, tuples: r.tuples, seen: r.seen}, nil
+	return &Relation{Name: name, schema: schema, tuples: r.tuples, seen: r.seen, lazy: r.lazy, cols: r.cols, born: r.born}, nil
 }
 
 // WithName returns a shallow renamed view of the relation sharing tuples.
@@ -152,7 +254,7 @@ func (r *Relation) Project(names ...string) (*Relation, error) {
 		idx[i] = r.schema.IndexOf(n)
 	}
 	out := New(r.Name, ps)
-	for _, t := range r.tuples {
+	for _, t := range r.rows() {
 		pt := make(Tuple, len(idx))
 		for i, j := range idx {
 			pt[i] = t[j]
@@ -165,7 +267,7 @@ func (r *Relation) Project(names ...string) (*Relation, error) {
 // Select returns σ_cond(R).
 func (r *Relation) Select(cond Condition) (*Relation, error) {
 	out := New(r.Name, r.schema)
-	for _, t := range r.tuples {
+	for _, t := range r.rows() {
 		ok, err := cond.Eval(r.schema, t)
 		if err != nil {
 			return nil, fmt.Errorf("select %s: %w", r.Name, err)
@@ -206,7 +308,7 @@ func (r *Relation) Intersect(s *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := New(r.Name, r.schema)
-	for _, t := range r.tuples {
+	for _, t := range r.rows() {
 		if proj.Contains(t) {
 			out.Insert(t) //nolint:errcheck
 		}
@@ -225,7 +327,7 @@ func (r *Relation) Difference(s *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := New(r.Name, r.schema)
-	for _, t := range r.tuples {
+	for _, t := range r.rows() {
 		if !proj.Contains(t) {
 			out.Insert(t) //nolint:errcheck
 		}
@@ -243,7 +345,7 @@ func (r *Relation) Equal(s *Relation) bool {
 	if err != nil {
 		return false
 	}
-	for _, t := range r.tuples {
+	for _, t := range r.rows() {
 		if !proj.Contains(t) {
 			return false
 		}
@@ -254,8 +356,9 @@ func (r *Relation) Equal(s *Relation) bool {
 // Sorted returns the tuples ordered lexicographically, for deterministic
 // printing and golden tests.
 func (r *Relation) Sorted() []Tuple {
-	out := make([]Tuple, len(r.tuples))
-	copy(out, r.tuples)
+	rows := r.rows()
+	out := make([]Tuple, len(rows))
+	copy(out, rows)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := range a {

@@ -1,0 +1,160 @@
+package warehouse
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/maintain"
+	"repro/internal/relation"
+	"repro/internal/space"
+)
+
+// TestVersionBatchCacheStable pins the columnar ingest cache on the serving
+// path: a published version hands out one ColumnBatch per base relation,
+// and repeat evaluations reuse it instead of re-converting the tuple
+// storage. Scans rebind relations zero-copy, sharing the cache box, so
+// pointer equality across Evaluate calls is the observable contract.
+func TestVersionBatchCacheStable(t *testing.T) {
+	wh := New(replicaSpace(t))
+	if _, err := wh.DefineView(replicaView); err != nil {
+		t.Fatal(err)
+	}
+	v := wh.Acquire()
+	ctx := context.Background()
+
+	b1 := v.Relation("R").Columns()
+	if b1 == nil || b1.Rows() != 3 {
+		t.Fatalf("batch = %v, want 3 rows", b1)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := v.Evaluate(ctx, "V"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b2 := v.Relation("R").Columns(); b2 != b1 {
+		t.Error("repeat evaluations re-ingested the column batch; want cached reuse")
+	}
+	// The plan's rebound scan shares the same cache box as the base
+	// relation, so a cache-bypassing compile still reuses the batch.
+	p, err := v.Plan("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if b3 := v.Relation("R").Columns(); b3 != b1 {
+		t.Error("fresh plan execution re-ingested the column batch; want shared cache")
+	}
+}
+
+// TestVersionBatchCacheInvalidatedByUpdate pins the invalidation side:
+// ApplyUpdate mutates base relations in place, which must drop the cached
+// batch so the next evaluation sees the new data instead of a stale
+// columnar image.
+func TestVersionBatchCacheInvalidatedByUpdate(t *testing.T) {
+	wh := New(replicaSpace(t))
+	if _, err := wh.DefineView(replicaView); err != nil {
+		t.Fatal(err)
+	}
+	v := wh.Acquire()
+	ctx := context.Background()
+
+	before := v.Relation("R").Columns()
+	if _, err := v.Evaluate(ctx, "V"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wh.ApplyUpdate(maintain.Update{
+		Kind:  maintain.Insert,
+		Rel:   "R",
+		Tuple: relation.IntRows([]int64{4, 40})[0],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := v.Relation("R").Columns()
+	if after == before {
+		t.Fatal("ApplyUpdate left a stale column batch cached")
+	}
+	if after.Rows() != 4 {
+		t.Fatalf("batch rows = %d after insert, want 4", after.Rows())
+	}
+	// ApplyUpdate republishes; the fresh version's (empty) plan cache
+	// compiles against the updated storage and must see the new row.
+	ext, err := wh.Acquire().Evaluate(ctx, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Card() != 3 { // A > 1 now matches 2, 3, 4
+		t.Fatalf("post-update evaluation card = %d, want 3", ext.Card())
+	}
+	// Deleting the tuple again invalidates once more.
+	if _, err := wh.ApplyUpdate(maintain.Update{
+		Kind:  maintain.Delete,
+		Rel:   "R",
+		Tuple: relation.IntRows([]int64{4, 40})[0],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b := v.Relation("R").Columns(); b == after || b.Rows() != 3 {
+		t.Fatalf("delete did not invalidate the batch (rows = %d)", b.Rows())
+	}
+}
+
+// TestVersionBatchCacheAcrossVersions pins the new-version boundary: a
+// capability change publishes a new version, untouched relations keep their
+// warm batch (the cache box rides the shared relation object), and base
+// relations the change removed disappear from the new version while the
+// old version still serves its captured state.
+func TestVersionBatchCacheAcrossVersions(t *testing.T) {
+	wh := New(replicaSpace(t))
+	if _, err := wh.DefineView(replicaView); err != nil {
+		t.Fatal(err)
+	}
+	v1 := wh.Acquire()
+	ctx := context.Background()
+	if _, err := v1.Evaluate(ctx, "V"); err != nil {
+		t.Fatal(err)
+	}
+	repBatch := v1.Relation("Rep").Columns()
+
+	if _, err := wh.ApplyChange(ctx, space.Change{Kind: space.DeleteRelation, Rel: "R"}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := wh.Acquire()
+	if v2.Seq() <= v1.Seq() {
+		t.Fatalf("no new version published: seq %d -> %d", v1.Seq(), v2.Seq())
+	}
+	if v2.Relation("R") != nil {
+		t.Error("deleted relation still visible in the new version")
+	}
+	// Rep was untouched by the change: the new version shares the relation
+	// object and therefore its warm columnar image — no re-ingest on the
+	// version boundary.
+	if got := v2.Relation("Rep").Columns(); got != repBatch {
+		t.Error("untouched relation lost its cached batch across versions")
+	}
+	// The adopted view evaluates on the new version over the cached batch.
+	ext, err := v2.Evaluate(ctx, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Card() != 2 {
+		t.Fatalf("adopted view card = %d, want 2", ext.Card())
+	}
+	// A data update through the new version invalidates the shared batch —
+	// visible through both versions, matching the documented in-place
+	// data-update exception.
+	if _, err := wh.ApplyUpdate(maintain.Update{
+		Kind:  maintain.Insert,
+		Rel:   "Rep",
+		Tuple: relation.IntRows([]int64{5, 50})[0],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := v2.Relation("Rep").Columns(); got == repBatch || got.Rows() != 4 {
+		t.Fatalf("update did not refresh the shared batch (rows = %d)", got.Rows())
+	}
+	if got := v1.Relation("Rep").Columns(); got.Rows() != 4 {
+		t.Fatalf("old version sees %d rows, want 4 (in-place data updates are shared)", got.Rows())
+	}
+}

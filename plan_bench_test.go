@@ -49,10 +49,24 @@ func chainBench(b *testing.B, n, card int) (*space.Space, *esql.ViewDef) {
 	return sp, scenario.ChainView(n, 1000)
 }
 
+// baseBytes sums the byte size of every base relation in the space — the
+// input volume one evaluation scans, so SetBytes turns ns/op into an MB/s
+// throughput figure.
+func baseBytes(sp *space.Space) int64 {
+	var total int64
+	for _, name := range sp.RelationNames() {
+		r := sp.Relation(name)
+		total += int64(r.Card()) * int64(r.TupleSize())
+	}
+	return total
+}
+
 func benchEvaluate(b *testing.B, eval func(*esql.ViewDef, *space.Space) (interface{ Card() int }, error)) {
 	for _, g := range benchGrid {
 		b.Run(fmt.Sprintf("joins=%d/card=%d", g.joins, g.card), func(b *testing.B) {
 			sp, view := chainBench(b, g.joins, g.card)
+			b.ReportAllocs()
+			b.SetBytes(baseBytes(sp))
 			b.ResetTimer()
 			var card int
 			for i := 0; i < b.N; i++ {
@@ -80,6 +94,20 @@ func BenchmarkEvaluatePlanned(b *testing.B) {
 func BenchmarkEvaluateNaive(b *testing.B) {
 	benchEvaluate(b, func(v *esql.ViewDef, sp *space.Space) (interface{ Card() int }, error) {
 		return exec.EvaluateNaive(v, sp)
+	})
+}
+
+// BenchmarkEvaluateTuple measures the physical plan executed through the
+// tuple-at-a-time reference path (plan compilation included, mirroring
+// BenchmarkEvaluatePlanned) — the before side of the columnar-executor
+// comparison; BenchmarkEvaluatePlanned is the after side.
+func BenchmarkEvaluateTuple(b *testing.B) {
+	benchEvaluate(b, func(v *esql.ViewDef, sp *space.Space) (interface{ Card() int }, error) {
+		p, err := exec.Plan(v, sp)
+		if err != nil {
+			return nil, err
+		}
+		return p.ExecuteReference(context.Background())
 	})
 }
 

@@ -101,6 +101,18 @@ func BenchmarkServeConcurrent(b *testing.B) {
 				sys := serveBenchSystem(b)
 				var mu sync.Mutex // the locked mode's global lock
 
+				// One read serves one view extent; the mean extent byte
+				// size (at registration — churn only renames) turns ns/op
+				// into MB/s of served data.
+				b.ReportAllocs()
+				var extentBytes int64
+				names := sys.ViewNames()
+				for _, name := range names {
+					ext := sys.View(name).Extent
+					extentBytes += int64(ext.Card()) * int64(ext.TupleSize())
+				}
+				b.SetBytes(extentBytes / int64(len(names)))
+
 				// The churn writer runs for the whole measurement: one
 				// rename pass after another, no idle gaps.
 				done := make(chan struct{})
