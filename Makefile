@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test stress fuzz cover bench bench-wide bench-churn bench-serve bench-plan bench-compare vet doclint vulncheck doc ci
+.PHONY: build test stress fuzz cover bench bench-wide bench-churn bench-serve bench-plan bench-query bench-compare vet doclint vulncheck doc ci
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,16 @@ bench-plan:
 		-benchtime=$(PLAN_BENCHTIME) . ./internal/plan \
 		| $(GO) run ./cmd/benchjson -out BENCH_plan.json
 
+# Query-routing benchmark: the same ad-hoc query over a 4-way-join view
+# answered from the maintained extent (view-hit), through a residual
+# filter/project, and recomputed from base relations, at 1k/10k/100k
+# tuples. The grid is recorded in BENCH_query.json; the acceptance bar is
+# view-hit ≥5x faster than base-scan at 10k tuples.
+QUERY_BENCHTIME ?= 3x
+bench-query:
+	$(GO) test -run='^$$' -bench=BenchmarkQueryRouted -benchtime=$(QUERY_BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_query.json
+
 # Compare two saved `go test -bench` text outputs with benchstat when it
 # is installed (go install golang.org/x/perf/cmd/benchstat@latest):
 #
@@ -110,4 +120,6 @@ ci: vet doclint vulncheck build stress
 		| $(GO) run ./cmd/benchjson -out /dev/null
 	$(GO) test -run='^$$' -bench='BenchmarkEvaluateTuple|BenchmarkColumnarGrid' \
 		-benchtime=1x . ./internal/plan \
+		| $(GO) run ./cmd/benchjson -out /dev/null
+	$(GO) test -run='^$$' -bench=BenchmarkQueryRouted -benchtime=1x . \
 		| $(GO) run ./cmd/benchjson -out /dev/null

@@ -14,6 +14,8 @@
 //	GET /          JSON status: version seq/epoch, live view count, change progress
 //	GET /views     JSON list of the current version's live views
 //	GET /views/V   one view at one version: definition, history, extent
+//	GET /query?q=  route an ad-hoc SELECT through the MV router (JSON: the
+//	               chosen route, costs, rows, and the result's row checksum)
 //	GET /healthz   liveness probe
 //
 // Every request acquires one version (eve.System.Snapshot) and serves
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	eve "repro"
+	"repro/internal/exec"
 	"repro/internal/scenario"
 )
 
@@ -142,6 +145,43 @@ func newHandler(sys *eve.System, applied *atomic.Int64, total int) http.Handler 
 			rows = append(rows, row{Name: vv.Name, Tuples: vv.Extent.Card()})
 		}
 		writeJSON(w, map[string]any{"versionSeq": v.Seq(), "views": rows})
+	})
+
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		sql := r.URL.Query().Get("q")
+		if sql == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		v := sys.Snapshot()
+		rt, err := v.RouteQuery(sql)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := rt.Execute(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		rows := make([][]string, 0, res.Card())
+		for _, t := range res.Sorted() {
+			row := make([]string, len(t))
+			for i, val := range t {
+				row[i] = val.Text()
+			}
+			rows = append(rows, row)
+		}
+		writeJSON(w, map[string]any{
+			"versionSeq": v.Seq(),
+			"route":      rt.Kind.String(),
+			"view":       rt.View,
+			"cost":       rt.Cost,
+			"baseCost":   rt.BaseCost,
+			"columns":    res.Schema().Names(),
+			"rows":       rows,
+			"checksum":   fmt.Sprintf("%016x", exec.RowChecksum(res)),
+		})
 	})
 
 	mux.HandleFunc("/views/", func(w http.ResponseWriter, r *http.Request) {

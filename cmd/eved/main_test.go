@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -68,6 +69,38 @@ func TestHandlerServesDuringChurn(t *testing.T) {
 		}
 	}
 	checkAll()
+
+	// Ad-hoc query routing: a well-formed SELECT answers with a route
+	// classification and a result checksum; malformed requests are 400s.
+	code, body := get("/query?q=" + url.QueryEscape("SELECT A1, A2 FROM W1 WHERE A1 > 3"))
+	if code != 200 || !strings.Contains(body, `"route"`) || !strings.Contains(body, "checksum") {
+		t.Fatalf("/query = %d %q", code, body)
+	}
+	var qdoc struct {
+		Route    string     `json:"route"`
+		Columns  []string   `json:"columns"`
+		Rows     [][]string `json:"rows"`
+		Checksum string     `json:"checksum"`
+	}
+	if err := json.Unmarshal([]byte(body), &qdoc); err != nil {
+		t.Fatalf("/query JSON: %v in %q", err, body)
+	}
+	if len(qdoc.Columns) != 2 || qdoc.Columns[0] != "A1" || qdoc.Columns[1] != "A2" {
+		t.Fatalf("/query columns = %v", qdoc.Columns)
+	}
+	if qdoc.Route == "" || len(qdoc.Checksum) != 16 {
+		t.Fatalf("/query route = %q checksum = %q", qdoc.Route, qdoc.Checksum)
+	}
+	if code, _ := get("/query"); code != http.StatusBadRequest {
+		t.Errorf("/query without q = %d, want 400", code)
+	}
+	if code, _ := get("/query?q=garbage"); code != http.StatusBadRequest {
+		t.Errorf("/query?q=garbage = %d, want 400", code)
+	}
+	if code, _ := get("/query?q=" + url.QueryEscape("SELECT X FROM NoSuchRel")); code != http.StatusBadRequest {
+		t.Errorf("/query over unknown relation = %d, want 400", code)
+	}
+
 	ses := sys.Session()
 	for i, c := range h.Changes {
 		if _, err := ses.Evolve(context.Background(), c); err != nil {

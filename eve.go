@@ -50,6 +50,27 @@
 // Per-version compiled plans are cached, so the steady-state read is one
 // atomic load plus one plan execution. See Version.
 //
+// # Querying through views
+//
+// Beyond reading whole views, System.Query answers arbitrary E-SQL SELECTs
+// and transparently routes each one to the cheapest provably correct
+// source: a live view's maintained extent verbatim, the extent plus a
+// residual filter/project, or recomputation from base relations.
+// Correctness comes from MISD containment reasoning (clause implication and
+// PC ≡ relation substitution against the version-captured constraint
+// snapshot), cost from the same page-I/O model that prices maintenance, so
+// "answer from the view" and "maintain the view" are one decision model:
+//
+//	res, err := sys.Query(ctx, "SELECT A, B FROM R WHERE A > 1")
+//	r, err := sys.Snapshot().RouteQuery("SELECT A FROM R WHERE A > 1 AND B < 25")
+//	// r.Kind is RouteViewExtent / RouteViewResidual / RouteBase
+//
+// Routing decisions are cached per version and per query signature; every
+// republication (including data updates) drops the route and plan caches
+// together, so a cached route never outlives the state it was priced
+// against. Routed answers are continuously cross-checked against base-only
+// evaluation by an order-insensitive row-checksum differential suite.
+//
 // # Execution and debugging
 //
 // View evaluation compiles each definition into an explicit physical plan
@@ -170,6 +191,17 @@ func (s *System) Serve(ctx context.Context, name string) (*Relation, error) {
 	return s.Acquire().Evaluate(ctx, name)
 }
 
+// Query answers an ad-hoc E-SQL SELECT against the latest published
+// version, transparently routing it to the cheapest provably correct
+// source — a live view's maintained extent (verbatim or with a residual
+// filter/project) or the base relations. Equivalent to
+// s.Snapshot().Query(ctx, sql); use Snapshot directly to inspect the
+// routing decision (Version.RouteQuery) or to pin one version across
+// several queries. Lock-free and safe to call concurrently with evolution.
+func (s *System) Query(ctx context.Context, sql string) (*Relation, error) {
+	return s.Acquire().Query(ctx, sql)
+}
+
 // Stream drives the system from an unbounded change feed, yielding one
 // StepResult per landed change in feed order. Consecutive compatible
 // changes coalesce into single passes exactly as EvolveBatch coalesces
@@ -204,6 +236,11 @@ type (
 	Version = warehouse.Version
 	// VersionView is one view captured in a Version.
 	VersionView = warehouse.VersionView
+	// Route is a priced, executable answer plan for one routed query
+	// (Version.RouteQuery).
+	Route = warehouse.Route
+	// RouteKind classifies how a routed query is answered.
+	RouteKind = warehouse.RouteKind
 
 	// ViewDef is a parsed E-SQL view definition.
 	ViewDef = esql.ViewDef
@@ -295,6 +332,13 @@ const (
 	Superset = misd.Superset
 )
 
+// Query route kinds (Version.RouteQuery).
+const (
+	RouteBase         = warehouse.RouteBase
+	RouteViewExtent   = warehouse.RouteViewExtent
+	RouteViewResidual = warehouse.RouteViewResidual
+)
+
 // Attribute types.
 const (
 	TypeInt    = relation.TypeInt
@@ -344,6 +388,13 @@ func MustParseView(src string) *ViewDef { return esql.MustParse(src) }
 
 // PrintView renders a view definition back to E-SQL.
 func PrintView(v *ViewDef) string { return esql.Print(v) }
+
+// ParseQuery parses an ad-hoc E-SQL SELECT (no CREATE VIEW header) into a
+// definition suitable for System.Query routing or Evaluate.
+func ParseQuery(src string) (*ViewDef, error) { return esql.ParseQuery(src) }
+
+// MustParseQuery is ParseQuery that panics on error, for fixtures and tests.
+func MustParseQuery(src string) *ViewDef { return esql.MustParseQuery(src) }
 
 // Evaluate materializes a view over a space (the Query Executor). The view
 // is compiled to a physical plan (internal/plan) and executed; ctx is

@@ -1,0 +1,41 @@
+package core
+
+import "testing"
+
+func TestScanPages(t *testing.T) {
+	cm := DefaultCostModel() // bfr = 10
+	cases := []struct {
+		rows int
+		want float64
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {10, 1}, {11, 2}, {100, 10}, {101, 11},
+	}
+	for _, c := range cases {
+		if got := cm.ScanPages(c.rows); got != c.want {
+			t.Errorf("ScanPages(%d) = %v, want %v", c.rows, got, c.want)
+		}
+	}
+	// A zero-valued model falls back to the Table 1 blocking factor.
+	var zero CostModel
+	if got := zero.ScanPages(25); got != 3 {
+		t.Errorf("zero-model ScanPages(25) = %v, want 3", got)
+	}
+}
+
+func TestRoutePages(t *testing.T) {
+	cm := DefaultCostModel()
+	if got := cm.RoutePages(nil); got != 0 {
+		t.Errorf("RoutePages(nil) = %v, want 0", got)
+	}
+	// One 100-row extent scan must price below a 3-operator base pipeline
+	// over 1000-row inputs — the ordering the router's view-vs-base
+	// decision rides on.
+	view := cm.RoutePages([]int{100})
+	base := cm.RoutePages([]int{1000, 1000, 1000})
+	if view != 10 || base != 300 {
+		t.Errorf("view = %v (want 10), base = %v (want 300)", view, base)
+	}
+	if view >= base {
+		t.Error("extent scan must be cheaper than the base pipeline")
+	}
+}

@@ -1,0 +1,63 @@
+package esql
+
+// QueryName is the synthetic definition name ParseQuery stamps on ad-hoc
+// queries; routed query results are named after it.
+const QueryName = "Q"
+
+// ParseQuery parses one bare E-SQL SELECT statement — the ad-hoc query form
+// the warehouse router accepts:
+//
+//	SELECT C.Name, F.Dest FROM Customer C, FlightRes F
+//	WHERE C.Name = F.PName AND F.Dest = 'Asia'
+//
+// The grammar is the body of Figure 2's CREATE VIEW without the header:
+// evolution-parameter groups are still accepted after select items, from
+// items, and where clauses (a query has no evolution behavior, so they are
+// carried but ignored by the router). The returned definition bears the
+// synthetic name QueryName and the default VE parameter, and has passed the
+// same Validate as a parsed view.
+func ParseQuery(src string) (*ViewDef, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	v := &ViewDef{Name: QueryName}
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelect(v); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFrom(v); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("WHERE") {
+		p.advance()
+		if err := p.parseWhere(v); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().kind == tokSemi {
+		p.advance()
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input: %s", p.cur())
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// MustParseQuery is ParseQuery that panics on error; for tests and fixtures.
+func MustParseQuery(src string) *ViewDef {
+	v, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

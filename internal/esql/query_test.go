@@ -1,0 +1,99 @@
+package esql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestParseQueryBasic(t *testing.T) {
+	q, err := ParseQuery(`SELECT C.Name, F.Dest AS Where_To
+FROM Customer C, FlightRes F
+WHERE C.Name = F.PName AND F.Dest = 'Asia'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != QueryName {
+		t.Errorf("query name = %q, want %q", q.Name, QueryName)
+	}
+	if len(q.Select) != 2 || len(q.From) != 2 || len(q.Where) != 2 {
+		t.Fatalf("shape = %d/%d/%d, want 2/2/2", len(q.Select), len(q.From), len(q.Where))
+	}
+	if got := q.Select[1].OutputName(); got != "Where_To" {
+		t.Errorf("alias = %q, want Where_To", got)
+	}
+	if q.From[0].Binding() != "C" || q.From[1].Binding() != "F" {
+		t.Errorf("bindings = %q, %q", q.From[0].Binding(), q.From[1].Binding())
+	}
+	if q.Where[1].Clause.Const != relation.String("Asia") {
+		t.Errorf("const = %v", q.Where[1].Clause.Const)
+	}
+}
+
+func TestParseQueryNoWhere(t *testing.T) {
+	q, err := ParseQuery("SELECT A1, A2 FROM W1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 0 || len(q.Select) != 2 {
+		t.Fatalf("shape = %d select, %d where", len(q.Select), len(q.Where))
+	}
+}
+
+func TestParseQueryRejects(t *testing.T) {
+	for _, src := range []string{
+		"",                              // empty
+		"CREATE VIEW V AS SELECT A FROM R", // view header is not a query
+		"SELECT FROM R",                 // empty select
+		"SELECT A",                      // missing FROM
+		"SELECT A FROM R garbage :::",   // trailing junk
+		"SELECT A, A FROM R",            // duplicate output column
+		"SELECT R.A FROM S",             // unbound qualifier
+	} {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseQueryAcceptsParamGroups(t *testing.T) {
+	// Evolution parameters are legal view-body syntax; a query carries them
+	// without meaning, so they must parse rather than error.
+	q, err := ParseQuery("SELECT R.A (AD = true) FROM R (RR = true) WHERE (R.A > 1) (CD = true)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Select[0].Dispensable || !q.From[0].Replaceable || !q.Where[0].Dispensable {
+		t.Error("parameter groups not carried through")
+	}
+}
+
+func TestMustParseQueryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseQuery did not panic on bad input")
+		}
+	}()
+	MustParseQuery("not a query")
+}
+
+func TestParseQueryRoundTripsViewBodies(t *testing.T) {
+	// The body of a printed view re-parses as a query: the router feeds
+	// view-shaped SQL back through ParseQuery in the serving tests.
+	v := MustParse(`CREATE VIEW V (VE = ~) AS
+SELECT R.A AS X, R.B FROM R WHERE R.A > 1 AND R.B <> 'x''y'`)
+	printed := Print(v)
+	i := strings.Index(printed, "SELECT")
+	if i < 0 {
+		t.Fatalf("printed view has no SELECT:\n%s", printed)
+	}
+	q, err := ParseQuery(printed[i:])
+	if err != nil {
+		t.Fatalf("reparse: %v\nbody:\n%s", err, printed[i:])
+	}
+	if len(q.Select) != len(v.Select) || len(q.Where) != len(v.Where) {
+		t.Errorf("round-trip shape mismatch: %d/%d vs %d/%d",
+			len(q.Select), len(q.Where), len(v.Select), len(v.Where))
+	}
+}

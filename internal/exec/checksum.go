@@ -1,0 +1,34 @@
+package exec
+
+import (
+	"hash/fnv"
+
+	"repro/internal/relation"
+)
+
+// RowChecksum returns an order-insensitive multiset checksum of a query
+// result: each row is hashed (FNV-1a over column name / value-key pairs in
+// schema order, with unambiguous separators) and the per-row hashes combine
+// by wrapping addition, so two results checksum equal exactly when they
+// hold the same row multiset under the same column names — regardless of
+// row order or physical representation. This is the equivalence currency of
+// the router's differential protocol: every routed query result is compared
+// against base-only evaluation by checksum, and the addition-combine makes
+// the comparison insensitive to operator ordering differences between the
+// two plans. Value keys are type-tagged (relation.Value.Key), so Int(1),
+// Float(1), and String("1") never collide.
+func RowChecksum(r *relation.Relation) uint64 {
+	names := r.Schema().Names()
+	var sum uint64
+	for _, t := range r.Tuples() {
+		h := fnv.New64a()
+		for i, v := range t {
+			h.Write([]byte(names[i])) //nolint:errcheck // hash writes cannot fail
+			h.Write([]byte{0x1f})     //nolint:errcheck
+			h.Write([]byte(v.Key()))  //nolint:errcheck
+			h.Write([]byte{0x1e})     //nolint:errcheck
+		}
+		sum += h.Sum64()
+	}
+	return sum
+}

@@ -1,0 +1,205 @@
+package misd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/esql"
+	"repro/internal/relation"
+)
+
+// valuePool is the adversarial operand set the implication soundness checks
+// quantify over: NULL, ints, floats (±0, NaN, ±Inf), strings, bools, and
+// cross-type numeric twins.
+var valuePool = []relation.Value{
+	relation.Null,
+	relation.Int(-3), relation.Int(0), relation.Int(1), relation.Int(2), relation.Int(7),
+	relation.Float(-3), relation.Float(0), relation.Float(math.Copysign(0, -1)),
+	relation.Float(1), relation.Float(1.5), relation.Float(2),
+	relation.Float(math.NaN()), relation.Float(math.Inf(1)), relation.Float(math.Inf(-1)),
+	relation.String(""), relation.String("1"), relation.String("a"), relation.String("b"),
+	relation.Bool(false), relation.Bool(true),
+}
+
+var allOps = []relation.Op{
+	relation.OpLT, relation.OpLE, relation.OpEQ,
+	relation.OpGE, relation.OpGT, relation.OpNE,
+}
+
+// TestImpliesClauseConstSound exhaustively checks every claimed
+// attribute-constant implication against brute-force evaluation over the
+// value pool: whenever ImpliesClause says "x θa ca implies x θb cb", no pool
+// value may satisfy the premise and fail the conclusion. This pins the
+// implication table to the executor's actual comparison semantics,
+// including the NaN and ±0 corners.
+func TestImpliesClauseConstSound(t *testing.T) {
+	x := esql.AttrRef{Rel: "R", Attr: "X"}
+	claimed, checked := 0, 0
+	for _, ca := range valuePool {
+		for _, cb := range valuePool {
+			for _, opA := range allOps {
+				for _, opB := range allOps {
+					a := esql.Clause{Left: x, Op: opA, Const: ca}
+					b := esql.Clause{Left: x, Op: opB, Const: cb}
+					if !ImpliesClause(a, b) {
+						continue
+					}
+					claimed++
+					for _, v := range valuePool {
+						pa, err := opA.Apply(v, ca)
+						if err != nil {
+							t.Fatal(err)
+						}
+						pb, err := opB.Apply(v, cb)
+						if err != nil {
+							t.Fatal(err)
+						}
+						checked++
+						if pa && !pb {
+							t.Fatalf("unsound: %s claims to imply %s but v=%s satisfies only the premise",
+								a, b, v.Text())
+						}
+					}
+				}
+			}
+		}
+	}
+	if claimed == 0 {
+		t.Fatal("no implications claimed at all — the table is vacuous")
+	}
+	t.Logf("verified %d claimed implications against %d evaluations", claimed, checked)
+}
+
+// TestImpliesClauseAttrAttrSound is the attribute-attribute analogue: for
+// every claimed "x θa y ⇒ x θb y" (including the mirrored orientation), no
+// value pair may satisfy the premise and fail the conclusion.
+func TestImpliesClauseAttrAttrSound(t *testing.T) {
+	x := esql.AttrRef{Rel: "R", Attr: "X"}
+	y := esql.AttrRef{Rel: "S", Attr: "Y"}
+	claimed := 0
+	for _, opA := range allOps {
+		for _, opB := range allOps {
+			for _, mirrored := range []bool{false, true} {
+				a := esql.Clause{Left: x, Op: opA, Right: y}
+				b := esql.Clause{Left: x, Op: opB, Right: y}
+				if mirrored {
+					b = esql.Clause{Left: y, Op: opB, Right: x}
+				}
+				if !ImpliesClause(a, b) {
+					continue
+				}
+				claimed++
+				for _, vx := range valuePool {
+					for _, vy := range valuePool {
+						pa, _ := opA.Apply(vx, vy)
+						var pb bool
+						if mirrored {
+							pb, _ = opB.Apply(vy, vx)
+						} else {
+							pb, _ = opB.Apply(vx, vy)
+						}
+						if pa && !pb {
+							t.Fatalf("unsound: %s claims to imply %s but (x=%s, y=%s) breaks it",
+								a, b, vx.Text(), vy.Text())
+						}
+					}
+				}
+			}
+		}
+	}
+	if claimed == 0 {
+		t.Fatal("no attribute-attribute implications claimed")
+	}
+}
+
+// TestImpliesClauseExpectedPositives pins the useful implications the router
+// relies on actually being derived (the soundness tests alone would pass a
+// table that always answers false).
+func TestImpliesClauseExpectedPositives(t *testing.T) {
+	x := esql.AttrRef{Rel: "R", Attr: "X"}
+	cl := func(op relation.Op, c relation.Value) esql.Clause {
+		return esql.Clause{Left: x, Op: op, Const: c}
+	}
+	cases := []struct {
+		a, b esql.Clause
+		want bool
+	}{
+		{cl(relation.OpGT, relation.Int(5)), cl(relation.OpGT, relation.Int(3)), true},
+		{cl(relation.OpGT, relation.Int(5)), cl(relation.OpGE, relation.Int(5)), true},
+		{cl(relation.OpGT, relation.Int(5)), cl(relation.OpNE, relation.Int(2)), true},
+		{cl(relation.OpEQ, relation.Int(5)), cl(relation.OpLE, relation.Int(5)), true},
+		{cl(relation.OpEQ, relation.Int(5)), cl(relation.OpEQ, relation.Float(5)), true},
+		{cl(relation.OpLT, relation.Int(3)), cl(relation.OpLE, relation.Float(3.5)), true},
+		{cl(relation.OpLE, relation.Int(3)), cl(relation.OpLE, relation.Int(4)), true},
+		// The NaN asymmetry: non-strict premises admit NaN, strict
+		// conclusions reject it.
+		{cl(relation.OpLE, relation.Int(3)), cl(relation.OpLT, relation.Int(9)), false},
+		{cl(relation.OpGE, relation.Int(3)), cl(relation.OpGT, relation.Int(1)), false},
+		// Identical NaN clauses imply themselves; nothing else does.
+		{cl(relation.OpLE, relation.Float(math.NaN())), cl(relation.OpLE, relation.Float(math.NaN())), true},
+		{cl(relation.OpGT, relation.Int(5)), cl(relation.OpGT, relation.Float(math.NaN())), false},
+		// ±0 are the same constant to the evaluator.
+		{cl(relation.OpEQ, relation.Float(0)), cl(relation.OpEQ, relation.Float(math.Copysign(0, -1))), true},
+		// Different attributes never imply each other.
+		{cl(relation.OpGT, relation.Int(5)), esql.Clause{Left: esql.AttrRef{Rel: "R", Attr: "Y"}, Op: relation.OpGT, Const: relation.Int(3)}, false},
+	}
+	for i, c := range cases {
+		if got := ImpliesClause(c.a, c.b); got != c.want {
+			t.Errorf("case %d: ImpliesClause(%s, %s) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestImpliedBy(t *testing.T) {
+	x := esql.AttrRef{Rel: "R", Attr: "X"}
+	conj := []esql.Clause{
+		{Left: x, Op: relation.OpGT, Const: relation.Int(10)},
+		{Left: x, Op: relation.OpLT, Const: relation.Int(20)},
+	}
+	if !ImpliedBy(conj, esql.Clause{Left: x, Op: relation.OpGE, Const: relation.Int(10)}) {
+		t.Error("x > 10 should witness x >= 10")
+	}
+	if ImpliedBy(conj, esql.Clause{Left: x, Op: relation.OpGT, Const: relation.Int(15)}) {
+		t.Error("nothing witnesses x > 15")
+	}
+	if ImpliedBy(nil, esql.Clause{Left: x, Op: relation.OpGT, Const: relation.Int(0)}) {
+		t.Error("empty conjunction implies nothing")
+	}
+}
+
+func TestEqualMapping(t *testing.T) {
+	frag := func(rel string, attrs ...string) Fragment {
+		return Fragment{Rel: RelRef{Rel: rel}, Attrs: attrs}
+	}
+	pcs := []PCConstraint{
+		{Left: frag("W1", "K", "A1", "A2"), Right: frag("D1", "K", "B1", "B2"), Rel: Equal},
+		{Left: frag("W1", "K", "A1"), Right: frag("D2", "K", "C1"), Rel: Superset},
+	}
+
+	m, ok := EqualMapping(pcs, "W1", "D1", []string{"A1", "A2"})
+	if !ok || m["A1"] != "B1" || m["A2"] != "B2" {
+		t.Fatalf("forward mapping = %v, %v", m, ok)
+	}
+	// Reversed orientation resolves too.
+	m, ok = EqualMapping(pcs, "D1", "W1", []string{"B2"})
+	if !ok || m["B2"] != "A2" {
+		t.Fatalf("reversed mapping = %v, %v", m, ok)
+	}
+	// Non-Equal constraints never license substitution.
+	if _, ok := EqualMapping(pcs, "W1", "D2", []string{"K"}); ok {
+		t.Error("Superset constraint must not produce a mapping")
+	}
+	// Uncovered attributes reject the mapping.
+	if _, ok := EqualMapping(pcs, "W1", "D1", []string{"A1", "A9"}); ok {
+		t.Error("mapping must cover every needed attribute")
+	}
+	// Selections disqualify a fragment.
+	sel := PCConstraint{
+		Left:  Fragment{Rel: RelRef{Rel: "W1"}, Attrs: []string{"K"}, Cond: relation.AttrConst("K", relation.OpGT, relation.Int(0))},
+		Right: frag("D4", "K"),
+		Rel:   Equal,
+	}
+	if _, ok := EqualMapping([]PCConstraint{sel}, "W1", "D4", []string{"K"}); ok {
+		t.Error("selection fragments must not license substitution")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/esql"
+	"repro/internal/misd"
 	"repro/internal/plan"
 	"repro/internal/relation"
 )
@@ -78,6 +79,11 @@ type Version struct {
 	cards  map[string]int
 	sigma  float64
 	js     float64
+	// pcs are the MKB's PC constraints as captured at the commit point, so
+	// the query router's containment reasoning (misd.EqualMapping) works
+	// against the same snapshot the rest of the version exposes rather than
+	// the live, mutable MKB.
+	pcs []misd.PCConstraint
 
 	// plans caches compiled physical plans per view name. Within one
 	// version the captured relations never change, so a compiled plan stays
@@ -86,6 +92,15 @@ type Version struct {
 	// state on the stack). Two readers racing on a cold cache may both
 	// compile; compilation is deterministic, so either result serves.
 	plans sync.Map // view name -> *plan.Plan
+
+	// routes caches routing decisions per qualified query signature, same
+	// lifetime discipline as plans. Both caches are deliberately scoped to
+	// the Version object, not the epoch: ApplyUpdate republishes a fresh
+	// Version WITHOUT bumping the view epoch, and a route priced against
+	// pre-update cardinalities (or an extent-identity route against a
+	// pre-update extent) must not survive into the post-update version, so
+	// every republication drops both caches together by construction.
+	routes sync.Map // query signature -> *Route
 }
 
 // Seq returns the publication sequence number: strictly increasing by one
@@ -247,6 +262,7 @@ func (w *Warehouse) publish(snap *Snapshot) *Version {
 	for _, info := range mkb.Relations() {
 		v.cards[info.Ref.Rel] = info.Card
 	}
+	v.pcs = append([]misd.PCConstraint(nil), mkb.AllPCConstraints()...)
 	w.regMu.RLock()
 	order := append([]string(nil), w.order...)
 	views := make(map[string]*View, len(w.views))

@@ -13,7 +13,7 @@ import (
 )
 
 // replicaSpace: IS1 holds R(A,B), IS2 holds Rep(A,B) with Rep ≡ π(R).
-func replicaSpace(t *testing.T) *space.Space {
+func replicaSpace(t testing.TB) *space.Space {
 	t.Helper()
 	sp := space.New()
 	for _, s := range []string{"IS1", "IS2"} {
