@@ -11,26 +11,34 @@
 //
 // Endpoints:
 //
-//	GET /          JSON status: version seq/epoch, live view count, change progress
-//	GET /views     JSON list of the current version's live views
-//	GET /views/V   one view at one version: definition, history, extent
-//	GET /query?q=  route an ad-hoc SELECT through the MV router (JSON: the
-//	               chosen route, costs, rows, and the result's row checksum)
-//	GET /healthz   liveness probe
+//	GET  /          JSON status: version seq/epoch, live view count, change progress
+//	GET  /views     JSON list of the current version's live views
+//	GET  /views/V   one view at one version: definition, history, extent
+//	GET  /query?q=  route an ad-hoc SELECT through the MV router (JSON: the
+//	                chosen route, costs, rows, and the result's row checksum)
+//	POST /update    apply a batch of data updates through incremental view
+//	                maintenance (JSON body: {"updates": [{"op": "insert",
+//	                "rel": "W1", "tuple": [1, 2, ...]}, ...]}); responds with
+//	                the measured maintenance metrics and the new version seq
+//	GET  /healthz   liveness probe
 //
-// Every request acquires one version (eve.System.Snapshot) and serves
+// Every read request acquires one version (eve.System.Snapshot) and serves
 // entirely from it, so even a multi-view response is internally consistent
-// no matter how many passes commit while it renders.
+// no matter how many passes commit while it renders. Updates share the
+// single evolution writer with the churn stream (writes are serialized;
+// reads never are).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -52,11 +60,15 @@ func main() {
 	}
 
 	var applied atomic.Int64
+	var writerMu sync.Mutex // one evolution writer: churn stream + /update
 	go func() {
 		ses := sys.Session()
 		for i, c := range h.Changes {
 			time.Sleep(*interval)
-			if _, err := ses.Evolve(context.Background(), c); err != nil {
+			writerMu.Lock()
+			_, err := ses.Evolve(context.Background(), c)
+			writerMu.Unlock()
+			if err != nil {
 				log.Printf("change %d (%s): %v", i, c, err)
 				return
 			}
@@ -69,7 +81,7 @@ func main() {
 
 	log.Printf("eved serving on %s (%d views, %d queued changes, every %s)",
 		*addr, len(sys.Snapshot().ViewNames()), len(h.Changes), *interval)
-	log.Fatal(http.ListenAndServe(*addr, newHandler(sys, &applied, len(h.Changes))))
+	log.Fatal(http.ListenAndServe(*addr, newHandler(sys, &writerMu, &applied, len(h.Changes))))
 }
 
 // buildSystem assembles the demo warehouse: a churn scenario space with
@@ -112,7 +124,9 @@ func buildSystem(changes int, seed int64) (*eve.System, *scenario.ChurnHistory, 
 }
 
 // newHandler builds the HTTP mux over the system's serving surface.
-func newHandler(sys *eve.System, applied *atomic.Int64, total int) http.Handler {
+// writerMu serializes /update batches with the churn stream's evolution
+// writer; readers never take it.
+func newHandler(sys *eve.System, writerMu *sync.Mutex, applied *atomic.Int64, total int) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -181,6 +195,62 @@ func newHandler(sys *eve.System, applied *atomic.Int64, total int) http.Handler 
 			"columns":    res.Schema().Names(),
 			"rows":       rows,
 			"checksum":   fmt.Sprintf("%016x", exec.RowChecksum(res)),
+		})
+	})
+
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Updates []struct {
+				Op    string  `json:"op"`
+				Rel   string  `json:"rel"`
+				Tuple []int64 `json:"tuple"`
+			} `json:"updates"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(req.Updates) == 0 {
+			http.Error(w, "empty update batch", http.StatusBadRequest)
+			return
+		}
+		batch := make([]eve.Update, 0, len(req.Updates))
+		for _, u := range req.Updates {
+			tup := make(eve.Tuple, len(u.Tuple))
+			for i, v := range u.Tuple {
+				tup[i] = eve.Int(v)
+			}
+			switch u.Op {
+			case "insert":
+				batch = append(batch, eve.InsertTuple(u.Rel, tup))
+			case "delete":
+				batch = append(batch, eve.DeleteTuple(u.Rel, tup))
+			default:
+				http.Error(w, fmt.Sprintf("unknown op %q (want insert or delete)", u.Op), http.StatusBadRequest)
+				return
+			}
+		}
+		writerMu.Lock()
+		metrics, err := sys.ApplyUpdates(r.Context(), batch)
+		writerMu.Unlock()
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, eve.ErrUnknownRelation) {
+				status = http.StatusBadRequest
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"versionSeq": sys.Snapshot().Seq(),
+			"applied":    len(batch),
+			"messages":   metrics.Messages,
+			"bytes":      metrics.Bytes,
+			"ios":        metrics.IO,
 		})
 	})
 

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -21,7 +22,8 @@ func TestHandlerServesDuringChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	var applied atomic.Int64
-	srv := httptest.NewServer(newHandler(sys, &applied, len(h.Changes)))
+	var writerMu sync.Mutex
+	srv := httptest.NewServer(newHandler(sys, &writerMu, &applied, len(h.Changes)))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -99,6 +101,57 @@ func TestHandlerServesDuringChurn(t *testing.T) {
 	}
 	if code, _ := get("/query?q=" + url.QueryEscape("SELECT X FROM NoSuchRel")); code != http.StatusBadRequest {
 		t.Errorf("/query over unknown relation = %d, want 400", code)
+	}
+
+	// Data updates: a POST /update batch maintains the views and publishes
+	// a new version.
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/update", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+	seqBefore := sys.Snapshot().Seq()
+	code, body = post(`{"updates": [
+		{"op": "insert", "rel": "W1", "tuple": [9001, 1, 2, 3, 4, 5, 6]},
+		{"op": "delete", "rel": "W1", "tuple": [9001, 1, 2, 3, 4, 5, 6]},
+		{"op": "insert", "rel": "W1", "tuple": [9002, 1, 2, 3, 4, 5, 6]}
+	]}`)
+	if code != 200 || !strings.Contains(body, `"messages"`) {
+		t.Fatalf("/update = %d %q", code, body)
+	}
+	var udoc struct {
+		VersionSeq uint64 `json:"versionSeq"`
+		Applied    int    `json:"applied"`
+		Messages   int    `json:"messages"`
+	}
+	if err := json.Unmarshal([]byte(body), &udoc); err != nil {
+		t.Fatalf("/update JSON: %v in %q", err, body)
+	}
+	if udoc.Applied != 3 || udoc.Messages != 3 || udoc.VersionSeq <= seqBefore {
+		t.Fatalf("/update = %+v (seq before %d)", udoc, seqBefore)
+	}
+	if code, _ := post(`{"updates": [{"op": "insert", "rel": "NoSuchRel", "tuple": [1]}]}`); code != http.StatusBadRequest {
+		t.Errorf("/update unknown relation = %d, want 400", code)
+	}
+	if code, _ := post(`{"updates": [{"op": "upsert", "rel": "W1", "tuple": [1]}]}`); code != http.StatusBadRequest {
+		t.Errorf("/update unknown op = %d, want 400", code)
+	}
+	if code, _ := post(`garbage`); code != http.StatusBadRequest {
+		t.Errorf("/update bad JSON = %d, want 400", code)
+	}
+	if code, _ := post(`{}`); code != http.StatusBadRequest {
+		t.Errorf("/update empty batch = %d, want 400", code)
+	}
+	if code, _ := get("/update"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /update = %d, want 405", code)
 	}
 
 	ses := sys.Session()

@@ -2,6 +2,7 @@ package eve
 
 import (
 	"repro/internal/esql"
+	"repro/internal/maintain"
 	"repro/internal/persist"
 	"repro/internal/space"
 	"repro/internal/warehouse"
@@ -24,6 +25,9 @@ var (
 	ErrNoRewriting = warehouse.ErrNoRewriting
 	// ErrDuplicateView reports defining a view name twice.
 	ErrDuplicateView = warehouse.ErrDuplicateView
+	// ErrUnknownRelation reports a data update (ApplyUpdates) addressed to
+	// a relation the information space does not hold.
+	ErrUnknownRelation = maintain.ErrUnknownRelation
 )
 
 // Typed errors carrying structured context, for errors.As.

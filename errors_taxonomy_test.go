@@ -174,6 +174,34 @@ func TestErrorTaxonomySurvivesPublicEntryPoints(t *testing.T) {
 			check: assertChangeError,
 		},
 		{
+			name: "ApplyUpdates unknown relation",
+			got: func(t *testing.T) error {
+				_, err := taxonomySystem(t).ApplyUpdates(context.Background(),
+					[]Update{InsertTuple("NoSuchRelation", Tuple{Int(1)})})
+				return err
+			},
+			want: ErrUnknownRelation,
+		},
+		{
+			name: "ApplyUpdates cancelled context",
+			got: func(t *testing.T) error {
+				sys := taxonomySystem(t)
+				v, err := sys.GetView("V")
+				if err != nil {
+					t.Fatal(err)
+				}
+				rel := v.Def.From[0].Rel
+				width := sys.Space.Relation(rel).Schema().Len()
+				tup := make(Tuple, width)
+				for i := range tup {
+					tup[i] = Int(999)
+				}
+				_, err = sys.ApplyUpdates(cancelled, []Update{InsertTuple(rel, tup)})
+				return err
+			},
+			want: context.Canceled,
+		},
+		{
 			name: "LoadSpace version skew",
 			got: func(t *testing.T) error {
 				_, err := LoadSpace(versionSkewFile)

@@ -50,6 +50,29 @@
 // Per-version compiled plans are cached, so the steady-state read is one
 // atomic load plus one plan execution. See Version.
 //
+// # Data updates
+//
+// Base-data changes flow through System.ApplyUpdates (or ApplyUpdate for a
+// single tuple): the batch collapses into net per-relation insert/delete
+// deltas — charging each update's source notification exactly once — the
+// touched base relations are replaced copy-on-write, and every live view's
+// extent is incrementally maintained per the paper's Algorithm 1, with the
+// deltas batched through the same columnar operators that compute full
+// extents and folded under derivation counting. One new Version publishes
+// per batch. Readers are never quiesced: a snapshot acquired before the
+// batch keeps serving its captured relations and extents unchanged, and the
+// updated state becomes visible by acquiring the next version. The returned
+// Metrics (messages, bytes, I/Os) are the measured counterparts of the
+// QC-Model's analytic maintenance-cost factors:
+//
+//	metrics, err := sys.ApplyUpdates(ctx, []eve.Update{
+//	    eve.InsertTuple("R", eve.Tuple{eve.Int(4), eve.Int(40)}),
+//	    eve.DeleteTuple("R", eve.Tuple{eve.Int(1), eve.Int(10)}),
+//	})
+//
+// Updates addressed to a relation the space does not hold fail with
+// ErrUnknownRelation.
+//
 // # Querying through views
 //
 // Beyond reading whole views, System.Query answers arbitrary E-SQL SELECTs
@@ -293,6 +316,8 @@ type (
 	Workload = core.Workload
 	// Update is one base-data change routed through view maintenance.
 	Update = maintain.Update
+	// Delta is the net per-relation effect of a collapsed update batch.
+	Delta = maintain.Delta
 	// Metrics are measured maintenance costs.
 	Metrics = maintain.Metrics
 )

@@ -1,0 +1,568 @@
+package maintain
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/esql"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// This file is the batched delta-propagation engine: Algorithm 1 run over
+// columnar delta batches instead of tuple-at-a-time joins. One collapsed
+// batch yields one propagation step per (delta, FROM binding) pair; the
+// steps telescope — for step k, bindings whose step already ran join
+// against post-update state, later steps' bindings against pre-update
+// state, untouched bindings against current state — which makes the summed
+// signed deltas exactly the view difference, self-joins included. Insert
+// and delete bags ride through the same hops; at the fold each output row's
+// derivation count moves by +1 per insert witness and −1 per delete
+// witness (the counting algorithm), so multi-supported rows survive
+// partial deletions without any recomputation.
+
+// supportCounts is the counting algorithm's bookkeeping: each distinct
+// extent row with its number of derivations. Rows are kept in a swap-delete
+// slice so the extent can be rebuilt by a single copy.
+type supportCounts struct {
+	rows []relation.Tuple
+	idx  map[string]int
+	cnt  []int
+}
+
+func newSupportCounts() *supportCounts {
+	return &supportCounts{idx: map[string]int{}}
+}
+
+// add moves a row's derivation count by d, appending rows that appear
+// (count rises above zero) and swap-deleting rows whose support vanishes.
+func (sc *supportCounts) add(t relation.Tuple, d int) {
+	k := t.Key()
+	i, ok := sc.idx[k]
+	if !ok {
+		if d <= 0 {
+			return
+		}
+		sc.idx[k] = len(sc.rows)
+		sc.rows = append(sc.rows, t)
+		sc.cnt = append(sc.cnt, d)
+		return
+	}
+	sc.cnt[i] += d
+	if sc.cnt[i] > 0 {
+		return
+	}
+	last := len(sc.rows) - 1
+	if i != last {
+		moved := sc.rows[last]
+		sc.rows[i] = moved
+		sc.cnt[i] = sc.cnt[last]
+		sc.idx[moved.Key()] = i
+	}
+	sc.rows = sc.rows[:last]
+	sc.cnt = sc.cnt[:last]
+	delete(sc.idx, k)
+}
+
+// ApplyDeltas runs Algorithm 1 for one collapsed batch: each delta is
+// propagated through the view's sites as a columnar batch, joined with the
+// local relations under the WHERE clauses that become bound along the way,
+// and folded into a fresh copy-on-write extent by derivation counting. pre
+// maps every delta relation to its pre-batch state (from ApplyBase); the
+// per-step pre/post choice telescopes the deltas into the exact view
+// difference. The previous Extent object is never mutated — on any change
+// a new extent replaces it, so snapshots stay stable. Metrics cover the
+// site round trips and source I/O of this view's propagation only; the
+// one-time update notification is charged by Collapse.
+func (m *Maintainer) ApplyDeltas(ctx context.Context, deltas []Delta, pre map[string]*relation.Relation) (Metrics, error) {
+	var metrics Metrics
+
+	// One step per (delta, FROM binding referencing it), in collapse ×
+	// FROM order. A view not referencing any updated relation has nothing
+	// to do.
+	type step struct {
+		d Delta
+		f esql.FromItem
+	}
+	var steps []step
+	stepIdx := map[string]int{}
+	for _, d := range deltas {
+		for _, f := range m.View.From {
+			if f.Rel == d.Rel {
+				stepIdx[f.Binding()] = len(steps)
+				steps = append(steps, step{d: d, f: f})
+			}
+		}
+	}
+	if len(steps) == 0 {
+		return metrics, nil
+	}
+
+	// state resolves the relation a binding joins against during step k:
+	// post-update for bindings whose step already ran, pre-update for
+	// bindings still pending, current for untouched relations.
+	state := func(f esql.FromItem, k int) *relation.Relation {
+		if j, isStep := stepIdx[f.Binding()]; isStep && j > k {
+			if p := pre[f.Rel]; p != nil {
+				return p
+			}
+		}
+		return m.Space.Relation(f.Rel)
+	}
+
+	// The counting fold needs per-row derivation counts; build them once
+	// from the pre-batch state (a bag-semantics evaluation through the
+	// same columnar operators) and maintain them incrementally afterwards.
+	if m.counts == nil {
+		sc, err := m.evalCounts(ctx, func(f esql.FromItem) *relation.Relation {
+			if p := pre[f.Rel]; p != nil {
+				return p
+			}
+			return m.Space.Relation(f.Rel)
+		})
+		if err != nil {
+			return metrics, err
+		}
+		m.counts = sc
+	}
+
+	changed := false
+	for k, st := range steps {
+		ch, err := m.propagateStep(ctx, st.d, st.f, k, state, &metrics)
+		if err != nil {
+			return metrics, err
+		}
+		changed = changed || ch
+	}
+	if changed {
+		rows := make([]relation.Tuple, len(m.counts.rows))
+		copy(rows, m.counts.rows)
+		m.Extent = relation.FromDistinctRows(m.Extent.Name, m.Extent.Schema(), rows)
+	}
+	return metrics, nil
+}
+
+// hop is the delta flowing between sites: the insert and delete bags over
+// one accumulated schema. Multiplicity in a bag is derivation multiplicity.
+type hop struct {
+	schema *relation.Schema
+	ins    *relation.ColumnBatch
+	del    *relation.ColumnBatch
+}
+
+func (h *hop) card() int { return h.ins.Rows() + h.del.Rows() }
+
+// bytes is the shipped size of the hop: actual tuple bytes, or one schema
+// tuple width when both bags are empty (a message envelope is never free).
+func (h *hop) bytes() int {
+	n := 0
+	for _, t := range h.ins.Tuples() {
+		n += t.ByteSize()
+	}
+	for _, t := range h.del.Tuples() {
+		n += t.ByteSize()
+	}
+	if n == 0 {
+		n = h.schema.TupleSize()
+	}
+	return n
+}
+
+// propagateStep runs one step of the batch: seed the delta at its binding,
+// visit the sites (the updated relation's own IS first — its co-located
+// relations join without any message — then the remaining ISs in FROM
+// order), and fold the surviving witnesses into the derivation counts.
+// It reports whether the counts changed.
+func (m *Maintainer) propagateStep(ctx context.Context, d Delta, seedFrom esql.FromItem, k int, state func(esql.FromItem, int) *relation.Relation, metrics *Metrics) (bool, error) {
+	binding := seedFrom.Binding()
+	base := m.Space.Relation(d.Rel)
+	if base == nil {
+		return false, fmt.Errorf("%w %q", ErrUnknownRelation, d.Rel)
+	}
+	seedSchema := base.Schema().Qualify(d.Rel, binding)
+	h := &hop{
+		schema: seedSchema,
+		ins:    relation.NewColumnBatch(d.Inserts, seedSchema.Len()),
+		del:    relation.NewColumnBatch(d.Deletes, seedSchema.Len()),
+	}
+
+	// Clauses fully bound inside the seed delta are applied exactly once,
+	// here; later hops skip them (they can never re-filter the delta).
+	applied := make([]bool, len(m.View.Where))
+	var seedCond relation.And
+	for i, w := range m.View.Where {
+		cl := clauseOf(w.Clause)
+		if allIn(seedSchema, cl.Attrs()) {
+			seedCond = append(seedCond, cl)
+			applied[i] = true
+		}
+	}
+	if err := h.filter(ctx, seedCond); err != nil {
+		return false, err
+	}
+	if h.card() == 0 {
+		// Nothing survives the local conditions; the update cannot affect
+		// the view and no site needs to hear about it.
+		return false, nil
+	}
+
+	// Site visit order: the updating IS first (its other relations), then
+	// the remaining ISs in FROM order.
+	type siteRels struct {
+		source string
+		rels   []esql.FromItem
+	}
+	bySource := map[string]*siteRels{}
+	var order []*siteRels
+	addRel := func(f esql.FromItem) {
+		src := m.Space.Home(f.Rel)
+		sr, ok := bySource[src]
+		if !ok {
+			sr = &siteRels{source: src}
+			bySource[src] = sr
+			order = append(order, sr)
+		}
+		sr.rels = append(sr.rels, f)
+	}
+	updatedHome := m.Space.Home(d.Rel)
+	for _, f := range m.View.From {
+		if f.Binding() != binding && m.Space.Home(f.Rel) == updatedHome {
+			addRel(f)
+		}
+	}
+	for _, f := range m.View.From {
+		if f.Binding() != binding && m.Space.Home(f.Rel) != updatedHome {
+			addRel(f)
+		}
+	}
+
+	for _, site := range order {
+		if len(site.rels) == 0 {
+			continue
+		}
+		if m.onSite != nil {
+			m.onSite(site.source)
+		}
+		// Send query + delta to the site.
+		metrics.Messages++
+		metrics.Bytes += h.bytes()
+		for _, f := range site.rels {
+			local := state(f, k)
+			if local == nil {
+				return false, fmt.Errorf("maintain: view references missing relation %q", f.Rel)
+			}
+			// I/O at the source: min(scan, index retrieval per delta tuple).
+			metrics.IO += m.joinIO(h.card(), local.Card())
+			if err := m.joinHop(ctx, h, local, f.Binding(), applied); err != nil {
+				return false, err
+			}
+		}
+		// Result returns to the warehouse.
+		metrics.Messages++
+		metrics.Bytes += h.bytes()
+	}
+
+	return m.fold(h)
+}
+
+// filter narrows both bags by a conjunction, through the columnar filter
+// kernels.
+func (h *hop) filter(ctx context.Context, cond relation.And) error {
+	if len(cond) == 0 {
+		return nil
+	}
+	apply := func(b *relation.ColumnBatch) (*relation.ColumnBatch, error) {
+		if b.Rows() == 0 {
+			return b, nil
+		}
+		leaf, err := plan.NewBatchScan(h.schema, b)
+		if err != nil {
+			return nil, err
+		}
+		f, err := plan.NewFilter(leaf, cond, b.Rows())
+		if err != nil {
+			return nil, err
+		}
+		return plan.ExecuteBag(ctx, f)
+	}
+	var err error
+	if h.ins, err = apply(h.ins); err != nil {
+		return err
+	}
+	h.del, err = apply(h.del)
+	return err
+}
+
+// joinHop joins both bags with one local relation under the view's WHERE
+// clauses that become newly bound at this hop: equi-clauses bridging delta
+// and local become hash keys, clauses local to the scanned relation are
+// pushed below the join, the rest apply as a residual. Clauses already
+// applied (fully bound inside the delta at an earlier point) are skipped.
+func (m *Maintainer) joinHop(ctx context.Context, h *hop, local *relation.Relation, binding string, applied []bool) error {
+	scan, err := plan.NewScan(local, binding, local.Card())
+	if err != nil {
+		return err
+	}
+	scanSchema := scan.Schema()
+	var keys []relation.Clause
+	var scanCond, residual relation.And
+	for i, w := range m.View.Where {
+		if applied[i] {
+			continue
+		}
+		cl := clauseOf(w.Clause)
+		switch {
+		case allIn(scanSchema, cl.Attrs()):
+			scanCond = append(scanCond, cl)
+		case !allIn2(h.schema, scanSchema, cl.Attrs()):
+			continue // still unbound; a later hop applies it
+		case cl.IsEquiJoin() && h.schema.Has(cl.Left) && scanSchema.Has(cl.Right):
+			keys = append(keys, cl)
+		case cl.IsEquiJoin() && scanSchema.Has(cl.Left) && h.schema.Has(cl.Right):
+			keys = append(keys, relation.AttrAttr(cl.Right, cl.Op, cl.Left))
+		default:
+			residual = append(residual, cl)
+		}
+		applied[i] = true
+	}
+	var right plan.Node = scan
+	if len(scanCond) > 0 {
+		if right, err = plan.NewFilter(scan, scanCond, local.Card()); err != nil {
+			return err
+		}
+	}
+
+	// Physical choice per bag, mirroring joinIO's optimizer assumption
+	// (Appendix A): when per-delta-tuple index retrievals are cheaper than
+	// a full scan, the join probes the relation's memoized key index and
+	// never streams the local side; otherwise it hash-joins against the
+	// scan. The index persists on the relation object across batches, so
+	// only relations actually updated ever pay a rebuild.
+	scanIO := (local.Card() + m.bfr() - 1) / m.bfr()
+	if scanIO < 1 {
+		scanIO = 1
+	}
+	var lookupResidual relation.And
+	if len(scanCond) > 0 || len(residual) > 0 {
+		lookupResidual = append(append(relation.And{}, scanCond...), residual...)
+	}
+
+	combined := relation.NewSchema(append(h.schema.Attrs(), scanSchema.Attrs()...)...)
+	join := func(b *relation.ColumnBatch) (*relation.ColumnBatch, error) {
+		if b.Rows() == 0 {
+			return relation.NewColumnBatch(nil, combined.Len()), nil
+		}
+		leaf, err := plan.NewBatchScan(h.schema, b)
+		if err != nil {
+			return nil, err
+		}
+		var node plan.Node
+		switch {
+		case len(keys) > 0 && b.Rows() < scanIO:
+			node, err = plan.NewIndexLookup(leaf, scan, keys, lookupResidual, b.Rows())
+		case len(keys) > 0:
+			node, err = plan.NewHashJoin(leaf, right, keys, residual, b.Rows())
+		default:
+			node, err = plan.NewNestedLoop(leaf, right, residual, b.Rows())
+		}
+		if err != nil {
+			return nil, err
+		}
+		return plan.ExecuteBag(ctx, node)
+	}
+	ins, err := join(h.ins)
+	if err != nil {
+		return err
+	}
+	del, err := join(h.del)
+	if err != nil {
+		return err
+	}
+	h.schema, h.ins, h.del = combined, ins, del
+	return nil
+}
+
+// joinIO charges the cheaper of a full scan and per-delta-tuple index
+// retrievals, mirroring Appendix A's optimizer assumption.
+func (m *Maintainer) joinIO(deltaCard, localCard int) int {
+	scan := int(math.Ceil(float64(localCard) / float64(m.bfr())))
+	if scan < 1 {
+		scan = 1
+	}
+	index := deltaCard
+	if index == 0 {
+		index = 1
+	}
+	if scan < index {
+		return scan
+	}
+	return index
+}
+
+// fold projects both bags onto the view's output columns and moves the
+// derivation counts: +1 per insert witness, −1 per delete witness. It
+// reports whether any count moved.
+func (m *Maintainer) fold(h *hop) (bool, error) {
+	idx := make([]int, len(m.View.Select))
+	for i, s := range m.View.Select {
+		idx[i] = h.schema.IndexOf(s.Attr.Qualified())
+		if idx[i] < 0 {
+			return false, fmt.Errorf("maintain: output column %s not bound by propagation", s.Attr.Qualified())
+		}
+	}
+	project := func(t relation.Tuple) relation.Tuple {
+		pt := make(relation.Tuple, len(idx))
+		for i, j := range idx {
+			pt[i] = t[j]
+		}
+		return pt
+	}
+	changed := h.ins.Rows() > 0 || h.del.Rows() > 0
+	for _, t := range h.ins.Tuples() {
+		m.counts.add(project(t), 1)
+	}
+	for _, t := range h.del.Tuples() {
+		m.counts.add(project(t), -1)
+	}
+	return changed, nil
+}
+
+// evalCounts computes the derivation count of every view row by a full
+// bag-semantics evaluation over the given base state: a left-deep plan in
+// FROM order with every WHERE clause applied at its earliest bound point,
+// projected (without duplicate elimination) onto the output columns, then
+// counted.
+func (m *Maintainer) evalCounts(ctx context.Context, state func(esql.FromItem) *relation.Relation) (*supportCounts, error) {
+	sc := newSupportCounts()
+	if len(m.View.From) == 0 {
+		return sc, nil
+	}
+	applied := make([]bool, len(m.View.Where))
+	var acc plan.Node
+	for _, f := range m.View.From {
+		base := state(f)
+		if base == nil {
+			return nil, fmt.Errorf("maintain: view references missing relation %q", f.Rel)
+		}
+		scan, err := plan.NewScan(base, f.Binding(), base.Card())
+		if err != nil {
+			return nil, err
+		}
+		scanSchema := scan.Schema()
+		var scanCond relation.And
+		var node plan.Node = scan
+		if acc == nil {
+			for i, w := range m.View.Where {
+				if !applied[i] && allIn(scanSchema, clauseOf(w.Clause).Attrs()) {
+					scanCond = append(scanCond, clauseOf(w.Clause))
+					applied[i] = true
+				}
+			}
+			if len(scanCond) > 0 {
+				if node, err = plan.NewFilter(scan, scanCond, base.Card()); err != nil {
+					return nil, err
+				}
+			}
+			acc = node
+			continue
+		}
+		accSchema := acc.Schema()
+		var keys []relation.Clause
+		var residual relation.And
+		for i, w := range m.View.Where {
+			if applied[i] {
+				continue
+			}
+			cl := clauseOf(w.Clause)
+			switch {
+			case allIn(scanSchema, cl.Attrs()):
+				scanCond = append(scanCond, cl)
+			case !allIn2(accSchema, scanSchema, cl.Attrs()):
+				continue
+			case cl.IsEquiJoin() && accSchema.Has(cl.Left) && scanSchema.Has(cl.Right):
+				keys = append(keys, cl)
+			case cl.IsEquiJoin() && scanSchema.Has(cl.Left) && accSchema.Has(cl.Right):
+				keys = append(keys, relation.AttrAttr(cl.Right, cl.Op, cl.Left))
+			default:
+				residual = append(residual, cl)
+			}
+			applied[i] = true
+		}
+		if len(scanCond) > 0 {
+			if node, err = plan.NewFilter(scan, scanCond, base.Card()); err != nil {
+				return nil, err
+			}
+		}
+		if len(keys) > 0 {
+			acc, err = plan.NewHashJoin(acc, node, keys, residual, acc.EstRows())
+		} else {
+			acc, err = plan.NewNestedLoop(acc, node, residual, acc.EstRows())
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Defensive: any clause not yet applied (it references attributes no
+	// FROM binding provides) fails at bind time with a clear error.
+	var rest relation.And
+	for i, w := range m.View.Where {
+		if !applied[i] {
+			rest = append(rest, clauseOf(w.Clause))
+		}
+	}
+	if len(rest) > 0 {
+		var err error
+		if acc, err = plan.NewFilter(acc, rest, acc.EstRows()); err != nil {
+			return nil, err
+		}
+	}
+	idx := make([]int, len(m.View.Select))
+	for i, s := range m.View.Select {
+		idx[i] = acc.Schema().IndexOf(s.Attr.Qualified())
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("maintain: output column %s not bound by FROM", s.Attr.Qualified())
+		}
+	}
+	proj, err := plan.NewProject(acc, m.Extent.Schema(), idx, acc.EstRows())
+	if err != nil {
+		return nil, err
+	}
+	batch, err := plan.ExecuteBag(ctx, proj)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range batch.Tuples() {
+		sc.add(t, 1)
+	}
+	return sc, nil
+}
+
+// allIn reports whether every attribute is bound by the schema.
+func allIn(s *relation.Schema, attrs []string) bool {
+	for _, a := range attrs {
+		if !s.Has(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// allIn2 reports whether every attribute is bound by one of two schemas.
+func allIn2(a, b *relation.Schema, attrs []string) bool {
+	for _, at := range attrs {
+		if !a.Has(at) && !b.Has(at) {
+			return false
+		}
+	}
+	return true
+}
+
+// clauseOf lowers an E-SQL clause over qualified attribute references to a
+// relation-layer clause.
+func clauseOf(c esql.Clause) relation.Clause {
+	if c.Right.Attr != "" {
+		return relation.AttrAttr(c.Left.Qualified(), c.Op, c.Right.Qualified())
+	}
+	return relation.AttrConst(c.Left.Qualified(), c.Op, c.Const)
+}

@@ -1,0 +1,226 @@
+package maintain
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/esql"
+	"repro/internal/exec"
+	"repro/internal/relation"
+	"repro/internal/space"
+)
+
+func TestCollapseNetsUpdates(t *testing.T) {
+	sp, _ := joinSpace(t)
+	deltas, metrics, err := Collapse(sp, []Update{
+		{Insert, "R", relation.Tuple{relation.Int(3), relation.Int(30)}},
+		{Delete, "R", relation.Tuple{relation.Int(3), relation.Int(30)}}, // cancels the insert
+		{Insert, "R", relation.Tuple{relation.Int(1), relation.Int(10)}}, // already present: no-op
+		{Delete, "R", relation.Tuple{relation.Int(2), relation.Int(20)}}, // present: real delete
+		{Insert, "R", relation.Tuple{relation.Int(4), relation.Int(40)}}, // absent: real insert
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every update notifies once, no-ops and cancelled pairs included.
+	if metrics.Messages != 5 {
+		t.Errorf("notification messages = %d, want 5", metrics.Messages)
+	}
+	if len(deltas) != 1 || deltas[0].Rel != "R" {
+		t.Fatalf("deltas = %+v, want one delta for R", deltas)
+	}
+	d := deltas[0]
+	if len(d.Inserts) != 1 || d.Inserts[0].Key() != (relation.Tuple{relation.Int(4), relation.Int(40)}).Key() {
+		t.Errorf("net inserts = %v", d.Inserts)
+	}
+	if len(d.Deletes) != 1 || d.Deletes[0].Key() != (relation.Tuple{relation.Int(2), relation.Int(20)}).Key() {
+		t.Errorf("net deletes = %v", d.Deletes)
+	}
+	if d.Card() != 2 {
+		t.Errorf("delta card = %d, want 2", d.Card())
+	}
+	// Collapse inspects state but must not modify it.
+	if sp.Relation("R").Card() != 2 {
+		t.Errorf("Collapse mutated the base relation: card = %d", sp.Relation("R").Card())
+	}
+}
+
+func TestApplyBaseCopyOnWrite(t *testing.T) {
+	sp, _ := joinSpace(t)
+	old := sp.Relation("R")
+	deltas, _, err := Collapse(sp, []Update{
+		{Insert, "R", relation.Tuple{relation.Int(3), relation.Int(30)}},
+		{Delete, "R", relation.Tuple{relation.Int(1), relation.Int(10)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := ApplyBase(sp, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre["R"] != old {
+		t.Error("pre-state map should hold the replaced relation object")
+	}
+	if sp.Relation("R") == old {
+		t.Fatal("ApplyBase mutated the relation in place; want a fresh object")
+	}
+	if old.Card() != 2 || !old.Contains(relation.Tuple{relation.Int(1), relation.Int(10)}) {
+		t.Error("pre-update relation changed under a reader")
+	}
+	cur := sp.Relation("R")
+	if cur.Card() != 2 || !cur.Contains(relation.Tuple{relation.Int(3), relation.Int(30)}) ||
+		cur.Contains(relation.Tuple{relation.Int(1), relation.Int(10)}) {
+		t.Errorf("post-update relation wrong:\n%s", cur)
+	}
+}
+
+// TestSiteVisitOrder pins Algorithm 1's visit order through the onSite
+// seam: for each delta step the maintainer queries the delta's own site
+// first (co-located relations join without a message round trip in the
+// paper's model) and then the remaining sites in FROM order.
+func TestSiteVisitOrder(t *testing.T) {
+	sp := space.New()
+	for _, s := range []string{"IS1", "IS2"} {
+		if _, err := sp.AddSource(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := relation.MustFromRows("R", relation.MustSchema(relation.TypeInt, "A", "B"),
+		relation.IntRows([]int64{1, 10})...)
+	tt := relation.MustFromRows("T", relation.MustSchema(relation.TypeInt, "A", "D"),
+		relation.IntRows([]int64{1, 1000}, []int64{2, 2000})...)
+	s := relation.MustFromRows("S", relation.MustSchema(relation.TypeInt, "A", "C"),
+		relation.IntRows([]int64{1, 100}, []int64{2, 200})...)
+	if err := sp.AddRelation("IS1", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AddRelation("IS1", tt); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AddRelation("IS2", s); err != nil {
+		t.Fatal(err)
+	}
+	v := esql.MustParse("CREATE VIEW V AS SELECT R.B, S.C, T.D FROM R, S, T WHERE R.A = S.A AND R.A = T.A")
+	q, err := exec.Qualify(v, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := exec.Evaluate(context.Background(), q, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(sp, q, ext)
+	var visits []string
+	m.onSite = func(source string) { visits = append(visits, source) }
+	// ΔR originates at IS1, which also hosts T; S sits at IS2. Although S
+	// precedes T in the FROM clause, the co-located T is joined first.
+	if _, err := m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(2), relation.Int(20)}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 2 || visits[0] != "IS1" || visits[1] != "IS2" {
+		t.Errorf("site visits = %v, want [IS1 IS2] (co-located first, then FROM order)", visits)
+	}
+	if m.Extent.Card() != 2 {
+		t.Errorf("extent = %d, want 2", m.Extent.Card())
+	}
+	recompute(t, sp, m)
+}
+
+// TestSeedBoundClauseSkipsSites pins the seed-clause fix: a WHERE clause
+// fully bound inside the delta is applied once at the seed, and a delta it
+// empties never visits any site — the only message is the notification.
+func TestSeedBoundClauseSkipsSites(t *testing.T) {
+	sp := space.New()
+	for _, s := range []string{"IS1", "IS2"} {
+		if _, err := sp.AddSource(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := relation.MustFromRows("R", relation.MustSchema(relation.TypeInt, "A", "B"),
+		relation.IntRows([]int64{1, 200})...)
+	s := relation.MustFromRows("S", relation.MustSchema(relation.TypeInt, "A", "C"),
+		relation.IntRows([]int64{1, 100}, []int64{7, 700})...)
+	if err := sp.AddRelation("IS1", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AddRelation("IS2", s); err != nil {
+		t.Fatal(err)
+	}
+	v := esql.MustParse("CREATE VIEW V AS SELECT R.B, S.C FROM R, S WHERE R.A = S.A AND R.B > 100")
+	q, err := exec.Qualify(v, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := exec.Evaluate(context.Background(), q, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(sp, q, ext)
+	var visits []string
+	m.onSite = func(source string) { visits = append(visits, source) }
+	// B = 5 fails R.B > 100, a clause fully bound by ΔR: the propagation
+	// must stop at the seed.
+	metrics, err := m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(7), relation.Int(5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 0 {
+		t.Errorf("seed-filtered delta visited sites %v; want none", visits)
+	}
+	if metrics.Messages != 1 {
+		t.Errorf("messages = %d, want 1 (notification only)", metrics.Messages)
+	}
+	recompute(t, sp, m)
+	// A qualifying tuple does propagate.
+	metrics, err = m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(7), relation.Int(300)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 1 || visits[0] != "IS2" {
+		t.Errorf("qualifying delta visits = %v, want [IS2]", visits)
+	}
+	if metrics.Messages != 3 {
+		t.Errorf("messages = %d, want 3", metrics.Messages)
+	}
+	recompute(t, sp, m)
+}
+
+// TestBatchSharedBase drives the warehouse decomposition by hand: one
+// Collapse, one ApplyBase, then per-view ApplyDeltas against the shared
+// pre-state — both views must match a full recompute afterwards.
+func TestBatchSharedBase(t *testing.T) {
+	sp, m1 := joinSpace(t)
+	v2 := esql.MustParse("CREATE VIEW W AS SELECT R.B FROM R")
+	q2, err := exec.Qualify(v2, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext2, err := exec.Evaluate(context.Background(), q2, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(sp, q2, ext2)
+
+	deltas, _, err := Collapse(sp, []Update{
+		{Insert, "R", relation.Tuple{relation.Int(3), relation.Int(30)}},
+		{Insert, "S", relation.Tuple{relation.Int(2), relation.Int(200)}},
+		{Delete, "R", relation.Tuple{relation.Int(1), relation.Int(10)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := ApplyBase(sp, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Maintainer{m1, m2} {
+		if _, err := m.ApplyDeltas(context.Background(), deltas, pre); err != nil {
+			t.Fatal(err)
+		}
+		recompute(t, sp, m)
+	}
+	if m2.Extent.Card() != 2 { // B values {20, 30}
+		t.Errorf("single-relation view card = %d, want 2", m2.Extent.Card())
+	}
+}

@@ -1,13 +1,42 @@
+// Package maintain implements the paper's Algorithm 1: incremental
+// maintenance of materialized view extents under base-data updates, with
+// measured message/byte/IO metrics that cross-validate against the analytic
+// QC-Model cost factors.
+//
+// Updates flow through three phases, separable so a warehouse with many
+// live views applies the base change exactly once and folds the delta into
+// every view:
+//
+//  1. Collapse nets a batch of tuple-level updates into per-relation
+//     insert/delete Deltas against the current base state (no-ops and
+//     cancelling pairs disappear; the notification metrics are charged
+//     here, once per source update).
+//  2. ApplyBase lands the deltas on the base relations copy-on-write:
+//     every touched relation is replaced by a fresh object, so readers
+//     holding the old one (through an epoch-published warehouse Version)
+//     never observe mutation.
+//  3. Maintainer.ApplyDeltas propagates the deltas through one view's
+//     sites (Algorithm 1), batched through the columnar plan operators,
+//     and folds the result into a fresh copy-on-write extent using
+//     derivation counting.
+//
+// Maintainer.Apply composes the three for the single-update, single-view
+// case the experiments drive.
 package maintain
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/esql"
 	"repro/internal/relation"
 	"repro/internal/space"
 )
+
+// ErrUnknownRelation reports a data update addressed to a relation the
+// space does not hold.
+var ErrUnknownRelation = errors.New("maintain: unknown relation")
 
 // Metrics are the measured counterparts of the analytic cost factors.
 type Metrics struct {
@@ -39,15 +68,149 @@ type Update struct {
 	Tuple relation.Tuple
 }
 
+// Delta is the net effect of a collapsed update batch on one base
+// relation: the tuples to insert (absent before the batch) and the tuples
+// to delete (present before the batch). The two sets are disjoint.
+type Delta struct {
+	Rel     string
+	Inserts []relation.Tuple
+	Deletes []relation.Tuple
+}
+
+// Card returns the total number of delta tuples.
+func (d Delta) Card() int { return len(d.Inserts) + len(d.Deletes) }
+
+// Collapse nets a batch of updates into per-relation deltas against the
+// current base state, in first-touch relation order. Inserting a present
+// tuple and deleting an absent one are no-ops; an insert cancels a pending
+// delete of the same tuple and vice versa. The returned metrics are the
+// update notifications — per the paper the source sends ΔR to the
+// warehouse exactly once per update, no matter how many views consume it —
+// so every update, including a no-op, charges one message plus its tuple
+// bytes here and nowhere else.
+func Collapse(sp *space.Space, updates []Update) ([]Delta, Metrics, error) {
+	var metrics Metrics
+	type pending struct {
+		rel      string
+		insOrder []string
+		ins      map[string]relation.Tuple
+		delOrder []string
+		del      map[string]relation.Tuple
+	}
+	byRel := make(map[string]*pending)
+	var order []*pending
+	for _, u := range updates {
+		metrics.Messages++
+		metrics.Bytes += u.Tuple.ByteSize()
+		base := sp.Relation(u.Rel)
+		if base == nil {
+			return nil, metrics, fmt.Errorf("%w %q", ErrUnknownRelation, u.Rel)
+		}
+		if len(u.Tuple) != base.Schema().Len() {
+			return nil, metrics, fmt.Errorf("maintain: update tuple arity %d != %s arity %d",
+				len(u.Tuple), u.Rel, base.Schema().Len())
+		}
+		p := byRel[u.Rel]
+		if p == nil {
+			p = &pending{rel: u.Rel, ins: map[string]relation.Tuple{}, del: map[string]relation.Tuple{}}
+			byRel[u.Rel] = p
+			order = append(order, p)
+		}
+		k := u.Tuple.Key()
+		_, pendIns := p.ins[k]
+		_, pendDel := p.del[k]
+		present := (base.Contains(u.Tuple) && !pendDel) || pendIns
+		switch u.Kind {
+		case Insert:
+			if present {
+				continue // no-op beyond the notification
+			}
+			if pendDel {
+				delete(p.del, k)
+			} else {
+				if _, dup := p.ins[k]; !dup {
+					p.insOrder = append(p.insOrder, k)
+				}
+				p.ins[k] = u.Tuple
+			}
+		case Delete:
+			if !present {
+				continue
+			}
+			if pendIns {
+				delete(p.ins, k)
+			} else {
+				if _, dup := p.del[k]; !dup {
+					p.delOrder = append(p.delOrder, k)
+				}
+				p.del[k] = u.Tuple
+			}
+		}
+	}
+	var deltas []Delta
+	for _, p := range order {
+		d := Delta{Rel: p.rel}
+		for _, k := range p.insOrder {
+			if t, ok := p.ins[k]; ok {
+				d.Inserts = append(d.Inserts, t)
+			}
+		}
+		for _, k := range p.delOrder {
+			if t, ok := p.del[k]; ok {
+				d.Deletes = append(d.Deletes, t)
+			}
+		}
+		if d.Card() > 0 {
+			deltas = append(deltas, d)
+		}
+	}
+	return deltas, metrics, nil
+}
+
+// ApplyBase lands collapsed deltas on their base relations copy-on-write:
+// each touched relation is rebuilt via Relation.WithDelta and swapped into
+// the space, leaving the old object untouched for concurrent readers. The
+// returned map holds the pre-update relation per touched name — the
+// pre-state the per-view delta propagation (ApplyDeltas) telescopes
+// against.
+func ApplyBase(sp *space.Space, deltas []Delta) (map[string]*relation.Relation, error) {
+	pre := make(map[string]*relation.Relation, len(deltas))
+	for _, d := range deltas {
+		cur := sp.Relation(d.Rel)
+		if cur == nil {
+			return nil, fmt.Errorf("%w %q", ErrUnknownRelation, d.Rel)
+		}
+		next, err := cur.WithDelta(d.Inserts, d.Deletes)
+		if err != nil {
+			return nil, err
+		}
+		if err := sp.ReplaceRelation(d.Rel, next); err != nil {
+			return nil, err
+		}
+		pre[d.Rel] = cur
+	}
+	return pre, nil
+}
+
 // Maintainer incrementally maintains one materialized view over a space.
 type Maintainer struct {
 	Space *space.Space
 	View  *esql.ViewDef // fully qualified
 	// Extent is the materialized view extent, with the view's output
-	// column names.
+	// column names. ApplyDeltas replaces it with a fresh object per batch
+	// (copy-on-write) — it is never mutated in place, so snapshots holding
+	// a previous extent stay stable.
 	Extent *relation.Relation
 	// BlockingFactor is bfr for the I/O simulation (default 10).
 	BlockingFactor int
+
+	// counts tracks the derivation count of every extent row (the counting
+	// algorithm's bookkeeping), built lazily from the pre-update state on
+	// the first ApplyDeltas and maintained incrementally afterwards.
+	counts *supportCounts
+	// onSite, when set, observes every site visit of a propagation pass in
+	// order — a test seam for pinning Algorithm 1's visit order.
+	onSite func(source string)
 }
 
 // New creates a maintainer; the initial extent must be supplied (usually
@@ -63,385 +226,21 @@ func (m *Maintainer) bfr() int {
 	return 10
 }
 
-// Apply performs the base update at its source and then runs Algorithm 1 to
-// bring the view extent up to date, returning the measured metrics. The
-// update is applied to the base relation first ("the view maintainer brings
-// the view extents up-to-date right after the IS data is updated"); delta
-// derivation joins against the post-update state for inserts and the
-// pre-delete state semantics via the computed delta for deletes.
+// Apply performs one base update at its source and brings the view extent
+// up to date, returning the measured metrics — the single-update
+// composition of Collapse, ApplyBase, and ApplyDeltas ("the view
+// maintainer brings the view extents up-to-date right after the IS data is
+// updated").
 func (m *Maintainer) Apply(u Update) (Metrics, error) {
-	var metrics Metrics
-	base := m.Space.Relation(u.Rel)
-	if base == nil {
-		return metrics, fmt.Errorf("maintain: unknown relation %q", u.Rel)
+	deltas, metrics, err := Collapse(m.Space, []Update{u})
+	if err != nil || len(deltas) == 0 {
+		return metrics, err
 	}
-	binding := ""
-	for _, f := range m.View.From {
-		if f.Rel == u.Rel {
-			binding = f.Binding()
-		}
-	}
-	switch u.Kind {
-	case Insert:
-		if base.Contains(u.Tuple) {
-			// No-op update still notifies the warehouse.
-			metrics.Messages++
-			metrics.Bytes += u.Tuple.ByteSize()
-			return metrics, nil
-		}
-		if err := m.Space.Insert(u.Rel, u.Tuple); err != nil {
-			return metrics, err
-		}
-	case Delete:
-		if !base.Contains(u.Tuple) {
-			metrics.Messages++
-			metrics.Bytes += u.Tuple.ByteSize()
-			return metrics, nil
-		}
-		if err := m.Space.Delete(u.Rel, u.Tuple); err != nil {
-			return metrics, err
-		}
-	}
-
-	// Update notification: the source sends ΔR to the warehouse.
-	metrics.Messages++
-	metrics.Bytes += u.Tuple.ByteSize()
-
-	if binding == "" {
-		// The view does not reference the updated relation.
-		return metrics, nil
-	}
-
-	delta, visited, err := m.propagate(u, binding, &metrics)
+	pre, err := ApplyBase(m.Space, deltas)
 	if err != nil {
 		return metrics, err
 	}
-	_ = visited
-
-	// Fold the delta into the materialized extent.
-	if err := m.fold(u.Kind, delta); err != nil {
-		return metrics, err
-	}
-	return metrics, nil
-}
-
-// propagate runs the site-by-site delta join of Algorithm 1: the delta is
-// sent to each IS holding view relations, joined there with the local
-// relations (filtered by the view's WHERE clauses that become fully bound),
-// and the enlarged delta returns to the warehouse.
-func (m *Maintainer) propagate(u Update, updatedBinding string, metrics *Metrics) (*relation.Relation, []string, error) {
-	// Seed delta: the updated tuple with columns qualified by the view
-	// binding.
-	base := m.Space.Relation(u.Rel)
-	if base == nil {
-		return nil, nil, fmt.Errorf("maintain: relation %q vanished mid-update", u.Rel)
-	}
-	attrs := base.Schema().Attrs()
-	for i := range attrs {
-		attrs[i].Name = updatedBinding + "." + attrs[i].Name
-	}
-	delta := relation.New("Δ", relation.NewSchema(attrs...))
-	if err := delta.Insert(u.Tuple); err != nil {
-		return nil, nil, err
-	}
-	// Apply local constant conditions on the updated relation right away;
-	// a tuple failing them cannot affect the view.
-	var err error
-	delta, err = m.applyBoundConditions(delta)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// Visit order: the updating IS first (its other relations), then the
-	// remaining ISs in FROM order.
-	type siteRels struct {
-		source string
-		rels   []esql.FromItem
-	}
-	bySource := map[string]*siteRels{}
-	var order []*siteRels
-	addRel := func(f esql.FromItem) {
-		src := m.Space.Home(f.Rel)
-		sr, ok := bySource[src]
-		if !ok {
-			sr = &siteRels{source: src}
-			bySource[src] = sr
-			order = append(order, sr)
-		}
-		sr.rels = append(sr.rels, f)
-	}
-	updatedHome := m.Space.Home(u.Rel)
-	// First the co-located relations.
-	for _, f := range m.View.From {
-		if f.Binding() != updatedBinding && m.Space.Home(f.Rel) == updatedHome {
-			addRel(f)
-		}
-	}
-	for _, f := range m.View.From {
-		if f.Binding() != updatedBinding && m.Space.Home(f.Rel) != updatedHome {
-			addRel(f)
-		}
-	}
-
-	var visited []string
-	for _, site := range order {
-		if len(site.rels) == 0 {
-			continue
-		}
-		visited = append(visited, site.source)
-		// Send query + delta to the site.
-		metrics.Messages++
-		metrics.Bytes += deltaBytes(delta)
-		for _, f := range site.rels {
-			local := m.Space.Relation(f.Rel)
-			if local == nil {
-				return nil, nil, fmt.Errorf("maintain: view references missing relation %q", f.Rel)
-			}
-			// I/O at the source: min(scan, index retrieval per delta tuple).
-			metrics.IO += m.simulateJoinIO(delta, local, f.Binding())
-			joined, err := m.joinLocal(delta, local, f.Binding())
-			if err != nil {
-				return nil, nil, err
-			}
-			delta = joined
-		}
-		// Result returns to the warehouse.
-		metrics.Messages++
-		metrics.Bytes += deltaBytes(delta)
-	}
-	return delta, visited, nil
-}
-
-// joinLocal joins the delta with one local relation under the view's WHERE
-// clauses that bind between the delta's columns and this relation.
-func (m *Maintainer) joinLocal(delta, local *relation.Relation, binding string) (*relation.Relation, error) {
-	attrs := local.Schema().Attrs()
-	for i := range attrs {
-		attrs[i].Name = binding + "." + attrs[i].Name
-	}
-	qualified := relation.New(local.Name, relation.NewSchema(attrs...))
-	for _, t := range local.Tuples() {
-		qualified.Insert(t) //nolint:errcheck
-	}
-	var cond relation.And
-	for _, w := range m.View.Where {
-		c := clauseCondition(w.Clause)
-		// Usable when every referenced column exists in delta ∪ qualified.
-		usable := true
-		for _, a := range c.Attrs() {
-			if !delta.Schema().Has(a) && !qualified.Schema().Has(a) {
-				usable = false
-				break
-			}
-		}
-		// Skip conditions fully inside delta (already applied) to avoid
-		// re-filtering; they are harmless but wasteful.
-		if usable {
-			cond = append(cond, c)
-		}
-	}
-	joined, err := relation.Join(delta, qualified, cond)
-	if err != nil {
-		return nil, err
-	}
-	joined.Name = "Δ"
-	return joined, nil
-}
-
-// applyBoundConditions filters the delta by WHERE clauses whose attributes
-// are all present in the delta schema.
-func (m *Maintainer) applyBoundConditions(delta *relation.Relation) (*relation.Relation, error) {
-	var cond relation.And
-	for _, w := range m.View.Where {
-		c := clauseCondition(w.Clause)
-		all := true
-		for _, a := range c.Attrs() {
-			if !delta.Schema().Has(a) {
-				all = false
-				break
-			}
-		}
-		if all {
-			cond = append(cond, c)
-		}
-	}
-	if len(cond) == 0 {
-		return delta, nil
-	}
-	out, err := delta.Select(cond)
-	if err != nil {
-		return nil, err
-	}
-	out.Name = "Δ"
-	return out, nil
-}
-
-// simulateJoinIO charges the cheaper of a full scan and per-delta-tuple
-// index retrievals, mirroring Appendix A's optimizer assumption.
-func (m *Maintainer) simulateJoinIO(delta, local *relation.Relation, binding string) int {
-	scan := int(math.Ceil(float64(local.Card()) / float64(m.bfr())))
-	if scan < 1 {
-		scan = 1
-	}
-	// Index path: for each delta tuple, fetch matching tuples; we estimate
-	// one I/O per delta tuple per matching block.
-	index := delta.Card()
-	if index == 0 {
-		index = 1
-	}
-	if scan < index {
-		return scan
-	}
-	return index
-}
-
-// fold applies the delta to the materialized extent: project the delta onto
-// the view's output columns and insert (or delete) the rows. A deleted base
-// tuple's view rows may still be derivable from other base combinations
-// (set semantics make multi-support possible), so deletion re-verifies each
-// candidate row against the post-update space before removing it. The
-// verification is local recomputation at the warehouse side and does not
-// add to the network counters, matching the paper's assumption that the
-// warehouse applies deltas locally.
-func (m *Maintainer) fold(kind UpdateKind, delta *relation.Relation) error {
-	cols := make([]string, len(m.View.Select))
-	for i, s := range m.View.Select {
-		cols[i] = s.Attr.Qualified()
-		if !delta.Schema().Has(cols[i]) {
-			// The delta never reached a relation carrying this column —
-			// the update cannot affect the view.
-			return nil
-		}
-	}
-	proj, err := delta.Project(cols...)
-	if err != nil {
-		return err
-	}
-	switch kind {
-	case Insert:
-		for _, t := range proj.Tuples() {
-			if err := m.Extent.Insert(t); err != nil {
-				return err
-			}
-		}
-	case Delete:
-		still, err := m.stillDerivable(proj)
-		if err != nil {
-			return err
-		}
-		for _, t := range proj.Tuples() {
-			if !still.Contains(t) {
-				m.Extent.Delete(t)
-			}
-		}
-	}
-	return nil
-}
-
-// stillDerivable recomputes which of the candidate deleted rows the
-// post-update space still produces (multi-support check).
-func (m *Maintainer) stillDerivable(candidates *relation.Relation) (*relation.Relation, error) {
-	// Recompute the view restricted to the candidate rows: evaluate the
-	// full view (extents in the simulator are small) and intersect.
-	fresh, err := m.reevaluate()
-	if err != nil {
-		return nil, err
-	}
-	return candidates.Intersect(fresh)
-}
-
-// reevaluate recomputes the view extent from base data, keeping the output
-// columns aligned with the qualified select list (same projection fold
-// uses). WHERE clauses are pushed into the leftmost join at which their
-// columns are bound, so the recomputation never materializes a raw cross
-// product.
-func (m *Maintainer) reevaluate() (*relation.Relation, error) {
-	pending := make([]relation.Condition, 0, len(m.View.Where))
-	for _, w := range m.View.Where {
-		pending = append(pending, clauseCondition(w.Clause))
-	}
-	ready := func(schema *relation.Schema) relation.And {
-		var take relation.And
-		rest := pending[:0]
-		for _, c := range pending {
-			bound := true
-			for _, a := range c.Attrs() {
-				if !schema.Has(a) {
-					bound = false
-					break
-				}
-			}
-			if bound {
-				take = append(take, c)
-			} else {
-				rest = append(rest, c)
-			}
-		}
-		pending = rest
-		return take
-	}
-
-	var acc *relation.Relation
-	for _, f := range m.View.From {
-		base := m.Space.Relation(f.Rel)
-		if base == nil {
-			return nil, fmt.Errorf("maintain: view references missing relation %q", f.Rel)
-		}
-		attrs := base.Schema().Attrs()
-		for i := range attrs {
-			attrs[i].Name = f.Binding() + "." + attrs[i].Name
-		}
-		q := relation.New(base.Name, relation.NewSchema(attrs...))
-		for _, t := range base.Tuples() {
-			q.Insert(t) //nolint:errcheck
-		}
-		var err error
-		if local := ready(q.Schema()); len(local) > 0 {
-			if q, err = q.Select(local); err != nil {
-				return nil, err
-			}
-		}
-		if acc == nil {
-			acc = q
-			continue
-		}
-		combined := relation.NewSchema(append(acc.Schema().Attrs(), q.Schema().Attrs()...)...)
-		acc, err = relation.Join(acc, q, ready(combined))
-		if err != nil {
-			return nil, err
-		}
-	}
-	if acc == nil {
-		return relation.New("V", relation.NewSchema()), nil
-	}
-	sel, err := acc.Select(relation.And(pending))
-	if err != nil {
-		return nil, err
-	}
-	cols := make([]string, len(m.View.Select))
-	for i, s := range m.View.Select {
-		cols[i] = s.Attr.Qualified()
-	}
-	return sel.Project(cols...)
-}
-
-func deltaBytes(r *relation.Relation) int {
-	n := 0
-	for _, t := range r.Tuples() {
-		n += t.ByteSize()
-	}
-	if n == 0 {
-		// An empty delta still occupies a message envelope; count the
-		// schema width once so byte accounting never goes to zero for a
-		// round trip.
-		n = r.Schema().TupleSize()
-	}
-	return n
-}
-
-func clauseCondition(c esql.Clause) relation.Condition {
-	if c.Right.Attr != "" {
-		return relation.AttrAttr(c.Left.Qualified(), c.Op, c.Right.Qualified())
-	}
-	return relation.AttrConst(c.Left.Qualified(), c.Op, c.Const)
+	pm, err := m.ApplyDeltas(context.Background(), deltas, pre)
+	metrics.Add(pm)
+	return metrics, err
 }

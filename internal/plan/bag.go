@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// This file is the bag-semantics execution surface of the plan package:
+// delta maintenance (internal/maintain, Algorithm 1) pushes insert/delete
+// delta batches through the same columnar operators that compute full
+// extents, but WITHOUT the duplicate-eliminating Dedup root — incremental
+// view maintenance counts derivations, so every join witness must survive.
+// A BatchScan leaf injects an in-memory delta batch where a Scan would read
+// a base relation, and ExecuteBag materializes any operator subtree into a
+// ColumnBatch keeping duplicates.
+
+// BatchScan is a leaf operator over an in-memory columnar batch — the delta
+// relation ΔR of one maintenance hop, already qualified to the FROM binding
+// it stands in for. Unlike Scan it is not backed by a base relation and its
+// rows are a bag: duplicates carry derivation multiplicity and are
+// preserved.
+type BatchScan struct {
+	schema *relation.Schema
+	batch  *relation.ColumnBatch
+}
+
+// NewBatchScan builds a batch leaf over schema; the batch width must match
+// the schema arity.
+func NewBatchScan(schema *relation.Schema, batch *relation.ColumnBatch) (*BatchScan, error) {
+	if batch.Width() != schema.Len() {
+		return nil, fmt.Errorf("plan: batch width %d != schema arity %d", batch.Width(), schema.Len())
+	}
+	return &BatchScan{schema: schema, batch: batch}, nil
+}
+
+// Schema implements Node.
+func (s *BatchScan) Schema() *relation.Schema { return s.schema }
+
+// Rows implements Node; it boxes the batch into tuples (reference path
+// only — the vectorized path reads the batch directly).
+func (s *BatchScan) Rows(ctx context.Context) ([]relation.Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.batch.Tuples(), nil
+}
+
+// EstRows implements Node.
+func (s *BatchScan) EstRows() int { return s.batch.Rows() }
+
+// Children implements Node.
+func (s *BatchScan) Children() []Node { return nil }
+
+// Label implements Node.
+func (s *BatchScan) Label() string {
+	return fmt.Sprintf("BatchScan Δ[%d rows]", s.batch.Rows())
+}
+
+// vbatch is the vectorized mirror of BatchScan: the delta batch is already
+// columnar, so exec is pure frame bookkeeping.
+type vbatch struct {
+	batch *relation.ColumnBatch
+}
+
+func (s *vbatch) exec(ctx context.Context, chunk int) (*vframe, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w := s.batch.Width()
+	leafOf := make([]int, w)
+	colOf := make([]int, w)
+	for i := range colOf {
+		colOf[i] = i
+	}
+	return &vframe{
+		leaves: []*relation.ColumnBatch{s.batch},
+		rows:   []relation.Sel{nil},
+		n:      s.batch.Rows(),
+		leafOf: leafOf,
+		colOf:  colOf,
+	}, nil
+}
+
+// ExecuteBag runs an operator subtree under bag semantics and materializes
+// the result as a ColumnBatch, duplicates preserved — the execution entry
+// point of delta propagation, where output multiplicity is the derivation
+// count. The columnar path runs whenever the subtree vectorizes (frames are
+// materialized by sharing untouched leaf columns and gathering selected
+// ones); otherwise the tuple-at-a-time Node.Rows path — itself bag-
+// semantics — is boxed into a batch.
+func ExecuteBag(ctx context.Context, root Node) (*relation.ColumnBatch, error) {
+	if vn, ok := vectorizeNode(root); ok {
+		fr, err := vn.exec(ctx, vecChunk)
+		if err != nil {
+			return nil, err
+		}
+		w := len(fr.leafOf)
+		outCols := make([]relation.Column, w)
+		for c := 0; c < w; c++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			col, sel := fr.column(c)
+			if sel == nil {
+				outCols[c] = *col
+				continue
+			}
+			outCols[c] = col.Gather(sel)
+		}
+		return relation.BatchFromColumns(fr.n, outCols), nil
+	}
+	rows, err := root.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return relation.NewColumnBatch(rows, root.Schema().Len()), nil
+}

@@ -821,6 +821,8 @@ func vectorizeNode(n Node) (vnode, bool) {
 	switch t := n.(type) {
 	case *Scan:
 		return &vscan{rel: t.rel, width: t.rel.Schema().Len()}, true
+	case *BatchScan:
+		return &vbatch{batch: t.batch}, true
 	case *Filter:
 		child, ok := vectorizeNode(t.child)
 		if !ok {

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 	"sync"
@@ -23,6 +24,7 @@ type Relation struct {
 	lazy   *lazySeen      // deferred dedup index (FromDistinctRows/FromColumns)
 	cols   *colCache      // memoized columnar image of tuples
 	born   *lazyTuples    // columnar-born rows (FromColumns); tuples on demand
+	kidx   *keyIdxCache   // memoized per-column-set lookup indexes (KeyIndex)
 }
 
 // lazyTuples holds the rows of a columnar-born relation (FromColumns): the
@@ -90,7 +92,7 @@ func (r *Relation) index() map[string]int {
 
 // New creates an empty relation with the given name and schema.
 func New(name string, schema *Schema) *Relation {
-	return &Relation{Name: name, schema: schema, seen: make(map[string]int), cols: &colCache{}}
+	return &Relation{Name: name, schema: schema, seen: make(map[string]int), cols: &colCache{}, kidx: &keyIdxCache{}}
 }
 
 // FromDistinctRows creates a relation directly over a duplicate-free tuple
@@ -100,7 +102,7 @@ func New(name string, schema *Schema) *Relation {
 // duplicates were already eliminated by hash. Rows must match the schema
 // arity and be free of key duplicates; both hold by construction there.
 func FromDistinctRows(name string, schema *Schema, rows []Tuple) *Relation {
-	return &Relation{Name: name, schema: schema, tuples: rows, lazy: &lazySeen{}, cols: &colCache{}}
+	return &Relation{Name: name, schema: schema, tuples: rows, lazy: &lazySeen{}, cols: &colCache{}, kidx: &keyIdxCache{}}
 }
 
 // FromColumns creates a relation whose rows live in columnar form — the
@@ -110,7 +112,7 @@ func FromDistinctRows(name string, schema *Schema, rows []Tuple) *Relation {
 // each materialized at most once, on first demand. Callers must not mutate
 // the batch afterwards.
 func FromColumns(name string, schema *Schema, batch *ColumnBatch) *Relation {
-	r := &Relation{Name: name, schema: schema, lazy: &lazySeen{}, cols: &colCache{}, born: &lazyTuples{batch: batch}}
+	r := &Relation{Name: name, schema: schema, lazy: &lazySeen{}, cols: &colCache{}, born: &lazyTuples{batch: batch}, kidx: &keyIdxCache{}}
 	r.cols.batch.Store(batch)
 	return r
 }
@@ -184,6 +186,7 @@ func (r *Relation) Insert(t Tuple) error {
 	seen[k] = len(r.tuples)
 	r.tuples = append(r.tuples, t)
 	r.cols.batch.Store(nil)
+	r.kidx.invalidate()
 	return nil
 }
 
@@ -205,7 +208,56 @@ func (r *Relation) Delete(t Tuple) bool {
 	r.tuples = r.tuples[:last]
 	delete(seen, k)
 	r.cols.batch.Store(nil)
+	r.kidx.invalidate()
 	return true
+}
+
+// WithDelta returns a new relation holding this relation's tuples with the
+// given inserts added and deletes removed, without mutating the receiver —
+// the copy-on-write constructor batched data updates fold base changes
+// through. Set semantics carry over: inserting a present tuple and deleting
+// an absent one are no-ops. Tuple storage and the dedup index are freshly
+// allocated, so the receiver stays safe to serve concurrently. Cost is one
+// row-slice copy plus one index clone plus O(|delta|) keyed edits — no key
+// string is rebuilt for a carried-over row, which is what keeps a small
+// update batch against a large relation cheap.
+func (r *Relation) WithDelta(inserts, deletes []Tuple) (*Relation, error) {
+	for _, t := range inserts {
+		if len(t) != r.schema.Len() {
+			return nil, fmt.Errorf("relation %s: delta tuple arity %d != schema arity %d", r.Name, len(t), r.schema.Len())
+		}
+	}
+	old := r.rows()
+	rows := make([]Tuple, len(old), len(old)+len(inserts))
+	copy(rows, old)
+	seen := maps.Clone(r.index())
+	if seen == nil {
+		seen = make(map[string]int, len(inserts))
+	}
+	for _, t := range deletes {
+		k := t.Key()
+		i, ok := seen[k]
+		if !ok {
+			continue
+		}
+		last := len(rows) - 1
+		if i != last {
+			moved := rows[last]
+			rows[i] = moved
+			seen[moved.Key()] = i
+		}
+		rows = rows[:last]
+		delete(seen, k)
+	}
+	for _, t := range inserts {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = len(rows)
+		rows = append(rows, t)
+	}
+	return &Relation{Name: r.Name, schema: r.schema, tuples: rows, seen: seen, cols: &colCache{}, kidx: &keyIdxCache{}}, nil
 }
 
 // Clone returns a deep copy of the relation (tuples are value slices and
@@ -228,7 +280,7 @@ func (r *Relation) Rebind(name string, schema *Schema) (*Relation, error) {
 	if schema.Len() != r.schema.Len() {
 		return nil, fmt.Errorf("relation %s: rebind schema arity %d != %d", r.Name, schema.Len(), r.schema.Len())
 	}
-	return &Relation{Name: name, schema: schema, tuples: r.tuples, seen: r.seen, lazy: r.lazy, cols: r.cols, born: r.born}, nil
+	return &Relation{Name: name, schema: schema, tuples: r.tuples, seen: r.seen, lazy: r.lazy, cols: r.cols, born: r.born, kidx: r.kidx}, nil
 }
 
 // WithName returns a shallow renamed view of the relation sharing tuples.

@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/maintain"
+	"repro/internal/relation"
+	"repro/internal/space"
+)
+
+// UpdateChurnParams configures a mixed evolution-and-data workload: the
+// capability-change stream of ChurnParams interleaved with batches of
+// tuple inserts and deletes against the same relations. Replaying the
+// events through warehouse.ApplyChange / warehouse.ApplyUpdates exercises
+// schema evolution and incremental view maintenance against each other —
+// the update-heavy churn the delta-maintenance subsystem is stress-tested
+// and benchmarked on.
+type UpdateChurnParams struct {
+	// Churn configures the capability-change side (space shape, views, and
+	// change stream); its Seed also drives the update generator.
+	Churn ChurnParams
+	// Batches is the number of update batches woven into the stream.
+	Batches int
+	// BatchSize is the number of tuple updates per batch.
+	BatchSize int
+	// DeleteRatio is the approximate fraction of updates that delete a
+	// previously inserted tuple; the rest insert fresh tuples. Deletes
+	// only draw from tuples this stream inserted earlier (and whose
+	// relation's schema is unchanged since), so every delete is real.
+	DeleteRatio float64
+	// FamilyBias is the probability an update batch targets a family
+	// relation (the ones carrying views) rather than any live relation.
+	FamilyBias float64
+}
+
+// DefaultUpdateChurnParams returns a medium mixed workload: the default
+// capability churn plus 100 batches of 8 updates, roughly a third deletes,
+// 70% aimed at view-bearing relations.
+func DefaultUpdateChurnParams() UpdateChurnParams {
+	return UpdateChurnParams{
+		Churn:       DefaultChurnParams(),
+		Batches:     100,
+		BatchSize:   8,
+		DeleteRatio: 0.35,
+		FamilyBias:  0.7,
+	}
+}
+
+// ChurnEvent is one step of a mixed history: exactly one of Change and
+// Updates is set.
+type ChurnEvent struct {
+	Change  *space.Change
+	Updates []maintain.Update
+}
+
+// UpdateChurnHistory is a generated mixed history. The embedded
+// ChurnHistory supplies BuildSpace and Views (the pre-history state);
+// Events is the full interleaved stream, with the embedded Changes in
+// their original order.
+type UpdateChurnHistory struct {
+	*ChurnHistory
+	UpdateParams UpdateChurnParams
+	Events       []ChurnEvent
+}
+
+// UpdateChurn generates a mixed capability-and-data history. Every event
+// is valid at its position: update tuples match the target relation's
+// arity as evolved by the preceding changes, deleted tuples were inserted
+// earlier in the stream, and no update addresses a dropped relation.
+// Equal params produce identical histories.
+func UpdateChurn(p UpdateChurnParams) (*UpdateChurnHistory, error) {
+	if p.Batches < 1 || p.BatchSize < 1 {
+		return nil, fmt.Errorf("scenario: UpdateChurn needs at least one batch and one update per batch, got %+v", p)
+	}
+	base, err := Churn(p.Churn)
+	if err != nil {
+		return nil, err
+	}
+	h := &UpdateChurnHistory{ChurnHistory: base, UpdateParams: p}
+	rng := rand.New(rand.NewSource(p.Churn.Seed ^ 0x5eed))
+
+	// Track, per live relation, the current arity and the pool of tuples
+	// this stream inserted that are still deletable. Any schema change to
+	// a relation invalidates its pool (the stored tuples changed shape);
+	// renames carry state to the new name.
+	arity := map[string]int{}
+	pool := map[string][]relation.Tuple{}
+	var families, others []string
+	for f := 1; f <= p.Churn.Families; f++ {
+		fam := fmt.Sprintf("W%d", f)
+		families = append(families, fam)
+		arity[fam] = p.Churn.Width + 1 // K + A1..Aw
+		for d := 1; d <= p.Churn.Donors; d++ {
+			donor := fmt.Sprintf("D%d_%d", f, d)
+			others = append(others, donor)
+			arity[donor] = p.Churn.Width + 1
+		}
+	}
+	for i := 1; i <= p.Churn.Spares; i++ {
+		sp := fmt.Sprintf("SP%d", i)
+		others = append(others, sp)
+		arity[sp] = p.Churn.SpareAttrs
+	}
+
+	next := 0 // fresh-tuple counter; values stay clear of Populate's fill
+	freshTuple := func(width int) relation.Tuple {
+		next++
+		t := make(relation.Tuple, width)
+		for j := range t {
+			t[j] = relation.Int(int64(1_000_000 + next*131 + j))
+		}
+		return t
+	}
+	rename := func(list []string, from, to string) {
+		for i, n := range list {
+			if n == from {
+				list[i] = to
+			}
+		}
+	}
+	applyToState := func(c space.Change) {
+		switch c.Kind {
+		case space.DeleteAttribute:
+			arity[c.Rel]--
+			delete(pool, c.Rel)
+		case space.AddAttribute:
+			arity[c.Rel]++
+			delete(pool, c.Rel)
+		case space.RenameAttribute:
+			// Arity and tuple values unchanged: the pool stays deletable.
+		case space.RenameRelation:
+			arity[c.NewName] = arity[c.Rel]
+			pool[c.NewName] = pool[c.Rel]
+			delete(arity, c.Rel)
+			delete(pool, c.Rel)
+			rename(families, c.Rel, c.NewName)
+			rename(others, c.Rel, c.NewName)
+		case space.DeleteRelation:
+			delete(arity, c.Rel)
+			delete(pool, c.Rel)
+			others = removeString(others, c.Rel)
+			families = removeString(families, c.Rel)
+		}
+	}
+	pickTarget := func() string {
+		if len(families) > 0 && (len(others) == 0 || rng.Float64() < p.FamilyBias) {
+			return families[rng.Intn(len(families))]
+		}
+		return others[rng.Intn(len(others))]
+	}
+	makeBatch := func() []maintain.Update {
+		batch := make([]maintain.Update, 0, p.BatchSize)
+		for len(batch) < p.BatchSize {
+			rel := pickTarget()
+			if rng.Float64() < p.DeleteRatio && len(pool[rel]) > 0 {
+				i := rng.Intn(len(pool[rel]))
+				t := pool[rel][i]
+				pool[rel] = append(pool[rel][:i], pool[rel][i+1:]...)
+				batch = append(batch, maintain.Update{Kind: maintain.Delete, Rel: rel, Tuple: t})
+				continue
+			}
+			t := freshTuple(arity[rel])
+			pool[rel] = append(pool[rel], t)
+			batch = append(batch, maintain.Update{Kind: maintain.Insert, Rel: rel, Tuple: t})
+		}
+		return batch
+	}
+
+	changes := base.Changes
+	rc, rb := len(changes), p.Batches
+	for rc+rb > 0 {
+		if rb == 0 || (rc > 0 && rng.Intn(rc+rb) < rc) {
+			c := changes[len(changes)-rc]
+			rc--
+			applyToState(c)
+			h.Events = append(h.Events, ChurnEvent{Change: &c})
+			continue
+		}
+		rb--
+		h.Events = append(h.Events, ChurnEvent{Updates: makeBatch()})
+	}
+	return h, nil
+}

@@ -124,6 +124,21 @@ func (sp *Space) notify(c Change) {
 	}
 }
 
+// ReplaceRelation swaps the named relation for a new object with the same
+// name and schema, refreshing the MKB cardinality. This is the copy-on-write
+// commit point of batched data updates: readers holding the old relation
+// object (through an epoch-published warehouse Version) keep reading it
+// unchanged, while the space serves the replacement from here on.
+func (sp *Space) ReplaceRelation(name string, rel *relation.Relation) error {
+	home, ok := sp.homes[name]
+	if !ok {
+		return fmt.Errorf("space: unknown relation %q", name)
+	}
+	sp.sources[home].relations[name] = rel
+	sp.mkb.SetCard(name, rel.Card())
+	return nil
+}
+
 // Insert adds a tuple to a base relation and refreshes the MKB cardinality.
 func (sp *Space) Insert(relName string, t relation.Tuple) error {
 	r := sp.Relation(relName)

@@ -48,10 +48,11 @@ func TestVersionBatchCacheStable(t *testing.T) {
 	}
 }
 
-// TestVersionBatchCacheInvalidatedByUpdate pins the invalidation side:
-// ApplyUpdate mutates base relations in place, which must drop the cached
-// batch so the next evaluation sees the new data instead of a stale
-// columnar image.
+// TestVersionBatchCacheInvalidatedByUpdate pins the update boundary:
+// ApplyUpdate replaces touched base relations copy-on-write and publishes a
+// new version. A previously acquired version keeps serving its captured
+// relation — warm batch and all — while the next Acquire hands out a fresh
+// relation whose batch reflects the new data.
 func TestVersionBatchCacheInvalidatedByUpdate(t *testing.T) {
 	wh := New(replicaSpace(t))
 	if _, err := wh.DefineView(replicaView); err != nil {
@@ -71,23 +72,30 @@ func TestVersionBatchCacheInvalidatedByUpdate(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	after := v.Relation("R").Columns()
+	// The old version's captured relation is untouched: same warm batch,
+	// same pre-update rows.
+	if b := v.Relation("R").Columns(); b != before || b.Rows() != 3 {
+		t.Fatalf("old version's batch changed under an update (rows = %d)", b.Rows())
+	}
+	// The freshly acquired version carries the replacement relation with a
+	// new columnar image, and its (empty) plan cache compiles against it.
+	v2 := wh.Acquire()
+	after := v2.Relation("R").Columns()
 	if after == before {
-		t.Fatal("ApplyUpdate left a stale column batch cached")
+		t.Fatal("new version shares the pre-update column batch")
 	}
 	if after.Rows() != 4 {
 		t.Fatalf("batch rows = %d after insert, want 4", after.Rows())
 	}
-	// ApplyUpdate republishes; the fresh version's (empty) plan cache
-	// compiles against the updated storage and must see the new row.
-	ext, err := wh.Acquire().Evaluate(ctx, "V")
+	ext, err := v2.Evaluate(ctx, "V")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ext.Card() != 3 { // A > 1 now matches 2, 3, 4
 		t.Fatalf("post-update evaluation card = %d, want 3", ext.Card())
 	}
-	// Deleting the tuple again invalidates once more.
+	// Deleting the tuple again replaces the relation once more; v2 keeps
+	// its own snapshot.
 	if _, err := wh.ApplyUpdate(maintain.Update{
 		Kind:  maintain.Delete,
 		Rel:   "R",
@@ -95,8 +103,11 @@ func TestVersionBatchCacheInvalidatedByUpdate(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if b := v.Relation("R").Columns(); b == after || b.Rows() != 3 {
-		t.Fatalf("delete did not invalidate the batch (rows = %d)", b.Rows())
+	if b := wh.Acquire().Relation("R").Columns(); b == after || b.Rows() != 3 {
+		t.Fatalf("delete did not produce a fresh batch (rows = %d)", b.Rows())
+	}
+	if b := v2.Relation("R").Columns(); b != after || b.Rows() != 4 {
+		t.Fatalf("mid-stream version's batch changed under a delete (rows = %d)", b.Rows())
 	}
 }
 
@@ -141,9 +152,9 @@ func TestVersionBatchCacheAcrossVersions(t *testing.T) {
 	if ext.Card() != 2 {
 		t.Fatalf("adopted view card = %d, want 2", ext.Card())
 	}
-	// A data update through the new version invalidates the shared batch —
-	// visible through both versions, matching the documented in-place
-	// data-update exception.
+	// A data update replaces Rep copy-on-write: both previously acquired
+	// versions keep their captured 3-row relation (v2 even keeps the warm
+	// batch), and only the next Acquire sees the 4-row replacement.
 	if _, err := wh.ApplyUpdate(maintain.Update{
 		Kind:  maintain.Insert,
 		Rel:   "Rep",
@@ -151,10 +162,13 @@ func TestVersionBatchCacheAcrossVersions(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if got := v2.Relation("Rep").Columns(); got == repBatch || got.Rows() != 4 {
-		t.Fatalf("update did not refresh the shared batch (rows = %d)", got.Rows())
+	if got := v2.Relation("Rep").Columns(); got != repBatch || got.Rows() != 3 {
+		t.Fatalf("captured version's batch changed under an update (rows = %d)", got.Rows())
 	}
-	if got := v1.Relation("Rep").Columns(); got.Rows() != 4 {
-		t.Fatalf("old version sees %d rows, want 4 (in-place data updates are shared)", got.Rows())
+	if got := v1.Relation("Rep").Columns(); got.Rows() != 3 {
+		t.Fatalf("old version sees %d rows, want its captured 3 (updates are copy-on-write)", got.Rows())
+	}
+	if got := wh.Acquire().Relation("Rep").Columns(); got == repBatch || got.Rows() != 4 {
+		t.Fatalf("post-update version batch rows = %d, want 4 on a fresh relation", got.Rows())
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/maintain"
 	"repro/internal/space"
 )
 
@@ -35,6 +36,11 @@ type Observer interface {
 	// OnDecease fires when change c leaves a view without any legal
 	// rewriting and the view is marked deceased.
 	OnDecease(view string, c space.Change)
+	// OnUpdate fires once per ApplyUpdates batch, after every live view
+	// was maintained and before the new version is published. updates is
+	// the number of source updates in the batch (before collapsing);
+	// metrics is the summed measured maintenance cost.
+	OnUpdate(updates int, metrics maintain.Metrics)
 }
 
 // NopObserver is the default Observer: every hook is a no-op. Embed it to
@@ -53,11 +59,14 @@ func (NopObserver) OnAdopt(string, *core.Candidate) {}
 // OnDecease implements Observer.
 func (NopObserver) OnDecease(string, space.Change) {}
 
+// OnUpdate implements Observer.
+func (NopObserver) OnUpdate(int, maintain.Metrics) {}
+
 // MetricsObserver counts pipeline events with atomic counters — the
 // ready-made Observer for dashboards and tests. The zero value is ready to
 // use and safe for concurrent use.
 type MetricsObserver struct {
-	changes, syncs, adopts, deceases atomic.Uint64
+	changes, syncs, adopts, deceases, updates atomic.Uint64
 }
 
 // OnChange implements Observer.
@@ -72,6 +81,11 @@ func (m *MetricsObserver) OnAdopt(string, *core.Candidate) { m.adopts.Add(1) }
 // OnDecease implements Observer.
 func (m *MetricsObserver) OnDecease(string, space.Change) { m.deceases.Add(1) }
 
+// OnUpdate implements Observer.
+func (m *MetricsObserver) OnUpdate(updates int, _ maintain.Metrics) {
+	m.updates.Add(uint64(updates))
+}
+
 // Changes returns the number of capability changes that landed.
 func (m *MetricsObserver) Changes() uint64 { return m.changes.Load() }
 
@@ -83,3 +97,6 @@ func (m *MetricsObserver) Adopts() uint64 { return m.adopts.Load() }
 
 // Deceases returns the number of views that deceased.
 func (m *MetricsObserver) Deceases() uint64 { return m.deceases.Load() }
+
+// Updates returns the number of source data updates applied.
+func (m *MetricsObserver) Updates() uint64 { return m.updates.Load() }

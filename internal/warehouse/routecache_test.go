@@ -82,10 +82,10 @@ func TestRouteCacheInvalidatedByUpdate(t *testing.T) {
 		t.Fatalf("post-update Evaluate card = %d, want 3", ext.Card())
 	}
 	routeParity(t, wh, esql.MustParseQuery(sql), res2)
-	// The maintained extent is shared in place (the documented data-update
-	// exception), so even the stale route object sees the new row — the
-	// cache scoping is about pricing and resolution, not extent copies.
-	if again, err := r1.Execute(ctx); err != nil || again.Card() != 3 {
-		t.Fatalf("shared-extent re-read = %v, %v; want card 3", again, err)
+	// Maintenance folds the delta into a fresh copy-on-write extent, so the
+	// stale route object keeps serving the snapshot it captured — freshness
+	// comes from acquiring the new version, never from shared mutation.
+	if again, err := r1.Execute(ctx); err != nil || again.Card() != 2 {
+		t.Fatalf("stale route re-read = %v, %v; want its captured card 2", again, err)
 	}
 }

@@ -23,11 +23,11 @@ type VersionView struct {
 	Name string
 	// Def is the (qualified) definition adopted as of this version.
 	Def *esql.ViewDef
-	// Extent is the materialized extent as of this version. Capability
-	// changes never mutate it (adoption re-materializes into a new
-	// relation); data updates routed through ApplyUpdate do write through
-	// it in place, unsynchronized with readers — see Version for the
-	// required coordination.
+	// Extent is the materialized extent as of this version. Nothing
+	// mutates it: capability changes adopt by re-materializing into a new
+	// relation, and data updates (ApplyUpdates) fold their deltas into a
+	// fresh copy-on-write extent published under a new Version. A reader
+	// holding this VersionView re-reads the same rows indefinitely.
 	Extent *relation.Relation
 	// History records the synchronization steps applied up to this version.
 	History []string
@@ -48,22 +48,14 @@ type VersionView struct {
 // commit point, after the pass's base changes landed and every affected
 // view fully adopted or deceased. A reader therefore never observes a
 // half-applied pass — the reader-side extension of the landed-prefix rule
-// that cancellation already guarantees on the writer side. Because adoption
-// is copy-on-write (new definition, new extent, new base relation objects
-// on schema changes), later passes never mutate anything an older Version
-// references: under capability-change evolution a reader may keep a
-// Version for as long as it likes and re-read it consistently.
-//
-// The one exception is data updates: ApplyUpdate maintains extents and
-// base relations in place (incremental view maintenance is the point of
-// the paper's cost model), so tuples inserted or deleted after a Version
-// was published become visible through it — and those in-place writes are
-// NOT synchronized with readers. Versions isolate readers from schema
-// evolution only: while an ApplyUpdate runs, concurrent Evaluate/Extent
-// calls (on any version) race its slice mutations. Run ApplyUpdate from
-// the same single writer as the capability changes, and quiesce readers
-// around it (or serialize data updates with reads externally); under pure
-// capability-change evolution no such coordination is needed.
+// that cancellation already guarantees on the writer side. Because every
+// writer path is copy-on-write — adoption builds new definition, extent,
+// and base relation objects, and data updates (ApplyUpdates) replace
+// touched base relations and view extents with freshly built ones — later
+// passes never mutate anything an older Version references: a reader may
+// keep a Version for as long as it likes and re-read it consistently, with
+// no coordination against the writer. Data updates become visible the same
+// way capability changes do, by acquiring the next published Version.
 //
 // Epoch is the warehouse's view-registry generation at publication
 // (ViewEpoch); Seq increases by one per publication, including
@@ -95,7 +87,7 @@ type Version struct {
 
 	// routes caches routing decisions per qualified query signature, same
 	// lifetime discipline as plans. Both caches are deliberately scoped to
-	// the Version object, not the epoch: ApplyUpdate republishes a fresh
+	// the Version object, not the epoch: ApplyUpdates republishes a fresh
 	// Version WITHOUT bumping the view epoch, and a route priced against
 	// pre-update cardinalities (or an extent-identity route against a
 	// pre-update extent) must not survive into the post-update version, so

@@ -79,7 +79,7 @@ type Warehouse struct {
 
 	// published is the epoch-publication point: the latest immutable
 	// Version, swapped in atomically at each commit point (RegisterView,
-	// ApplyChange, ApplyUpdate, and the evolution session's group passes).
+	// ApplyChange, ApplyUpdates, and the evolution session's group passes).
 	// Readers acquire it lock-free through Acquire and never observe a
 	// half-applied pass.
 	published atomic.Pointer[Version]
@@ -287,41 +287,57 @@ func (w *Warehouse) Live() []*View {
 	return out
 }
 
-// ApplyUpdate routes a data update through every live view's maintainer and
-// returns the summed measured metrics.
-func (w *Warehouse) ApplyUpdate(u maintain.Update) (maintain.Metrics, error) {
-	var total maintain.Metrics
-	// The base update itself must happen exactly once; maintainers apply
-	// it on first touch. We therefore apply through the first affected
-	// view and let subsequent maintainers see a no-op (their Apply
-	// re-checks containment).
-	applied := false
+// ApplyUpdates lands a batch of data updates and incrementally maintains
+// every live view, returning the summed measured metrics. The batch is
+// first collapsed into net per-relation deltas (charging each update's
+// notification exactly once, no matter how many views consume it), then
+// the base relations are replaced copy-on-write, and finally the deltas
+// are propagated through each live view's maintainer (Algorithm 1) into a
+// fresh extent object. A new Version is published per batch; readers
+// holding any previously acquired Version keep seeing their snapshot's
+// relations and extents untouched — data updates never mutate shared
+// state in place.
+//
+// The context is observed up to the commit point: once the base change
+// has landed, the maintenance pass runs to completion regardless of ctx
+// so no view is left stale against the new base state. A batch that
+// collapses to nothing (all no-ops) returns the notification metrics
+// without republishing.
+func (w *Warehouse) ApplyUpdates(ctx context.Context, updates []maintain.Update) (maintain.Metrics, error) {
+	deltas, total, err := maintain.Collapse(w.Space, updates)
+	if err != nil || len(deltas) == 0 {
+		return total, err
+	}
+	if err := ctx.Err(); err != nil {
+		return total, err
+	}
+	// Commit point: the base change lands copy-on-write. From here the
+	// pass completes even if ctx is cancelled, mirroring ApplyChange.
+	pre, err := maintain.ApplyBase(w.Space, deltas)
+	if err != nil {
+		return total, err
+	}
+	mctx := context.WithoutCancel(ctx)
 	for _, v := range w.Live() {
-		m, err := v.maintainer.Apply(u)
+		m, err := v.maintainer.ApplyDeltas(mctx, deltas, pre)
+		total.Add(m)
 		if err != nil {
 			return total, err
 		}
-		total.Add(m)
-		applied = true
+		v.Extent = v.maintainer.Extent
 	}
-	if !applied {
-		// No views: still perform the base change.
-		switch u.Kind {
-		case maintain.Insert:
-			if err := w.Space.Insert(u.Rel, u.Tuple); err != nil {
-				return total, err
-			}
-		case maintain.Delete:
-			if err := w.Space.Delete(u.Rel, u.Tuple); err != nil {
-				return total, err
-			}
-		}
-	}
-	// Republish so new readers see the updated data. Data updates write
-	// through shared extents (see Version), so unlike a capability change
-	// this is a freshness signal, not an isolation boundary.
+	w.obs().OnUpdate(len(updates), total)
+	// Republish so new readers see the updated relations and extents. Data
+	// updates move the version sequence but not the view epoch: view
+	// definitions and routing are unchanged, only the data underneath.
 	w.publish(nil)
 	return total, nil
+}
+
+// ApplyUpdate routes one data update through ApplyUpdates — the
+// single-update convenience the experiments and examples drive.
+func (w *Warehouse) ApplyUpdate(u maintain.Update) (maintain.Metrics, error) {
+	return w.ApplyUpdates(context.Background(), []maintain.Update{u})
 }
 
 // SyncResult reports one view's synchronization outcome for a capability

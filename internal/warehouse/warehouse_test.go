@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/maintain"
 	"repro/internal/misd"
 	"repro/internal/relation"
@@ -174,6 +175,66 @@ func TestApplyUpdateRoutesThroughMaintenance(t *testing.T) {
 	}
 	if wh2.Space.Relation("R").Card() != 4 {
 		t.Error("viewless update not applied")
+	}
+}
+
+// TestApplyUpdatesMaintainsEveryLiveView is the regression test for the
+// multi-view maintenance bug: the old per-view Apply loop let the first
+// maintainer land the base change, so every later maintainer saw the
+// update as a no-op (its containment re-check short-circuited) and kept a
+// stale extent. With the base applied once and the delta folded per view,
+// both extents must match a full recompute after inserts and deletes.
+func TestApplyUpdatesMaintainsEveryLiveView(t *testing.T) {
+	wh := New(replicaSpace(t))
+	first, err := wh.DefineView(replicaView)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := wh.DefineView(`CREATE VIEW W AS SELECT R.B FROM R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	total, err := wh.ApplyUpdates(ctx, []maintain.Update{
+		{Kind: maintain.Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(4), relation.Int(40)}},
+		{Kind: maintain.Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(5), relation.Int(50)}},
+		{Kind: maintain.Delete, Rel: "R", Tuple: relation.Tuple{relation.Int(2), relation.Int(20)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []*View{first, second} {
+		fresh, err := exec.Evaluate(ctx, v.Def, wh.Space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Extent.Card() != fresh.Card() ||
+			exec.RowChecksum(v.Extent) != exec.RowChecksum(fresh) {
+			t.Errorf("view %s extent (card %d) diverges from full recompute (card %d)",
+				v.Def.Name, v.Extent.Card(), fresh.Card())
+		}
+	}
+	if second.Extent.Card() != 4 { // 3 rows + 2 inserts - 1 delete
+		t.Errorf("second view card = %d, want 4 — stale extent, delta not folded", second.Extent.Card())
+	}
+	// Both views live at the warehouse and R is each view's only relation,
+	// so the only messages are the update notifications — one per source
+	// update, no matter how many views consume the delta. The old loop
+	// charged the notification once per view.
+	if total.Messages != 3 {
+		t.Errorf("messages = %d, want 3 (one notification per update, charged once)", total.Messages)
+	}
+	// The published version serves the same maintained extents.
+	v := wh.Acquire()
+	for _, name := range []string{"V", "W"} {
+		ext, err := v.Extent(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := wh.View(name).Extent
+		if exec.RowChecksum(ext) != exec.RowChecksum(reg) {
+			t.Errorf("published extent of %s diverges from registry", name)
+		}
 	}
 }
 

@@ -10,14 +10,15 @@ type (
 	// Observer receives pipeline notifications: OnChange when a capability
 	// change lands, OnSync after a view's rewritings are ranked, OnAdopt
 	// when a view adopts its chosen rewriting, OnDecease when a view is
-	// left without any legal rewriting. Hooks fire from worker goroutines,
+	// left without any legal rewriting, and OnUpdate after a data-update
+	// batch maintained every live view. Hooks fire from worker goroutines,
 	// possibly concurrently — implementations must be safe for concurrent
 	// use. Embed NopObserver to implement a subset.
 	Observer = warehouse.Observer
 	// NopObserver is the do-nothing Observer, for embedding.
 	NopObserver = warehouse.NopObserver
 	// MetricsObserver counts pipeline events (changes landed, searches
-	// ranked, adoptions, deceases) with atomic counters; its zero value is
-	// ready to use.
+	// ranked, adoptions, deceases, data updates applied) with atomic
+	// counters; its zero value is ready to use.
 	MetricsObserver = warehouse.MetricsObserver
 )

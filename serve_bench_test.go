@@ -5,7 +5,7 @@ package eve
 // exists for. A writer goroutine churns rename changes through an
 // evolution session for the entire measurement (every change drives a full
 // synchronize→rank→adopt pass over a family of twin views), while N reader
-// goroutines serve view reads. Four modes over 1/4/16 readers:
+// goroutines serve view reads. Five modes over 1/4/16 readers:
 //
 //   - epoch:            lock-free Snapshot().Extent — the production
 //                       serving read: the maintained extent answers the
@@ -18,6 +18,12 @@ package eve
 //                       the per-version compiled-plan cache
 //   - evaluate-nocache: same, but every read recompiles its plan
 //                       (isolates the plan cache's contribution)
+//   - mixed:            epoch reads while the writer alternates rename
+//                       passes with incremental data-update batches
+//                       (ApplyUpdates) — the mixed read/write workload.
+//                       Readers stay lock-free across both writer paths;
+//                       nothing ever quiesces them, which `make stress`
+//                       checks under the race detector
 //
 // Aggregate read throughput is reported as the reads/s metric;
 // `make bench-serve` records the grid in BENCH_serve.json. The acceptance
@@ -95,7 +101,7 @@ func renameChurn() func(i int) Change {
 }
 
 func BenchmarkServeConcurrent(b *testing.B) {
-	for _, mode := range []string{"epoch", "locked", "evaluate", "evaluate-nocache"} {
+	for _, mode := range []string{"epoch", "locked", "evaluate", "evaluate-nocache", "mixed"} {
 		for _, readers := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("mode=%s/readers=%d", mode, readers), func(b *testing.B) {
 				sys := serveBenchSystem(b)
@@ -114,20 +120,48 @@ func BenchmarkServeConcurrent(b *testing.B) {
 				b.SetBytes(extentBytes / int64(len(names)))
 
 				// The churn writer runs for the whole measurement: one
-				// rename pass after another, no idle gaps.
+				// rename pass after another, no idle gaps. In mixed mode
+				// it alternates rename passes with data-update batches —
+				// 8 inserts into W1, then the matching 8 deletes — so both
+				// writer paths (capability evolution and incremental
+				// maintenance) publish versions under the readers.
 				done := make(chan struct{})
 				writerDone := make(chan struct{})
+				updArity := sys.Space.Relation("W1").Schema().Len()
 				go func() {
 					defer close(writerDone)
 					ses := sys.Session()
 					nextChange := renameChurn()
+					changes, insert := 0, true
 					for i := 0; ; i++ {
 						select {
 						case <-done:
 							return
 						default:
 						}
-						c := nextChange(i)
+						if mode == "mixed" && i%2 == 1 {
+							batch := make([]Update, 8)
+							for j := range batch {
+								tup := make(Tuple, updArity)
+								tup[0] = Int(int64(900_000 + j))
+								for k := 1; k < updArity; k++ {
+									tup[k] = Int(int64(k))
+								}
+								if insert {
+									batch[j] = InsertTuple("W1", tup)
+								} else {
+									batch[j] = DeleteTuple("W1", tup)
+								}
+							}
+							if _, err := sys.ApplyUpdates(context.Background(), batch); err != nil {
+								b.Errorf("writer update: %v", err)
+								return
+							}
+							insert = !insert
+							continue
+						}
+						c := nextChange(changes)
+						changes++
 						if mode == "locked" {
 							mu.Lock()
 						}
