@@ -1,0 +1,58 @@
+package eve
+
+import (
+	"repro/internal/shard"
+	"repro/internal/space"
+)
+
+// Cluster is the scale-out serving surface: N warehouse shards behind one
+// logical writer and a lock-free composite read path. Views partition
+// across shards by a stable hash of their definition signature (structural
+// twins co-locate), base data replicates to every shard, and
+// Cluster.Snapshot returns a ClusterVersion whose Query fans route-matching
+// out to the shards that could hold a matching view, picks the globally
+// cheapest provably correct route under the same page-cost model as the
+// single system, and answers checksum-identically to an unsharded System
+// over the same space. See internal/shard for the full design contract
+// (placement, write fan-out determinism, pruned read fan-out).
+//
+//	cl, err := eve.NewCluster(eve.WithShards(4), eve.WithSpace(sp))
+//	if err != nil { ... }
+//	if _, _, err := cl.DefineView(src); err != nil { ... }
+//	res, err := cl.Query(ctx, "SELECT A1 FROM W1 WHERE A1 > 10")
+type Cluster struct {
+	*shard.Cluster
+}
+
+// ClusterVersion is one pinned composite snapshot: the cluster's
+// registration log plus one immutable Version per shard, with monotone
+// per-shard sequence numbers and per-shard (not global) consistency.
+type ClusterVersion = shard.ClusterVersion
+
+// NewCluster assembles a sharded EVE cluster from the same functional
+// options as New. WithShards picks the cluster size (default 1 — the
+// drop-in baseline the scale benchmarks compare against); every other knob
+// (WithTopK, WithTradeoff, WithObserver, ...) applies to each shard
+// identically, with a WithObserver observer shared across shards so its
+// atomic counters and per-phase timings aggregate cluster-wide. The
+// WithSpace space is deep-cloned per shard and never mutated afterwards —
+// drive all writes through the cluster.
+func NewCluster(opts ...Option) (*Cluster, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	n := c.shards
+	if n == 0 {
+		n = 1
+	}
+	sp := c.space
+	if sp == nil {
+		sp = space.New()
+	}
+	sc, err := shard.New(n, sp, c.configure)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Cluster: sc}, nil
+}

@@ -1,0 +1,146 @@
+package eve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/scenario"
+)
+
+// clusterSpace builds a small populated churn space plus its harness views
+// for the surface-level cluster tests.
+func clusterSpace(t *testing.T) (*Space, []*ViewDef) {
+	t.Helper()
+	h, err := scenario.Churn(scenario.ChurnParams{
+		Families: 2, TwinsPerFamily: 2, Width: 4, Donors: 1,
+		Spares: 1, SpareAttrs: 2, Changes: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := h.BuildSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.Populate(sp, 30); err != nil {
+		t.Fatal(err)
+	}
+	return sp, h.Views()
+}
+
+func TestWithShardsValidation(t *testing.T) {
+	if _, err := New(WithShards(0)); !errors.Is(err, ErrInvalidOption) {
+		t.Errorf("New(WithShards(0)): err = %v, want ErrInvalidOption", err)
+	}
+	if _, err := New(WithShards(4)); !errors.Is(err, ErrInvalidOption) {
+		t.Errorf("New(WithShards(4)): err = %v, want ErrInvalidOption (use NewCluster)", err)
+	}
+	if _, err := New(WithShards(1)); err != nil {
+		t.Errorf("New(WithShards(1)): %v, want nil (single shard is a System)", err)
+	}
+	if _, err := NewCluster(WithShards(2), WithTopK(-1)); !errors.Is(err, ErrInvalidOption) {
+		t.Errorf("NewCluster with invalid knob: err = %v, want ErrInvalidOption", err)
+	}
+}
+
+// NewCluster(WithShards(1)) over a space must answer every query with the
+// same checksum as New over the same space — the drop-in guarantee the
+// scale benchmarks compare against — and a 3-shard cluster must agree too.
+func TestNewClusterDropInParity(t *testing.T) {
+	sp, views := clusterSpace(t)
+	sys, err := New(WithSpace(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &MetricsObserver{}
+	cl1, err := NewCluster(WithSpace(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl3, err := NewCluster(WithShards(3), WithSpace(sp), WithObserver(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl3.Shards() != 3 || cl1.Shards() != 1 {
+		t.Fatalf("cluster sizes = %d, %d", cl1.Shards(), cl3.Shards())
+	}
+	for _, def := range views {
+		if _, err := sys.RegisterView(def); err != nil {
+			t.Fatal(err)
+		}
+		for _, cl := range []*Cluster{cl1, cl3} {
+			if _, _, err := cl.RegisterView(def); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !cl3.Ready() {
+		t.Fatal("3-shard cluster not Ready")
+	}
+	queries := []string{
+		"SELECT W1.A1, W1.A2, W1.A3, W1.A4 FROM W1",
+		"SELECT W2.A1 FROM W2 WHERE W2.A1 > 50",
+		"SELECT W1.K, W1.A2 FROM W1",
+	}
+	ctx := context.Background()
+	for _, q := range queries {
+		want, err := sys.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("system %q: %v", q, err)
+		}
+		for _, cl := range []*Cluster{cl1, cl3} {
+			got, err := cl.Query(ctx, q)
+			if err != nil {
+				t.Fatalf("%d-shard %q: %v", cl.Shards(), q, err)
+			}
+			if exec.RowChecksum(got) != exec.RowChecksum(want) {
+				t.Fatalf("%d-shard %q diverged from unsharded system", cl.Shards(), q)
+			}
+		}
+	}
+	// The shared observer aggregates cluster-wide: each routed query reported
+	// one PhaseQuery observation from its winning shard.
+	if got := m.PhaseCount(PhaseQuery); got != uint64(len(queries)) {
+		t.Errorf("cluster PhaseQuery count = %d, want %d", got, len(queries))
+	}
+}
+
+// A cluster write drives every shard; the shared observer therefore counts
+// per-replica work (N× the unsharded event volume), which is the cluster's
+// true aggregate cost.
+func TestClusterObserverCountsReplicaWork(t *testing.T) {
+	sp, views := clusterSpace(t)
+	m := &MetricsObserver{}
+	cl, err := NewCluster(WithShards(2), WithSpace(sp), WithObserver(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, def := range views {
+		if _, _, err := cl.RegisterView(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.ApplyChange(context.Background(), RenameAttribute("SP1", "B1_1", "B1_X")); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Changes(); got != 2 {
+		t.Errorf("Changes = %d, want 2 (one per replica)", got)
+	}
+	// Every view lives on exactly one shard, so per-view maintenance totals
+	// match the unsharded count even though the change landed twice.
+	tup := make(Tuple, 5)
+	for i := range tup {
+		tup[i] = Int(int64(1000 + i))
+	}
+	if _, err := cl.ApplyUpdates(context.Background(), []Update{InsertTuple("W1", tup)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PhaseCount(PhaseMaintain); got == 0 {
+		t.Error("PhaseMaintain never observed through cluster ApplyUpdates")
+	}
+	if len(cl.Snapshot().Seqs()) != 2 { // composite snapshot stays usable
+		t.Error("snapshot after updates lost a shard")
+	}
+}

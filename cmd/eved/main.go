@@ -1,32 +1,39 @@
-// Command eved is the serving demo: an HTTP daemon that answers view
-// queries from epoch-published warehouse versions while a churn session
-// evolves the warehouse underneath. It is the end-to-end proof of the
-// "serving reads during evolution" contract — requests are served lock-free
-// from immutable snapshots, so the evolution writer never blocks a reader
-// and a reader never sees a half-applied pass.
+// Command eved is the scale-out serving daemon: an HTTP front-end that
+// answers view queries from epoch-published warehouse versions — across one
+// or many shards — while a churn session evolves the cluster underneath.
+// It is the end-to-end proof of the "serving reads during evolution"
+// contract: requests are served lock-free from immutable composite
+// snapshots, so the evolution writer never blocks a reader and a reader
+// never sees a half-applied pass, on any shard.
 //
 // Usage:
 //
-//	go run ./cmd/eved [-addr :8080] [-interval 250ms] [-changes 200] [-seed 1]
+//	go run ./cmd/eved [-addr :8080] [-shards 4] [-interval 250ms]
+//	    [-changes 200] [-seed 1] [-max-conns 256] [-timeout 5s] [-drain 10s]
 //
 // Endpoints:
 //
-//	GET  /          JSON status: version seq/epoch, live view count, change progress
-//	GET  /views     JSON list of the current version's live views
-//	GET  /views/V   one view at one version: definition, history, extent
-//	GET  /query?q=  route an ad-hoc SELECT through the MV router (JSON: the
-//	                chosen route, costs, rows, and the result's row checksum)
+//	GET  /          JSON status: per-shard version seqs, live view count,
+//	                change progress, readiness
+//	GET  /views     JSON list of the current snapshot's live views
+//	GET  /views/V   one view at one snapshot: definition, history, extent
+//	GET  /relations JSON list of the queryable base relations
+//	GET  /query?q=  route an ad-hoc SELECT through the sharded MV router
+//	                (JSON: the chosen route, costs, rows, row checksum)
 //	POST /update    apply a batch of data updates through incremental view
-//	                maintenance (JSON body: {"updates": [{"op": "insert",
-//	                "rel": "W1", "tuple": [1, 2, ...]}, ...]}); responds with
-//	                the measured maintenance metrics and the new version seq
-//	GET  /healthz   liveness probe
+//	                maintenance on every shard (JSON body: {"updates":
+//	                [{"op": "insert", "rel": "W1", "tuple": [1, ...]}, ...]})
+//	GET  /healthz   liveness probe (process is up)
+//	GET  /readyz    readiness probe: 503 until every shard has published its
+//	                first version and the demo views are registered
 //
-// Every read request acquires one version (eve.System.Snapshot) and serves
-// entirely from it, so even a multi-view response is internally consistent
-// no matter how many passes commit while it renders. Updates share the
-// single evolution writer with the churn stream (writes are serialized;
-// reads never are).
+// Hardening: -max-conns caps concurrently accepted connections (excess
+// connections queue in the kernel backlog), -timeout bounds each request's
+// context, and SIGINT/SIGTERM trigger a graceful drain — the listener
+// closes, in-flight requests complete (up to -drain), then the process
+// exits. Every read acquires one composite snapshot (eve.Cluster.Snapshot)
+// and serves entirely from it; updates share the single evolution writer
+// with the churn stream.
 package main
 
 import (
@@ -36,10 +43,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	eve "repro"
@@ -49,44 +59,101 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
+	shards := flag.Int("shards", 1, "number of warehouse shards")
 	interval := flag.Duration("interval", 250*time.Millisecond, "delay between capability changes")
 	changes := flag.Int("changes", 200, "length of the generated churn stream")
 	seed := flag.Int64("seed", 1, "churn scenario seed")
+	maxConns := flag.Int("max-conns", 256, "max concurrently accepted connections (0 = unlimited)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout (0 = none)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
-	sys, h, err := buildSystem(*changes, *seed)
+	d, h, err := buildDaemon(*shards, *changes, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var applied atomic.Int64
-	var writerMu sync.Mutex // one evolution writer: churn stream + /update
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	go func() {
-		ses := sys.Session()
+		ses := d.cl
 		for i, c := range h.Changes {
-			time.Sleep(*interval)
-			writerMu.Lock()
-			_, err := ses.Evolve(context.Background(), c)
-			writerMu.Unlock()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(*interval):
+			}
+			d.writerMu.Lock()
+			_, err := ses.EvolveBatch(context.Background(), []eve.Change{c})
+			d.writerMu.Unlock()
 			if err != nil {
 				log.Printf("change %d (%s): %v", i, c, err)
 				return
 			}
-			applied.Add(1)
-			log.Printf("change %d/%d landed: %s (version seq=%d, %d live views)",
-				i+1, len(h.Changes), c, sys.Snapshot().Seq(), len(sys.Snapshot().ViewNames()))
+			d.applied.Add(1)
+			snap := d.cl.Snapshot()
+			log.Printf("change %d/%d landed: %s (seqs=%v, %d live views)",
+				i+1, len(h.Changes), c, snap.Seqs(), len(snap.ViewNames()))
 		}
 		log.Printf("churn stream finished; still serving")
 	}()
 
-	log.Printf("eved serving on %s (%d views, %d queued changes, every %s)",
-		*addr, len(sys.Snapshot().ViewNames()), len(h.Changes), *interval)
-	log.Fatal(http.ListenAndServe(*addr, newHandler(sys, &writerMu, &applied, len(h.Changes))))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *maxConns > 0 {
+		ln = limitListener(ln, *maxConns)
+	}
+	srv := &http.Server{
+		Handler:           d.handler(*timeout),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("eved serving on %s (%d shards, %d views, %d queued changes, every %s)",
+		ln.Addr(), d.cl.Shards(), len(d.cl.Snapshot().ViewNames()), len(h.Changes), *interval)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining (budget %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Printf("drained; bye")
 }
 
-// buildSystem assembles the demo warehouse: a churn scenario space with
-// populated relations and its twin views registered.
-func buildSystem(changes int, seed int64) (*eve.System, *scenario.ChurnHistory, error) {
+// daemon bundles the serving state behind the HTTP handler: the cluster,
+// the single evolution writer's mutex (shared by the churn stream and
+// /update), change progress, and the readiness latch.
+type daemon struct {
+	cl       *eve.Cluster
+	writerMu sync.Mutex
+	applied  atomic.Int64
+	total    int
+
+	// registered flips once the demo views are registered; /readyz reports
+	// 503 until then (and until every shard has published a first version).
+	registered atomic.Bool
+
+	// slowQuery, when positive, stretches every /query request by that
+	// duration — a test hook for the graceful-drain regression test.
+	slowQuery time.Duration
+}
+
+// ready reports serving readiness: every shard published at least one
+// version and the view registration pass completed.
+func (d *daemon) ready() bool { return d.registered.Load() && d.cl.Ready() }
+
+// buildDaemon assembles the demo cluster: a churn scenario space with
+// populated relations, sharded n ways, with the twin views registered.
+func buildDaemon(shards, changes int, seed int64) (*daemon, *scenario.ChurnHistory, error) {
 	h, err := scenario.Churn(scenario.ChurnParams{
 		Families:          2,
 		TwinsPerFamily:    4,
@@ -111,26 +178,35 @@ func buildSystem(changes int, seed int64) (*eve.System, *scenario.ChurnHistory, 
 	if err := scenario.Populate(sp, 100); err != nil {
 		return nil, nil, err
 	}
-	sys, err := eve.New(eve.WithSpace(sp))
+	cl, err := eve.NewCluster(eve.WithShards(shards), eve.WithSpace(sp))
 	if err != nil {
 		return nil, nil, err
 	}
+	d := &daemon{cl: cl, total: len(h.Changes)}
 	for _, def := range h.Views() {
-		if _, err := sys.RegisterView(def); err != nil {
+		if _, _, err := cl.RegisterView(def); err != nil {
 			return nil, nil, err
 		}
 	}
-	return sys, h, nil
+	d.registered.Store(true)
+	return d, h, nil
 }
 
-// newHandler builds the HTTP mux over the system's serving surface.
-// writerMu serializes /update batches with the churn stream's evolution
-// writer; readers never take it.
-func newHandler(sys *eve.System, writerMu *sync.Mutex, applied *atomic.Int64, total int) http.Handler {
+// handler builds the HTTP mux over the cluster's serving surface, wrapping
+// every request in the per-request timeout when one is configured.
+func (d *daemon) handler(timeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !d.ready() {
+			http.Error(w, "not ready: waiting for first version on every shard", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -138,18 +214,24 @@ func newHandler(sys *eve.System, writerMu *sync.Mutex, applied *atomic.Int64, to
 			http.NotFound(w, r)
 			return
 		}
-		v := sys.Snapshot()
+		v := d.cl.Snapshot()
 		writeJSON(w, map[string]any{
-			"versionSeq":     v.Seq(),
-			"viewEpoch":      v.Epoch(),
+			"shards":         v.Shards(),
+			"versionSeqs":    v.Seqs(),
 			"liveViews":      len(v.ViewNames()),
-			"changesApplied": applied.Load(),
-			"changesTotal":   total,
+			"changesApplied": d.applied.Load(),
+			"changesTotal":   d.total,
+			"ready":          d.ready(),
 		})
 	})
 
+	mux.HandleFunc("/relations", func(w http.ResponseWriter, r *http.Request) {
+		v := d.cl.Snapshot()
+		writeJSON(w, map[string]any{"versionSeqs": v.Seqs(), "relations": v.RelationNames()})
+	})
+
 	mux.HandleFunc("/views", func(w http.ResponseWriter, r *http.Request) {
-		v := sys.Snapshot()
+		v := d.cl.Snapshot()
 		type row struct {
 			Name   string `json:"name"`
 			Tuples int    `json:"tuples"`
@@ -158,7 +240,7 @@ func newHandler(sys *eve.System, writerMu *sync.Mutex, applied *atomic.Int64, to
 		for _, vv := range v.Views() {
 			rows = append(rows, row{Name: vv.Name, Tuples: vv.Extent.Card()})
 		}
-		writeJSON(w, map[string]any{"versionSeq": v.Seq(), "views": rows})
+		writeJSON(w, map[string]any{"versionSeqs": v.Seqs(), "views": rows})
 	})
 
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
@@ -167,7 +249,13 @@ func newHandler(sys *eve.System, writerMu *sync.Mutex, applied *atomic.Int64, to
 			http.Error(w, "missing q parameter", http.StatusBadRequest)
 			return
 		}
-		v := sys.Snapshot()
+		if d.slowQuery > 0 {
+			select {
+			case <-time.After(d.slowQuery):
+			case <-r.Context().Done():
+			}
+		}
+		v := d.cl.Snapshot()
 		rt, err := v.RouteQuery(sql)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -175,7 +263,11 @@ func newHandler(sys *eve.System, writerMu *sync.Mutex, applied *atomic.Int64, to
 		}
 		res, err := rt.Execute(r.Context())
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			status := http.StatusInternalServerError
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				status = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
 		rows := make([][]string, 0, res.Card())
@@ -187,14 +279,14 @@ func newHandler(sys *eve.System, writerMu *sync.Mutex, applied *atomic.Int64, to
 			rows = append(rows, row)
 		}
 		writeJSON(w, map[string]any{
-			"versionSeq": v.Seq(),
-			"route":      rt.Kind.String(),
-			"view":       rt.View,
-			"cost":       rt.Cost,
-			"baseCost":   rt.BaseCost,
-			"columns":    res.Schema().Names(),
-			"rows":       rows,
-			"checksum":   fmt.Sprintf("%016x", exec.RowChecksum(res)),
+			"versionSeqs": v.Seqs(),
+			"route":       rt.Kind.String(),
+			"view":        rt.View,
+			"cost":        rt.Cost,
+			"baseCost":    rt.BaseCost,
+			"columns":     res.Schema().Names(),
+			"rows":        rows,
+			"checksum":    fmt.Sprintf("%016x", exec.RowChecksum(res)),
 		})
 	})
 
@@ -234,9 +326,9 @@ func newHandler(sys *eve.System, writerMu *sync.Mutex, applied *atomic.Int64, to
 				return
 			}
 		}
-		writerMu.Lock()
-		metrics, err := sys.ApplyUpdates(r.Context(), batch)
-		writerMu.Unlock()
+		d.writerMu.Lock()
+		metrics, err := d.cl.ApplyUpdates(r.Context(), batch)
+		d.writerMu.Unlock()
 		if err != nil {
 			status := http.StatusInternalServerError
 			if errors.Is(err, eve.ErrUnknownRelation) {
@@ -246,31 +338,38 @@ func newHandler(sys *eve.System, writerMu *sync.Mutex, applied *atomic.Int64, to
 			return
 		}
 		writeJSON(w, map[string]any{
-			"versionSeq": sys.Snapshot().Seq(),
-			"applied":    len(batch),
-			"messages":   metrics.Messages,
-			"bytes":      metrics.Bytes,
-			"ios":        metrics.IO,
+			"versionSeqs": d.cl.Snapshot().Seqs(),
+			"applied":     len(batch),
+			"messages":    metrics.Messages,
+			"bytes":       metrics.Bytes,
+			"ios":         metrics.IO,
 		})
 	})
 
 	mux.HandleFunc("/views/", func(w http.ResponseWriter, r *http.Request) {
 		name := strings.TrimPrefix(r.URL.Path, "/views/")
-		v := sys.Snapshot()
+		v := d.cl.Snapshot()
 		ext, err := v.Evaluate(r.Context(), name)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
 		vv := v.View(name)
-		fmt.Fprintf(w, "version seq=%d epoch=%d\n\n%s\n", v.Seq(), v.Epoch(), eve.PrintView(vv.Def))
+		fmt.Fprintf(w, "version seqs=%v\n\n%s\n", v.Seqs(), eve.PrintView(vv.Def))
 		for _, h := range vv.History {
 			fmt.Fprintln(w, h)
 		}
 		fmt.Fprintf(w, "\n%s", ext)
 	})
 
-	return mux
+	if timeout <= 0 {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		mux.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // writeJSON renders v as indented JSON.
@@ -279,4 +378,41 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v) //nolint:errcheck // best-effort response write
+}
+
+// limitListener caps concurrently accepted connections at n: Accept blocks
+// once n connections are open, and each connection returns its slot when
+// closed. Excess dials queue in the kernel backlog instead of fanning out
+// unbounded handler goroutines.
+func limitListener(ln net.Listener, n int) net.Listener {
+	return &limitedListener{Listener: ln, sem: make(chan struct{}, n)}
+}
+
+type limitedListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+// Accept implements net.Listener with the concurrency cap.
+func (l *limitedListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitedConn{Conn: c, sem: l.sem}, nil
+}
+
+type limitedConn struct {
+	net.Conn
+	sem  chan struct{}
+	once sync.Once
+}
+
+// Close returns the connection's slot exactly once.
+func (c *limitedConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() { <-c.sem })
+	return err
 }

@@ -1,0 +1,247 @@
+// Command eveload is the load generator for eved: M concurrent clients
+// drive a configurable read/write mix of GET /query and POST /update
+// against a running daemon and report throughput plus latency quantiles
+// per operation class — the measurement half of the scale-out serving
+// story (BENCH_scale.json is its in-process twin).
+//
+// Usage:
+//
+//	go run ./cmd/eveload [-url http://localhost:8080] [-clients 16]
+//	    [-duration 10s] [-write-ratio 0.05] [-seed 1] [-json]
+//	    [-queries "SELECT A1 FROM W1;SELECT A2 FROM W2"] [-update-rel W1]
+//	    [-update-width 7]
+//
+// Each client rotates through the query list with a client-specific offset
+// and replaces the trailing constant of `> N` predicates with a rotating
+// value, so consecutive requests do not trivially hit the same cached
+// route. Writes insert fresh tuples into -update-rel (arity -update-width,
+// first value unique per client×iteration, so inserts never collide).
+// eveload waits for /readyz before opening traffic and exits non-zero when
+// any request fails.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	cfg := loadConfig{}
+	flag.StringVar(&cfg.base, "url", "http://localhost:8080", "eved base URL")
+	flag.IntVar(&cfg.clients, "clients", 16, "concurrent client goroutines")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measurement window")
+	flag.Float64Var(&cfg.writeRatio, "write-ratio", 0.05, "fraction of requests that are /update batches")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
+	queries := flag.String("queries",
+		"SELECT A1, A2 FROM W1 WHERE A1 > 10;SELECT A3 FROM W2 WHERE A3 > 40;SELECT A1 FROM W2;SELECT A2, A4 FROM W1 WHERE A2 > 75",
+		"semicolon-separated query rotation")
+	flag.StringVar(&cfg.updateRel, "update-rel", "W1", "relation /update batches insert into")
+	flag.IntVar(&cfg.updateWidth, "update-width", 7, "tuple arity for /update inserts")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+	cfg.queries = strings.Split(*queries, ";")
+
+	if err := waitReady(cfg.base, 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(rep)
+	}
+	if rep.Reads.Errors+rep.Writes.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadConfig is one load run's shape.
+type loadConfig struct {
+	base        string
+	clients     int
+	duration    time.Duration
+	writeRatio  float64
+	seed        int64
+	queries     []string
+	updateRel   string
+	updateWidth int
+}
+
+// opStats aggregates one operation class of the report.
+type opStats struct {
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	Rps       float64 `json:"rps"`
+	P50Millis float64 `json:"p50ms"`
+	P95Millis float64 `json:"p95ms"`
+	P99Millis float64 `json:"p99ms"`
+}
+
+// report is the full run summary.
+type report struct {
+	Clients    int     `json:"clients"`
+	Seconds    float64 `json:"seconds"`
+	WriteRatio float64 `json:"writeRatio"`
+	Reads      opStats `json:"reads"`
+	Writes     opStats `json:"writes"`
+}
+
+// String renders the human-readable report.
+func (r report) String() string {
+	line := func(name string, s opStats) string {
+		return fmt.Sprintf("%-7s %8d req  %8.1f req/s  %4d err  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms\n",
+			name, s.Requests, s.Rps, s.Errors, s.P50Millis, s.P95Millis, s.P99Millis)
+	}
+	return fmt.Sprintf("eveload: %d clients, %.1fs, write ratio %.2f\n", r.Clients, r.Seconds, r.WriteRatio) +
+		line("reads", r.Reads) + line("writes", r.Writes)
+}
+
+// waitReady polls /readyz until the daemon reports ready or the budget runs
+// out — the load run must not measure startup 503s.
+func waitReady(base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("eveload: %s never became ready: %w", base, err)
+			}
+			return fmt.Errorf("eveload: %s never became ready", base)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// sample is one timed request outcome.
+type sample struct {
+	d  time.Duration
+	ok bool
+}
+
+// run executes the load: cfg.clients goroutines issue the read/write mix
+// for cfg.duration, then per-class latencies fold into the report.
+func run(cfg loadConfig) (report, error) {
+	if cfg.clients < 1 || len(cfg.queries) == 0 {
+		return report{}, fmt.Errorf("eveload: need at least one client and one query")
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		reads  []sample
+		writes []sample
+	)
+	stop := time.Now().Add(cfg.duration)
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(c)))
+			client := &http.Client{Timeout: 30 * time.Second}
+			var myReads, myWrites []sample
+			for i := 0; time.Now().Before(stop); i++ {
+				if rng.Float64() < cfg.writeRatio {
+					myWrites = append(myWrites, doWrite(client, cfg, c, i))
+				} else {
+					myReads = append(myReads, doRead(client, cfg, rng, c, i))
+				}
+			}
+			mu.Lock()
+			reads = append(reads, myReads...)
+			writes = append(writes, myWrites...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return report{
+		Clients:    cfg.clients,
+		Seconds:    elapsed,
+		WriteRatio: cfg.writeRatio,
+		Reads:      fold(reads, elapsed),
+		Writes:     fold(writes, elapsed),
+	}, nil
+}
+
+// doRead times one GET /query with a rotated query and rotated constant.
+func doRead(client *http.Client, cfg loadConfig, rng *rand.Rand, c, i int) sample {
+	q := cfg.queries[(c+i)%len(cfg.queries)]
+	// Rotate the trailing "> N" constant so consecutive requests differ.
+	if j := strings.LastIndex(q, "> "); j >= 0 {
+		q = fmt.Sprintf("%s> %d", q[:j], rng.Intn(200))
+	}
+	start := time.Now()
+	resp, err := client.Get(cfg.base + "/query?q=" + url.QueryEscape(q))
+	d := time.Since(start)
+	if err != nil {
+		return sample{d: d}
+	}
+	resp.Body.Close()
+	return sample{d: d, ok: resp.StatusCode == http.StatusOK}
+}
+
+// doWrite times one POST /update inserting a fresh tuple.
+func doWrite(client *http.Client, cfg loadConfig, c, i int) sample {
+	vals := make([]string, cfg.updateWidth)
+	vals[0] = fmt.Sprint(1_000_000 + c*1_000_000 + i) // unique key per client×iter
+	for k := 1; k < cfg.updateWidth; k++ {
+		vals[k] = fmt.Sprint((i + k) % 500)
+	}
+	body := fmt.Sprintf(`{"updates": [{"op": "insert", "rel": %q, "tuple": [%s]}]}`,
+		cfg.updateRel, strings.Join(vals, ", "))
+	start := time.Now()
+	resp, err := client.Post(cfg.base+"/update", "application/json", bytes.NewReader([]byte(body)))
+	d := time.Since(start)
+	if err != nil {
+		return sample{d: d}
+	}
+	resp.Body.Close()
+	return sample{d: d, ok: resp.StatusCode == http.StatusOK}
+}
+
+// fold aggregates one class's samples into counts, throughput, and p50/95/99.
+func fold(samples []sample, seconds float64) opStats {
+	s := opStats{Requests: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	ds := make([]time.Duration, 0, len(samples))
+	for _, x := range samples {
+		if !x.ok {
+			s.Errors++
+		}
+		ds = append(ds, x.d)
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(ds)-1))
+		return float64(ds[i]) / float64(time.Millisecond)
+	}
+	s.Rps = float64(len(samples)) / seconds
+	s.P50Millis, s.P95Millis, s.P99Millis = pct(0.50), pct(0.95), pct(0.99)
+	return s
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer mimics the eved surface: /readyz flips ready after a delay,
+// /query answers 200 (400 for empty q), /update counts batches.
+func stubServer(t *testing.T, readyAfter time.Duration) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var readsN, writesN atomic.Int64
+	startAt := time.Now().Add(readyAfter)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if time.Now().Before(startAt) {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("q") == "" {
+			http.Error(w, "missing q", http.StatusBadRequest)
+			return
+		}
+		readsN.Add(1)
+		w.Write([]byte(`{"route":"view-extent","checksum":"00"}`)) //nolint:errcheck
+	})
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Updates []struct {
+				Op    string  `json:"op"`
+				Rel   string  `json:"rel"`
+				Tuple []int64 `json:"tuple"`
+			} `json:"updates"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Updates) == 0 {
+			http.Error(w, "bad batch", http.StatusBadRequest)
+			return
+		}
+		if req.Updates[0].Rel != "W1" || len(req.Updates[0].Tuple) != 7 {
+			http.Error(w, "bad tuple shape", http.StatusBadRequest)
+			return
+		}
+		writesN.Add(1)
+		w.Write([]byte(`{"applied":1}`)) //nolint:errcheck
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &readsN, &writesN
+}
+
+// TestRunMixedLoad drives the generator against the stub and checks the
+// report: both classes exercised, counts match the server's, throughput and
+// quantiles populated, zero errors.
+func TestRunMixedLoad(t *testing.T) {
+	srv, readsN, writesN := stubServer(t, 0)
+	cfg := loadConfig{
+		base: srv.URL, clients: 4, duration: 300 * time.Millisecond,
+		writeRatio: 0.3, seed: 7,
+		queries:   []string{"SELECT A1 FROM W1 WHERE A1 > 10", "SELECT A2 FROM W2"},
+		updateRel: "W1", updateWidth: 7,
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reads.Requests == 0 || rep.Writes.Requests == 0 {
+		t.Fatalf("both classes must be exercised: %+v", rep)
+	}
+	if rep.Reads.Errors != 0 || rep.Writes.Errors != 0 {
+		t.Fatalf("errors against well-formed stub: %+v", rep)
+	}
+	if int64(rep.Reads.Requests) != readsN.Load() || int64(rep.Writes.Requests) != writesN.Load() {
+		t.Fatalf("report counts (%d/%d) != server counts (%d/%d)",
+			rep.Reads.Requests, rep.Writes.Requests, readsN.Load(), writesN.Load())
+	}
+	if rep.Reads.Rps <= 0 || rep.Reads.P50Millis < 0 || rep.Reads.P99Millis < rep.Reads.P50Millis {
+		t.Fatalf("degenerate read stats: %+v", rep.Reads)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "reads") || !strings.Contains(out, "writes") || !strings.Contains(out, "p99") {
+		t.Fatalf("report rendering: %q", out)
+	}
+}
+
+// TestRunCountsFailures: a server that 500s every query must surface as
+// per-class error counts, the generator's non-zero-exit signal.
+func TestRunCountsFailures(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	rep, err := run(loadConfig{
+		base: srv.URL, clients: 2, duration: 100 * time.Millisecond,
+		writeRatio: 0, seed: 1, queries: []string{"SELECT A1 FROM W1"},
+		updateRel: "W1", updateWidth: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reads.Requests == 0 || rep.Reads.Errors != rep.Reads.Requests {
+		t.Fatalf("want every request counted as an error: %+v", rep.Reads)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := run(loadConfig{clients: 0}); err == nil {
+		t.Error("run with zero clients accepted")
+	}
+	if _, err := run(loadConfig{clients: 1}); err == nil {
+		t.Error("run with no queries accepted")
+	}
+}
+
+// TestWaitReady blocks until the stub flips ready, and errors on a dead
+// endpoint within the budget.
+func TestWaitReady(t *testing.T) {
+	srv, _, _ := stubServer(t, 250*time.Millisecond)
+	start := time.Now()
+	if err := waitReady(srv.URL, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 200*time.Millisecond {
+		t.Error("waitReady returned before the stub was ready")
+	}
+	if err := waitReady("http://127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("waitReady against dead endpoint succeeded")
+	}
+}

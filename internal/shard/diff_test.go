@@ -1,0 +1,406 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/esql"
+	"repro/internal/evolve"
+	"repro/internal/exec"
+	"repro/internal/scenario"
+	"repro/internal/shard"
+	"repro/internal/space"
+	"repro/internal/warehouse"
+)
+
+// The shard-merge checksum-differential protocol: every generated query is
+// answered by an unsharded reference warehouse and by clusters of 1, 2, and
+// 4 shards built over clones of the same space with the same registration
+// history. The route decisions (kind, chosen view, page cost) and the
+// order-insensitive row checksums must agree exactly — before evolution,
+// and again after replaying the same churn history through both the
+// reference evolution session and Cluster.EvolveBatch. Parity extends to
+// failures: a query that errors on the reference must error on every
+// cluster, and vice versa.
+
+var shardCounts = []int{1, 2, 4}
+
+// diffUniverse pairs one unsharded reference with its sharded clusters.
+type diffUniverse struct {
+	name     string
+	ref      *warehouse.Warehouse
+	session  *evolve.Session
+	clusters []*shard.Cluster // indexed like shardCounts
+	queries  []string
+	changes  []space.Change
+}
+
+// buildUniverse registers the same views, in the same order, on the
+// reference and on one cluster per shard count. The reference keeps the
+// original space; each cluster deep-clones it at construction. Registering
+// one shared definition everywhere is safe — qualification clones it.
+func buildUniverse(t *testing.T, name string, sp *space.Space, views []*esql.ViewDef) *diffUniverse {
+	t.Helper()
+	u := &diffUniverse{name: name}
+	u.clusters = make([]*shard.Cluster, len(shardCounts))
+	for i, n := range shardCounts {
+		c, err := shard.New(n, sp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.clusters[i] = c
+	}
+	u.ref = warehouse.New(sp)
+	u.session = evolve.NewSession(u.ref)
+	for _, def := range views {
+		if _, err := u.ref.RegisterView(def); err != nil {
+			t.Fatalf("%s: reference register: %v", name, err)
+		}
+		for _, c := range u.clusters {
+			if _, _, err := c.RegisterView(def); err != nil {
+				t.Fatalf("%s: cluster register: %v", name, err)
+			}
+		}
+	}
+	return u
+}
+
+// checkQuery asserts reference/cluster parity for one query against one
+// cluster: same error class (both fail or both succeed), same route
+// decision, same result schema, cardinality, and row checksum.
+func checkQuery(t *testing.T, u *diffUniverse, ci int, sql string) warehouse.RouteKind {
+	t.Helper()
+	rv := u.ref.Acquire()
+	cs := u.clusters[ci].Snapshot()
+	rr, rerr := rv.RouteQuery(sql)
+	cr, cerr := cs.RouteQuery(sql)
+	if (rerr != nil) != (cerr != nil) {
+		t.Fatalf("route error parity: reference %v, %d-shard %v", rerr, shardCounts[ci], cerr)
+	}
+	if rerr != nil {
+		return warehouse.RouteBase
+	}
+	if cr.Kind != rr.Kind || cr.View != rr.View || cr.Cost != rr.Cost {
+		t.Fatalf("route decision diverged on %d shards:\nreference: %v via %q cost %g\nsharded:   %v via %q cost %g",
+			shardCounts[ci], rr.Kind, rr.View, rr.Cost, cr.Kind, cr.View, cr.Cost)
+	}
+	want, rerr := rv.Query(context.Background(), sql)
+	got, cerr := cs.Query(context.Background(), sql)
+	if (rerr != nil) != (cerr != nil) {
+		t.Fatalf("query error parity: reference %v, %d-shard %v", rerr, shardCounts[ci], cerr)
+	}
+	if rerr != nil {
+		return rr.Kind
+	}
+	if g, w := fmt.Sprint(got.Schema().Names()), fmt.Sprint(want.Schema().Names()); g != w {
+		t.Fatalf("schema = %v, want %v (%d shards, route %v via %q)", g, w, shardCounts[ci], rr.Kind, rr.View)
+	}
+	if got.Card() != want.Card() {
+		t.Fatalf("card = %d, want %d (%d shards, route %v via %q)", got.Card(), want.Card(), shardCounts[ci], rr.Kind, rr.View)
+	}
+	if exec.RowChecksum(got) != exec.RowChecksum(want) {
+		t.Fatalf("checksum mismatch (%d shards, route %v via %q):\nsharded:\n%s\nreference:\n%s",
+			shardCounts[ci], rr.Kind, rr.View, got, want)
+	}
+	return rr.Kind
+}
+
+// churnUniverse: the full churn scenario — twin families, PC-related
+// donors, spares — with a mixed 10-change history, plus anchored and
+// seeded-random query sweeps over every relation class.
+func churnUniverse(t *testing.T) *diffUniverse {
+	t.Helper()
+	p := scenario.ChurnParams{
+		Families: 3, TwinsPerFamily: 2, Width: 5, Donors: 2,
+		Spares: 2, SpareAttrs: 3, Changes: 10, Seed: 17,
+		FamilyDeleteRatio: 0.15, FamilyRenameRatio: 0.25, DonorRatio: 0.3,
+	}
+	h, err := scenario.Churn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := h.BuildSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.Populate(sp, 50); err != nil {
+		t.Fatal(err)
+	}
+	u := buildUniverse(t, "churn", sp, h.Views())
+	u.changes = h.Changes
+
+	// Anchors per family: twin-exact (extent hit), narrowed (residual),
+	// key-touching (base fallback), Equal-donor substitution.
+	for f := 1; f <= p.Families; f++ {
+		fam, eq := fmt.Sprintf("W%d", f), fmt.Sprintf("D%d_2", f)
+		u.queries = append(u.queries,
+			fmt.Sprintf("SELECT %[1]s.A1, %[1]s.A2, %[1]s.A3, %[1]s.A4, %[1]s.A5 FROM %[1]s", fam),
+			fmt.Sprintf("SELECT %[1]s.A2, %[1]s.A4 FROM %[1]s WHERE %[1]s.A2 > 120", fam),
+			fmt.Sprintf("SELECT %[1]s.K, %[1]s.A1 FROM %[1]s", fam),
+			fmt.Sprintf("SELECT %[1]s.A1, %[1]s.A3 FROM %[1]s", eq),
+			fmt.Sprintf("SELECT %[1]s.A1 FROM %[1]s WHERE %[1]s.A1 <> 77", eq),
+		)
+	}
+	// Seeded random sweep over families, donors, and spares.
+	rng := rand.New(rand.NewSource(23))
+	var rels []string
+	for f := 1; f <= p.Families; f++ {
+		rels = append(rels, fmt.Sprintf("W%d", f))
+		for d := 1; d <= p.Donors; d++ {
+			rels = append(rels, fmt.Sprintf("D%d_%d", f, d))
+		}
+	}
+	attrs := []string{"K", "A1", "A2", "A3", "A4", "A5"}
+	ops := []string{"<", "<=", "=", ">=", ">", "<>"}
+	for i := 0; i < 80; i++ {
+		rel := rels[rng.Intn(len(rels))]
+		perm := rng.Perm(len(attrs))[:1+rng.Intn(4)]
+		sel := ""
+		for j, k := range perm {
+			if j > 0 {
+				sel += ", "
+			}
+			sel += rel + "." + attrs[k]
+		}
+		q := "SELECT " + sel + " FROM " + rel
+		for n, sep := rng.Intn(3), " WHERE "; n > 0; n-- {
+			q += fmt.Sprintf("%s%s.%s %s %d", sep, rel, attrs[rng.Intn(len(attrs))],
+				ops[rng.Intn(len(ops))], rng.Intn(500)-50)
+			sep = " AND "
+		}
+		u.queries = append(u.queries, q)
+	}
+	return u
+}
+
+// wideUniverse: the wide two-relation join scenario — VWide materializes
+// RA ⋈ W0, donor D2 is PC-Equal to W0 — with join-query sweeps.
+func wideUniverse(t *testing.T) *diffUniverse {
+	t.Helper()
+	sp, err := scenario.WideSpace(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.Populate(sp, 40); err != nil {
+		t.Fatal(err)
+	}
+	u := buildUniverse(t, "wide", sp, []*esql.ViewDef{scenario.WideView(6)})
+	all := []string{"K", "A1", "A2", "A3", "A4", "A5", "A6"}
+	mk := func(w0, sel, extra string) string {
+		q := "SELECT " + sel + " FROM RA, " + w0 + " WHERE RA.K = " + w0 + ".K"
+		if extra != "" {
+			q += " AND " + extra
+		}
+		return q
+	}
+	selAll := ""
+	for i, a := range all {
+		if i > 0 {
+			selAll += ", "
+		}
+		selAll += "W0." + a
+	}
+	u.queries = append(u.queries,
+		mk("W0", selAll, ""),
+		mk("W0", "W0.A1, W0.K", ""),
+		mk("W0", "W0.A3, W0.A4", "W0.A3 < 170"),
+		mk("W0", "RA.X, W0.K", ""), // RA.X not exposed → base
+		mk("D2", "D2.K, D2.A1, D2.A2", ""),
+		mk("D1", "D1.K, D1.A1", ""),
+	)
+	rng := rand.New(rand.NewSource(29))
+	ops := []string{"<", "<=", ">=", ">", "<>"}
+	for i := 0; i < 40; i++ {
+		w0 := []string{"W0", "D1", "D2"}[rng.Intn(3)]
+		perm := rng.Perm(len(all))[:1+rng.Intn(4)]
+		sel := ""
+		for j, k := range perm {
+			if j > 0 {
+				sel += ", "
+			}
+			sel += w0 + "." + all[k]
+		}
+		extra := ""
+		if rng.Intn(2) == 0 {
+			extra = fmt.Sprintf("%s.%s %s %d", w0, all[rng.Intn(len(all))],
+				ops[rng.Intn(len(ops))], rng.Intn(400))
+		}
+		u.queries = append(u.queries, mk(w0, sel, extra))
+	}
+	return u
+}
+
+// runParity sweeps every (query × cluster) pair in parallel subtests —
+// under -race this doubles as the concurrency proof of the composite read
+// path — and tallies route kinds.
+func runParity(t *testing.T, u *diffUniverse, stage string, kinds *[3]atomic.Int64) {
+	t.Helper()
+	t.Run(stage, func(t *testing.T) {
+		for qi, sql := range u.queries {
+			for ci := range u.clusters {
+				qi, ci, sql := qi, ci, sql
+				t.Run(fmt.Sprintf("q%03d/shards%d", qi, shardCounts[ci]), func(t *testing.T) {
+					t.Parallel()
+					kinds[checkQuery(t, u, ci, sql)].Add(1)
+				})
+			}
+		}
+	})
+}
+
+// evolveAll replays the universe's churn history through the reference
+// session and every cluster, asserting the same number of landed steps.
+func evolveAll(t *testing.T, u *diffUniverse) {
+	t.Helper()
+	refSteps, err := u.session.EvolveBatch(context.Background(), u.changes)
+	if err != nil {
+		t.Fatalf("reference EvolveBatch: %v", err)
+	}
+	for ci, c := range u.clusters {
+		steps, err := c.EvolveBatch(context.Background(), u.changes)
+		if err != nil {
+			t.Fatalf("%d-shard EvolveBatch: %v", shardCounts[ci], err)
+		}
+		if len(steps) != len(refSteps) {
+			t.Fatalf("%d-shard landed %d steps, reference %d", shardCounts[ci], len(steps), len(refSteps))
+		}
+		for k := range steps {
+			if len(steps[k].Results) != len(refSteps[k].Results) {
+				t.Fatalf("%d-shard step %d touched %d views, reference %d",
+					shardCounts[ci], k, len(steps[k].Results), len(refSteps[k].Results))
+			}
+		}
+	}
+}
+
+// TestShardDifferential is the suite: >200 (query × cluster) cases before
+// evolution and the same sweep again after replaying the churn history, all
+// checksum- and route-decision-identical to the unsharded reference.
+func TestShardDifferential(t *testing.T) {
+	var kinds [3]atomic.Int64
+	universes := []*diffUniverse{churnUniverse(t), wideUniverse(t)}
+	total := 0
+	for _, u := range universes {
+		total += len(u.queries) * len(u.clusters)
+	}
+	if total < 200 {
+		t.Fatalf("only %d cases generated, want >= 200", total)
+	}
+	for _, u := range universes {
+		u := u
+		t.Run(u.name, func(t *testing.T) {
+			runParity(t, u, "pre-evolution", &kinds)
+			if t.Failed() || len(u.changes) == 0 {
+				return
+			}
+			evolveAll(t, u)
+			runParity(t, u, "post-evolution", &kinds)
+		})
+	}
+	if t.Failed() {
+		return
+	}
+	for k := range kinds {
+		if kinds[k].Load() == 0 {
+			t.Errorf("route kind %v never chosen", warehouse.RouteKind(k))
+		}
+		t.Logf("%v: %d cases", warehouse.RouteKind(k), kinds[k].Load())
+	}
+}
+
+// TestPrefixConsistencyDuringEvolution drives a spare-only churn history
+// through a 3-shard cluster while reader goroutines continuously snapshot
+// and query untouched family views: every read must return the initial
+// checksum (spare churn never moves family data) and every shard's pinned
+// seq must be monotone across one reader's successive snapshots.
+func TestPrefixConsistencyDuringEvolution(t *testing.T) {
+	h, err := scenario.Churn(scenario.ChurnParams{
+		Families: 2, TwinsPerFamily: 2, Width: 4, Donors: 1,
+		Spares: 3, SpareAttrs: 3, Changes: 12, Seed: 31,
+		// Ratios zero: every change is spare churn, so family/donor queries
+		// are stable throughout and any divergence is a consistency bug.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := h.BuildSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.Populate(sp, 40); err != nil {
+		t.Fatal(err)
+	}
+	c, err := shard.New(3, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, def := range h.Views() {
+		if _, _, err := c.RegisterView(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{
+		"SELECT W1.A1, W1.A2, W1.A3, W1.A4 FROM W1",
+		"SELECT W2.A2 FROM W2 WHERE W2.A2 > 100",
+		"SELECT D1_1.K, D1_1.A1 FROM D1_1",
+	}
+	want := make([]uint64, len(queries))
+	for i, q := range queries {
+		res, err := c.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("reference query %q: %v", q, err)
+		}
+		want[i] = exec.RowChecksum(res)
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	errc := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := make([]uint64, c.Shards())
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := c.Snapshot()
+				for si, seq := range snap.Seqs() {
+					if seq < prev[si] {
+						errc <- fmt.Errorf("shard %d seq went backwards: %d -> %d", si, prev[si], seq)
+						return
+					}
+					prev[si] = seq
+				}
+				qi := i % len(queries)
+				res, err := snap.Query(context.Background(), queries[qi])
+				if err != nil {
+					errc <- fmt.Errorf("query %q during evolution: %w", queries[qi], err)
+					return
+				}
+				if got := exec.RowChecksum(res); got != want[qi] {
+					errc <- fmt.Errorf("query %q checksum changed during spare-only churn", queries[qi])
+					return
+				}
+			}
+		}()
+	}
+	for _, ch := range h.Changes {
+		if _, err := c.ApplyChange(context.Background(), ch); err != nil {
+			t.Fatalf("ApplyChange: %v", err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

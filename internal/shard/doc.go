@@ -1,0 +1,74 @@
+// Package shard is the scale-out serving layer: a Cluster partitions
+// registered views across N warehouse shards and serves routed reads
+// through a lock-free composite snapshot, while a single logical writer
+// drives capability changes and data-update batches through every shard.
+//
+// # Placement: view-partitioned, data-replicated
+//
+// Views are assigned to shards by a stable FNV-1a hash of their
+// registration-time definition signature (esql.ViewDef.Signature), which is
+// name-independent: structurally identical twin views co-locate, so the
+// evolution session's memoized rewriting search keeps its sharing factor
+// within the owning shard. Base relations are fully replicated — every
+// shard holds its own deep clone of the information space (space.Clone, a
+// faithful copy that, unlike a persist round trip, preserves PC selection
+// conditions and therefore routing decisions). Replication is what keeps
+// arbitrary ad-hoc queries answerable: any query over any base relations,
+// including ones no view references, can be priced and executed on any
+// shard, and the cluster's answers stay checksum-identical to an unsharded
+// warehouse over the same space.
+//
+// # Writes: single writer, deterministic fan-out
+//
+// RegisterView, ApplyChange, EvolveBatch, and ApplyUpdates serialize under
+// one cluster-wide writer mutex and fan the full operation out to every
+// shard (capability changes must land on every replica's space; each shard
+// synchronizes only its own views, so the synchronize→rank→adopt work of a
+// pass is partitioned by ownership). Fan-out runs the complete batch on
+// every shard under context.WithoutCancel after one upfront ctx check —
+// per-shard landed prefixes can therefore never diverge on cancellation,
+// and a validation failure (deterministic across identical replicas) is
+// reported after every shard has observed it. Mid-batch cancellation is
+// deliberately unsupported at the cluster level: the unit of atomicity is
+// the whole fan-out.
+//
+// # Reads: lock-free composite snapshots with pruned fan-out
+//
+// Cluster.Snapshot loads the registration log and one published Version
+// per shard — a handful of atomic loads, no locks. The resulting
+// ClusterVersion pins per-shard immutable state (monotone per-shard seqs;
+// there is no global commit point, so cross-shard consistency is exactly
+// per-shard consistency). Query fans route-matching out over internal/conc
+// and merges the per-shard winners into the globally cheapest route by
+// core.RoutePages, with registration-order determinism: ties prefer a view
+// route over base, and among equal-cost view routes the earliest globally
+// registered view wins — reproducing the unsharded route() decision exactly
+// (a shard's registration order is a subsequence of the global order, and
+// base costs are identical across replicas).
+//
+// The fan-out is pruned by a cluster-level FROM-compatibility index: a view
+// can match a query only if their FROM relation multisets coincide modulo
+// PC-Equal substitution (misd.EqualMapping requires a selection-free Equal
+// PC constraint between the swapped relations), so the cluster maintains a
+// union-find over the Equal-PC graph and an index from canonical FROM keys
+// to the shards owning at least one live view with that key. A query
+// consults only those shards; when none qualify, a single
+// signature-designated shard prices the always-correct base route. Pruning
+// is sound — skipped shards provably hold no matching view — and it is the
+// mechanism that makes routed reads scale: per query, an N-shard cluster
+// matches against roughly 1/N of the view population instead of all of it.
+// The index refreshes synchronously after every write (adoption rewrites
+// view FROM clauses); a snapshot taken mid-write may route a query
+// conservatively (missing a just-moved view route and falling back to a
+// pricier but still provably correct one), never unsoundly.
+//
+// # Paper mapping
+//
+// The cluster multiplies the paper's single-warehouse Figure 1 architecture
+// (Lee, Koeller, Nica, Rundensteiner, ICDE 1999): each shard runs the full
+// synchronize→rank→adopt pipeline over its view subset with the same
+// QC-Model trade-offs, and the routed read path extends the Section 6 cost
+// model's page accounting (core.RoutePages) across shards — "answer from
+// the view" and "maintain the view" stay decisions of one model, now taken
+// over a partitioned view population.
+package shard

@@ -1,0 +1,433 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/conc"
+	"repro/internal/esql"
+	"repro/internal/evolve"
+	"repro/internal/maintain"
+	"repro/internal/misd"
+	"repro/internal/relation"
+	"repro/internal/space"
+	"repro/internal/warehouse"
+)
+
+// Cluster is a fixed-size group of warehouse shards behind one logical
+// writer and a lock-free composite read surface. Views partition across
+// shards by a stable hash of their definition signature; base data is
+// replicated (every shard owns a deep clone of the construction-time
+// space). See the package comment for the full design contract.
+//
+// All write methods (RegisterView, DefineView, ApplyChange, EvolveBatch,
+// ApplyUpdates) serialize under one internal mutex and are safe to call
+// from multiple goroutines; reads (Snapshot and everything on the returned
+// ClusterVersion) are lock-free and never block writes or each other.
+type Cluster struct {
+	shards   []*warehouse.Warehouse
+	sessions []*evolve.Session
+
+	// writeMu makes the cluster a single logical evolution writer: each
+	// underlying warehouse requires one evolution driver, and cross-shard
+	// determinism requires whole operations to fan out back-to-back.
+	writeMu sync.Mutex
+
+	// reg is the copy-on-write registration log plus the derived
+	// FROM-compatibility route index, republished atomically after every
+	// write. Loading reg before acquiring shard versions guarantees every
+	// logged view exists in the acquired version of its shard (RegisterView
+	// publishes the shard version before appending to the log).
+	reg atomic.Pointer[registry]
+}
+
+// regEntry is one registered view in global registration order.
+type regEntry struct {
+	name  string
+	shard int
+}
+
+// registry is the immutable registration log: entries in global
+// registration order, the name index, and the route-pruning index derived
+// from the shards' current live view definitions.
+type registry struct {
+	entries []regEntry
+	byName  map[string]int
+	index   *routeIndex
+}
+
+// routeIndex prunes the query fan-out: classes maps each base relation to
+// the canonical representative of its PC-Equal equivalence class (the
+// transitive closure over selection-free Equal PC constraints — a sound
+// over-approximation of misd.EqualMapping's substitution license), and
+// shards maps each canonical FROM-multiset key to the sorted shard indexes
+// owning at least one live view with that key. A shard absent from a key's
+// entry provably holds no view that could match a query with that key.
+type routeIndex struct {
+	classes map[string]string
+	shards  map[string][]int
+}
+
+// fnv64 is FNV-1a over s with a 64-bit avalanche finalizer — the stable
+// placement and designation hash. Placement reduces the hash modulo the
+// shard count, and raw FNV-1a low bits are not uniform across similar
+// strings (structured view signatures collapsed onto a strict subset of
+// shards without the mix), so the finalizer spreads every input bit into
+// the bits the modulo keeps.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// fromKey canonicalizes a FROM clause to its class-representative multiset
+// key: each relation mapped to its PC-Equal class representative, sorted,
+// joined. Queries and view definitions with incompatible keys cannot match.
+func fromKey(classes map[string]string, from []esql.FromItem) string {
+	reps := make([]string, len(from))
+	for i, f := range from {
+		r := f.Rel
+		if c, ok := classes[r]; ok {
+			r = c
+		}
+		reps[i] = r
+	}
+	sort.Strings(reps)
+	return strings.Join(reps, "\x00")
+}
+
+// New builds an n-shard cluster over the given information space. Every
+// shard receives its own deep clone (space.Clone), so the cluster owns its
+// replicas outright and never mutates the caller's space — including for
+// n == 1, which makes a single-shard cluster the drop-in baseline the scale
+// benchmarks compare against. configure, when non-nil, runs once per shard
+// warehouse right after construction (knobs, observer installation); its
+// error aborts New. A nil space builds over a fresh empty one.
+func New(n int, sp *space.Space, configure func(w *warehouse.Warehouse) error) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: cluster size %d: need at least one shard", n)
+	}
+	if sp == nil {
+		sp = space.New()
+	}
+	c := &Cluster{
+		shards:   make([]*warehouse.Warehouse, n),
+		sessions: make([]*evolve.Session, n),
+	}
+	for i := 0; i < n; i++ {
+		w := warehouse.New(sp.Clone())
+		if configure != nil {
+			if err := configure(w); err != nil {
+				return nil, fmt.Errorf("shard: configure shard %d: %w", i, err)
+			}
+		}
+		c.shards[i] = w
+		c.sessions[i] = evolve.NewSession(w)
+	}
+	c.refreshRegistry(nil)
+	return c, nil
+}
+
+// Shards returns the cluster size.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Shard exposes one underlying warehouse — for per-shard inspection in
+// tests and benchmarks. Treat it as read-only: all writes must flow
+// through the cluster, which is its single evolution writer.
+func (c *Cluster) Shard(i int) *warehouse.Warehouse { return c.shards[i] }
+
+// Ready reports whether every shard has published its first Version — the
+// readiness signal behind eved's /readyz. A constructed cluster is ready by
+// construction (warehouse.New publishes an initial version); the method
+// exists so serving front-ends that build clusters asynchronously have one
+// authoritative check.
+func (c *Cluster) Ready() bool {
+	for _, w := range c.shards {
+		v := w.Acquire()
+		if v == nil || v.Seq() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshRegistry rebuilds the registration log (entries may be nil to keep
+// the current ones) and the route-pruning index from the shards' current
+// live definitions, and publishes both with one atomic swap. Called under
+// writeMu after every write: adoption rewrites FROM clauses and deceases
+// remove views, both of which move FROM keys.
+func (c *Cluster) refreshRegistry(entries []regEntry) {
+	if entries == nil {
+		if reg := c.reg.Load(); reg != nil {
+			entries = reg.entries
+		}
+	}
+	byName := make(map[string]int, len(entries))
+	for i, e := range entries {
+		byName[e.name] = i
+	}
+	c.reg.Store(&registry{entries: entries, byName: byName, index: c.buildIndex()})
+}
+
+// buildIndex derives the FROM-compatibility index from shard 0's MKB (PC
+// constraints are replicated, so any shard's copy is authoritative) and
+// every shard's current live view definitions. Runs under writeMu, with no
+// pass in flight, so reading the live registries is race-free.
+func (c *Cluster) buildIndex() *routeIndex {
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Deterministic root: smaller name wins, so class representatives
+		// (and hence FROM keys) are stable across rebuilds.
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		parent[ra] = ra
+	}
+	for _, pc := range c.shards[0].Space.MKB().AllPCConstraints() {
+		if pc.Rel != misd.Equal || pc.Left.HasSelection() || pc.Right.HasSelection() {
+			continue
+		}
+		union(pc.Left.Rel.Key(), pc.Right.Rel.Key())
+	}
+	classes := make(map[string]string, len(parent))
+	for x := range parent {
+		classes[x] = find(x)
+	}
+	idx := &routeIndex{classes: classes, shards: make(map[string][]int)}
+	for i, w := range c.shards {
+		seen := make(map[string]bool)
+		for _, v := range w.Live() {
+			key := fromKey(classes, v.Def.From)
+			if !seen[key] {
+				seen[key] = true
+				idx.shards[key] = append(idx.shards[key], i)
+			}
+		}
+	}
+	return idx
+}
+
+// DefineView parses an E-SQL CREATE VIEW and registers it on its owning
+// shard. Returns the registered view and the shard index that owns it.
+func (c *Cluster) DefineView(src string) (*warehouse.View, int, error) {
+	def, err := esql.Parse(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.RegisterView(def)
+}
+
+// RegisterView places def on the shard selected by the FNV-1a hash of its
+// definition signature — name-independent, so structural twins co-locate —
+// registers and materializes it there, and appends it to the global
+// registration log. View names are unique cluster-wide.
+func (c *Cluster) RegisterView(def *esql.ViewDef) (*warehouse.View, int, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	reg := c.reg.Load()
+	if _, dup := reg.byName[def.Name]; dup {
+		return nil, 0, fmt.Errorf("shard: view %q: %w", def.Name, warehouse.ErrDuplicateView)
+	}
+	si := int(fnv64(def.Signature()) % uint64(len(c.shards)))
+	v, err := c.shards[si].RegisterView(def)
+	if err != nil {
+		return nil, 0, err
+	}
+	entries := make([]regEntry, len(reg.entries), len(reg.entries)+1)
+	copy(entries, reg.entries)
+	entries = append(entries, regEntry{name: def.Name, shard: si})
+	c.refreshRegistry(entries)
+	return v, si, nil
+}
+
+// fanOut runs fn once per shard on the conc worker pool, always completing
+// every shard: fn's error is recorded per slot, never propagated into the
+// pool, so one shard's (deterministic) failure cannot leave other replicas
+// behind — the divergence-freedom invariant every cluster write relies on.
+func (c *Cluster) fanOut(fn func(i int) error) []error {
+	errs := make([]error, len(c.shards))
+	conc.ForEach(len(c.shards), 0, func(i int) error { //nolint:errcheck // fn errors land in errs
+		errs[i] = fn(i)
+		return nil
+	})
+	return errs
+}
+
+// firstErr returns the first non-nil per-shard error in shard order.
+// Replicas are identical and operations deterministic, so when one shard
+// fails validation they all fail identically; shard order just makes the
+// reported instance stable.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyChange lands one capability change on every shard (each shard's
+// space is a full replica) and synchronizes each shard's own views — the
+// cluster form of warehouse.ApplyChange. Results merge across shards into
+// global view registration order. ctx is checked once upfront; past that
+// the fan-out runs every shard to completion under context.WithoutCancel,
+// so per-shard landed state cannot diverge on cancellation.
+func (c *Cluster) ApplyChange(ctx context.Context, ch space.Change) ([]warehouse.SyncResult, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	wctx := context.WithoutCancel(ctx)
+	results := make([][]warehouse.SyncResult, len(c.shards))
+	errs := c.fanOut(func(i int) error {
+		var err error
+		results[i], err = c.shards[i].ApplyChange(wctx, ch)
+		return err
+	})
+	c.refreshRegistry(nil)
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return c.mergeSyncResults(results), nil
+}
+
+// mergeSyncResults concatenates per-shard SyncResult rows and orders them
+// by global view registration order — the same order an unsharded
+// warehouse with the same registration history would report.
+func (c *Cluster) mergeSyncResults(results [][]warehouse.SyncResult) []warehouse.SyncResult {
+	reg := c.reg.Load()
+	var out []warehouse.SyncResult
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return reg.byName[out[a].ViewName] < reg.byName[out[b].ViewName]
+	})
+	return out
+}
+
+// EvolveBatch drives a capability-change stream through every shard's
+// evolution session (footprint skipping, memoized searches, and coalescing
+// all apply per shard, over that shard's view subset). Step results merge
+// across shards per change, each step's per-view rows in global
+// registration order. The landed prefix is identical on every shard —
+// replicas are identical, rejection is deterministic, and cancellation is
+// confined to one upfront check — so on error the merged steps cover
+// exactly the changes every shard landed.
+func (c *Cluster) EvolveBatch(ctx context.Context, changes []space.Change) ([]evolve.StepResult, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	wctx := context.WithoutCancel(ctx)
+	steps := make([][]evolve.StepResult, len(c.shards))
+	errs := c.fanOut(func(i int) error {
+		var err error
+		steps[i], err = c.sessions[i].EvolveBatch(wctx, changes)
+		return err
+	})
+	c.refreshRegistry(nil)
+	reg := c.reg.Load()
+	// Merge per change. Landed prefixes agree across shards; min() is
+	// defensive against a non-deterministic shard failure, in which case
+	// the error below surfaces it anyway.
+	n := len(steps[0])
+	for _, st := range steps[1:] {
+		if len(st) < n {
+			n = len(st)
+		}
+	}
+	merged := make([]evolve.StepResult, n)
+	for k := 0; k < n; k++ {
+		merged[k] = evolve.StepResult{Change: steps[0][k].Change}
+		for _, st := range steps {
+			merged[k].Results = append(merged[k].Results, st[k].Results...)
+		}
+		rs := merged[k].Results
+		sort.SliceStable(rs, func(a, b int) bool {
+			return reg.byName[rs[a].ViewName] < reg.byName[rs[b].ViewName]
+		})
+	}
+	return merged, firstErr(errs)
+}
+
+// ApplyUpdates routes one data-update batch through every shard: each
+// replica folds the same net deltas into its base relations and
+// incrementally maintains its own views, then republishes. The returned
+// metrics are the summed measured maintenance work across all replicas —
+// the cluster's true aggregate cost, N× the unsharded notification volume
+// by construction. ctx follows the same upfront-check-then-complete
+// contract as the other writes.
+func (c *Cluster) ApplyUpdates(ctx context.Context, updates []maintain.Update) (maintain.Metrics, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	var total maintain.Metrics
+	if err := ctx.Err(); err != nil {
+		return total, err
+	}
+	wctx := context.WithoutCancel(ctx)
+	metrics := make([]maintain.Metrics, len(c.shards))
+	errs := c.fanOut(func(i int) error {
+		var err error
+		metrics[i], err = c.shards[i].ApplyUpdates(wctx, updates)
+		return err
+	})
+	for _, m := range metrics {
+		total.Add(m)
+	}
+	// Data updates never move view definitions or PC constraints, so the
+	// route index is still exact; no registry refresh needed.
+	return total, firstErr(errs)
+}
+
+// Snapshot pins the current composite serving state: the registration log
+// (with its route index) and one published Version per shard, acquired
+// with a handful of atomic loads and no locks. Per-shard consistency only:
+// each pinned Version is an immutable commit point of its shard, but there
+// is no cluster-wide commit point, so a snapshot taken mid-write may pin
+// some shards before and some after the write. The registration log is
+// loaded first, which guarantees every logged view is present in its
+// shard's pinned version.
+func (c *Cluster) Snapshot() *ClusterVersion {
+	reg := c.reg.Load()
+	vers := make([]*warehouse.Version, len(c.shards))
+	for i, w := range c.shards {
+		vers[i] = w.Acquire()
+	}
+	return &ClusterVersion{reg: reg, vers: vers}
+}
+
+// Query answers an ad-hoc E-SQL SELECT against a fresh composite snapshot —
+// the one-call cluster read path, equivalent to c.Snapshot().Query.
+func (c *Cluster) Query(ctx context.Context, sql string) (*relation.Relation, error) {
+	return c.Snapshot().Query(ctx, sql)
+}

@@ -1,0 +1,295 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/esql"
+	"repro/internal/scenario"
+	"repro/internal/shard"
+	"repro/internal/space"
+	"repro/internal/warehouse"
+)
+
+// churnCluster builds a populated churn space and registers the harness
+// views on a fresh n-shard cluster, returning the cluster and the harness.
+func churnCluster(t *testing.T, n int, p scenario.ChurnParams) (*shard.Cluster, *scenario.ChurnHistory) {
+	t.Helper()
+	h, err := scenario.Churn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := h.BuildSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.Populate(sp, 40); err != nil {
+		t.Fatal(err)
+	}
+	c, err := shard.New(n, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, def := range h.Views() {
+		if _, _, err := c.RegisterView(def); err != nil {
+			t.Fatalf("register %s: %v", def.Name, err)
+		}
+	}
+	return c, h
+}
+
+func smallChurnParams() scenario.ChurnParams {
+	return scenario.ChurnParams{
+		Families: 3, TwinsPerFamily: 2, Width: 4, Donors: 2,
+		Spares: 2, SpareAttrs: 2, Changes: 6, Seed: 5,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := shard.New(0, nil, nil); err == nil {
+		t.Fatal("New(0) accepted")
+	}
+	boom := errors.New("boom")
+	if _, err := shard.New(2, nil, func(w *warehouse.Warehouse) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("configure error not propagated: %v", err)
+	}
+	c, err := shard.New(3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", c.Shards())
+	}
+	if !c.Ready() {
+		t.Fatal("fresh cluster not Ready")
+	}
+}
+
+// Placement must be a pure function of the definition signature: twins
+// (same definition shape, different names) co-locate, and an identically
+// built second cluster places every view on the same shard.
+func TestPlacementDeterministicTwinsColocate(t *testing.T) {
+	p := smallChurnParams()
+	c1, h := churnCluster(t, 4, p)
+	c2, _ := churnCluster(t, 4, p)
+	place := func(c *shard.Cluster) map[string]int {
+		out := make(map[string]int)
+		for i := 0; i < c.Shards(); i++ {
+			for _, v := range c.Shard(i).Live() {
+				out[v.Def.Name] = i
+			}
+		}
+		return out
+	}
+	p1, p2 := place(c1), place(c2)
+	if len(p1) != len(h.Views()) {
+		t.Fatalf("placed %d views, want %d", len(p1), len(h.Views()))
+	}
+	for name, si := range p1 {
+		if p2[name] != si {
+			t.Errorf("view %s: shard %d on first build, %d on second", name, si, p2[name])
+		}
+	}
+	for f := 1; f <= p.Families; f++ {
+		a, b := fmt.Sprintf("V%d_1", f), fmt.Sprintf("V%d_2", f)
+		if p1[a] != p1[b] {
+			t.Errorf("twins %s (shard %d) and %s (shard %d) split", a, p1[a], b, p1[b])
+		}
+	}
+}
+
+// View names are unique cluster-wide even when the twins land on different
+// shards than the duplicate attempt would.
+func TestDuplicateViewRejectedClusterWide(t *testing.T) {
+	c, h := churnCluster(t, 4, smallChurnParams())
+	dup := h.Views()[0]
+	if _, _, err := c.RegisterView(dup); !errors.Is(err, warehouse.ErrDuplicateView) {
+		t.Fatalf("duplicate register: err = %v, want ErrDuplicateView", err)
+	}
+	// Same shape under a fresh name is fine (a third twin).
+	clone := *dup
+	clone.Name = "VX_EXTRA"
+	if _, _, err := c.RegisterView(&clone); err != nil {
+		t.Fatalf("fresh-name register: %v", err)
+	}
+}
+
+// The composite snapshot lists views in global registration order,
+// regardless of shard placement, and serves extents from owning shards.
+func TestSnapshotGlobalOrderAndExtent(t *testing.T) {
+	c, h := churnCluster(t, 3, smallChurnParams())
+	snap := c.Snapshot()
+	want := make([]string, 0, len(h.Views()))
+	for _, def := range h.Views() {
+		want = append(want, def.Name)
+	}
+	got := snap.ViewNames()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ViewNames = %v, want global registration order %v", got, want)
+	}
+	if len(snap.Views()) != len(want) {
+		t.Fatalf("Views() returned %d captures, want %d", len(snap.Views()), len(want))
+	}
+	for _, name := range want {
+		ext, err := snap.Extent(name)
+		if err != nil {
+			t.Fatalf("Extent(%s): %v", name, err)
+		}
+		if ext.Card() == 0 {
+			t.Fatalf("Extent(%s) empty over populated space", name)
+		}
+		ev, err := snap.Evaluate(context.Background(), name)
+		if err != nil {
+			t.Fatalf("Evaluate(%s): %v", name, err)
+		}
+		if ev.Card() != ext.Card() {
+			t.Fatalf("Evaluate(%s) card %d != extent card %d", name, ev.Card(), ext.Card())
+		}
+	}
+	if _, err := snap.Extent("NOPE"); !errors.Is(err, warehouse.ErrViewNotFound) {
+		t.Fatalf("Extent(unknown): err = %v, want ErrViewNotFound", err)
+	}
+	if snap.View("NOPE") != nil {
+		t.Fatal("View(unknown) != nil")
+	}
+	if len(snap.RelationNames()) == 0 {
+		t.Fatal("RelationNames empty")
+	}
+}
+
+// Every cluster write merges per-shard results back into global view
+// registration order — the order an unsharded warehouse with the same
+// registration history reports.
+func TestWriteMergeOrdering(t *testing.T) {
+	p := smallChurnParams()
+	c, h := churnCluster(t, 4, p)
+	order := make(map[string]int)
+	for i, def := range h.Views() {
+		order[def.Name] = i
+	}
+	assertOrdered := func(names []string, what string) {
+		t.Helper()
+		for i := 1; i < len(names); i++ {
+			if order[names[i-1]] > order[names[i]] {
+				t.Fatalf("%s results out of global order: %v", what, names)
+			}
+		}
+	}
+	res, err := c.ApplyChange(context.Background(), h.Changes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("ApplyChange touched no views")
+	}
+	names := make([]string, len(res))
+	for i, r := range res {
+		names[i] = r.ViewName
+	}
+	assertOrdered(names, "ApplyChange")
+
+	steps, err := c.EvolveBatch(context.Background(), h.Changes[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != len(h.Changes)-1 {
+		t.Fatalf("EvolveBatch landed %d steps, want %d", len(steps), len(h.Changes)-1)
+	}
+	for k, st := range steps {
+		stepNames := make([]string, len(st.Results))
+		for i, r := range st.Results {
+			stepNames[i] = r.ViewName
+		}
+		assertOrdered(stepNames, fmt.Sprintf("EvolveBatch step %d", k))
+	}
+}
+
+// Cancelled contexts fail upfront and leave no shard half-written: seqs
+// stay put and a subsequent write still works identically on all shards.
+func TestWriteCancellationUpfront(t *testing.T) {
+	c, h := churnCluster(t, 2, smallChurnParams())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := c.Snapshot().Seqs()
+	if _, err := c.ApplyChange(ctx, h.Changes[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApplyChange on cancelled ctx: %v", err)
+	}
+	if _, err := c.EvolveBatch(ctx, h.Changes); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvolveBatch on cancelled ctx: %v", err)
+	}
+	if _, err := c.ApplyUpdates(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApplyUpdates on cancelled ctx: %v", err)
+	}
+	after := c.Snapshot().Seqs()
+	if fmt.Sprint(before) != fmt.Sprint(after) {
+		t.Fatalf("cancelled writes moved seqs: %v -> %v", before, after)
+	}
+	if _, err := c.ApplyChange(context.Background(), h.Changes[0]); err != nil {
+		t.Fatalf("write after cancelled write: %v", err)
+	}
+}
+
+// Per-shard seqs are monotone across snapshots and every shard advances on
+// every cluster write (base data is replicated).
+func TestSeqsMonotonePerShard(t *testing.T) {
+	c, h := churnCluster(t, 3, smallChurnParams())
+	prev := c.Snapshot().Seqs()
+	for _, ch := range h.Changes {
+		if _, err := c.ApplyChange(context.Background(), ch); err != nil {
+			t.Fatal(err)
+		}
+		cur := c.Snapshot().Seqs()
+		for i := range cur {
+			if cur[i] <= prev[i] {
+				t.Fatalf("shard %d seq did not advance: %d -> %d", i, prev[i], cur[i])
+			}
+		}
+		prev = cur
+	}
+}
+
+// An invalid change fails on every replica identically and the cluster
+// keeps serving afterwards.
+func TestDeterministicWriteFailure(t *testing.T) {
+	c, _ := churnCluster(t, 3, smallChurnParams())
+	bad := space.Change{Kind: space.DeleteRelation, Rel: "NO_SUCH_REL"}
+	if _, err := c.ApplyChange(context.Background(), bad); err == nil {
+		t.Fatal("invalid change accepted")
+	}
+	// All replicas must still agree: a valid follow-up write succeeds and
+	// queries still route.
+	if _, err := c.Query(context.Background(), "SELECT W1.A1 FROM W1"); err != nil {
+		t.Fatalf("query after failed write: %v", err)
+	}
+}
+
+// Unknown base relations surface the same error class as the unsharded
+// router (via the designated-shard base path).
+func TestQueryUnknownRelation(t *testing.T) {
+	c, _ := churnCluster(t, 2, smallChurnParams())
+	if _, err := c.Query(context.Background(), "SELECT NOPE.X FROM NOPE"); err == nil {
+		t.Fatal("query over unknown relation succeeded")
+	}
+}
+
+// The registration log pins with the snapshot: a view registered after
+// Snapshot() is invisible to that snapshot but visible to the next.
+func TestSnapshotPinsRegistry(t *testing.T) {
+	c, _ := churnCluster(t, 2, smallChurnParams())
+	old := c.Snapshot()
+	def, err := esql.Parse(`CREATE VIEW VLATE (VE = ~) AS SELECT W1.A1, W1.A2 FROM W1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.RegisterView(def); err != nil {
+		t.Fatal(err)
+	}
+	if old.View("VLATE") != nil {
+		t.Fatal("pre-registration snapshot sees VLATE")
+	}
+	if c.Snapshot().View("VLATE") == nil {
+		t.Fatal("post-registration snapshot misses VLATE")
+	}
+}

@@ -1,0 +1,210 @@
+package shard
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/esql"
+	"repro/internal/relation"
+	"repro/internal/warehouse"
+)
+
+// ClusterVersion is one pinned composite serving state: the registration
+// log (with the route-pruning index) plus one immutable warehouse.Version
+// per shard. Like the per-shard versions it is immutable and safe for any
+// number of concurrent readers; hold one for a multi-read transaction that
+// must be per-shard consistent, and take a fresh Snapshot to observe newer
+// commits. There is no global commit point — see Cluster.Snapshot.
+type ClusterVersion struct {
+	reg  *registry
+	vers []*warehouse.Version
+}
+
+// Shards returns the number of shards pinned in this snapshot.
+func (v *ClusterVersion) Shards() int { return len(v.vers) }
+
+// Shard returns shard i's pinned Version.
+func (v *ClusterVersion) Shard(i int) *warehouse.Version { return v.vers[i] }
+
+// Seqs returns each shard's pinned publication sequence number. Per-shard
+// seqs are monotone across snapshots (a later Snapshot never pins an older
+// version), which is the cluster's whole ordering guarantee.
+func (v *ClusterVersion) Seqs() []uint64 {
+	out := make([]uint64, len(v.vers))
+	for i, sv := range v.vers {
+		out[i] = sv.Seq()
+	}
+	return out
+}
+
+// ViewNames lists the cluster's live views in global registration order —
+// the composite analogue of Version.ViewNames.
+func (v *ClusterVersion) ViewNames() []string {
+	out := make([]string, 0, len(v.reg.entries))
+	for _, e := range v.reg.entries {
+		if vv := v.vers[e.shard].View(e.name); vv != nil && !vv.Deceased {
+			out = append(out, e.name)
+		}
+	}
+	return out
+}
+
+// Views returns the live view captures in global registration order.
+func (v *ClusterVersion) Views() []*warehouse.VersionView {
+	out := make([]*warehouse.VersionView, 0, len(v.reg.entries))
+	for _, e := range v.reg.entries {
+		if vv := v.vers[e.shard].View(e.name); vv != nil && !vv.Deceased {
+			out = append(out, vv)
+		}
+	}
+	return out
+}
+
+// View returns the named view's capture — live or deceased — from its
+// owning shard's pinned version, or nil when never registered.
+func (v *ClusterVersion) View(name string) *warehouse.VersionView {
+	e, ok := v.entry(name)
+	if !ok {
+		return nil
+	}
+	return v.vers[e.shard].View(name)
+}
+
+// entry resolves a view name in the pinned registration log.
+func (v *ClusterVersion) entry(name string) (regEntry, bool) {
+	i, ok := v.reg.byName[name]
+	if !ok {
+		return regEntry{}, false
+	}
+	return v.reg.entries[i], true
+}
+
+// owner returns the shard version owning the named view, defaulting to
+// shard 0 for unknown names so delegated lookups produce the standard
+// warehouse error taxonomy (ErrViewNotFound).
+func (v *ClusterVersion) owner(name string) *warehouse.Version {
+	if e, ok := v.entry(name); ok {
+		return v.vers[e.shard]
+	}
+	return v.vers[0]
+}
+
+// Extent returns the named live view's materialized extent from its owning
+// shard — the zero-cost read path. Unknown names return ErrViewNotFound,
+// deceased views ErrViewDeceased.
+func (v *ClusterVersion) Extent(name string) (*relation.Relation, error) {
+	return v.owner(name).Extent(name)
+}
+
+// Evaluate computes the named live view over its owning shard's pinned base
+// relations, with the shard version's per-version plan cache.
+func (v *ClusterVersion) Evaluate(ctx context.Context, name string) (*relation.Relation, error) {
+	return v.owner(name).Evaluate(ctx, name)
+}
+
+// RelationNames lists the replicated base relations (from shard 0's pinned
+// version; replicas share one schema modulo in-flight writes) — the
+// queryable schema surface serving front-ends describe to clients.
+func (v *ClusterVersion) RelationNames() []string { return v.vers[0].RelationNames() }
+
+// RouteQuery parses sql and returns the globally cheapest provably correct
+// route for it, without executing — the diagnostic twin of Query.
+func (v *ClusterVersion) RouteQuery(sql string) (*warehouse.Route, error) {
+	q, err := esql.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	r, _, err := v.routeDef(q)
+	return r, err
+}
+
+// Query parses, routes, and executes sql against the composite snapshot.
+// The routed execution (decision plus run, parse excluded) is timed and
+// reported as PhaseQuery to the winning shard's observer, so per-phase
+// latency accounting attributes each read to the shard that served it.
+func (v *ClusterVersion) Query(ctx context.Context, sql string) (*relation.Relation, error) {
+	q, err := esql.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r, si, err := v.routeDef(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	v.vers[si].ObservePhase(warehouse.PhaseQuery, time.Since(start))
+	return res, nil
+}
+
+// routeDef picks the globally cheapest provably correct route for q and the
+// shard that produced it. The route index bounds the fan-out: only shards
+// owning at least one live view whose FROM multiset is PC-Equal-compatible
+// with q's can contribute a view route (misd.EqualMapping requires an Equal
+// PC between swapped relations, so FROM-key equality is a necessary
+// condition for any match), and when no shard qualifies, one
+// signature-designated shard prices the base route alone. Multi-shard
+// fan-outs run in parallel over internal/conc; per-shard routing is
+// deterministic and the merge below is a total order, so the cluster's
+// decision is deterministic regardless of scheduling.
+func (v *ClusterVersion) routeDef(q *esql.ViewDef) (*warehouse.Route, int, error) {
+	idx := v.reg.index
+	key := fromKey(idx.classes, q.From)
+	owners := idx.shards[key]
+	switch len(owners) {
+	case 0:
+		si := int(fnv64(key) % uint64(len(v.vers)))
+		r, err := v.vers[si].RouteDefBase(q)
+		return r, si, err
+	case 1:
+		r, err := v.vers[owners[0]].RouteDef(q)
+		return r, owners[0], err
+	}
+	routes := make([]*warehouse.Route, len(owners))
+	errs := make([]error, len(owners))
+	conc.ForEach(len(owners), len(owners), func(j int) error { //nolint:errcheck // errors land in errs
+		// RouteDef clones q before qualification, so the shards can share
+		// the caller's definition without synchronization.
+		routes[j], errs[j] = v.vers[owners[j]].RouteDef(q)
+		return nil
+	})
+	var best *warehouse.Route
+	bi := -1
+	for j, r := range routes {
+		if errs[j] != nil {
+			// Qualification failures are deterministic across replicas;
+			// report the first in shard order.
+			return nil, 0, errs[j]
+		}
+		if best == nil || v.better(r, best) {
+			best, bi = r, owners[j]
+		}
+	}
+	return best, bi, nil
+}
+
+// better reports whether route r beats the current best under the global
+// merge order: strictly cheaper wins; on a cost tie a view route beats the
+// base route (the extent is maintained precisely to be read); between
+// equal-cost view routes the earlier globally registered view wins. This
+// reproduces the unsharded route() decision exactly: each shard's winner is
+// its cheapest-then-earliest candidate, per-shard registration order is a
+// subsequence of the global order, and base plans are priced identically on
+// every replica.
+func (v *ClusterVersion) better(r, best *warehouse.Route) bool {
+	if r.Cost != best.Cost {
+		return r.Cost < best.Cost
+	}
+	rv, bv := r.Kind != warehouse.RouteBase, best.Kind != warehouse.RouteBase
+	if rv != bv {
+		return rv
+	}
+	if !rv {
+		return false
+	}
+	return v.reg.byName[r.View] < v.reg.byName[best.View]
+}

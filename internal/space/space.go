@@ -113,6 +113,52 @@ func (sp *Space) RelationNames() []string {
 	return out
 }
 
+// Clone returns a deep, faithful copy of the space: every source, every
+// relation (tuples deep-copied, schemas shared — schema objects are
+// immutable; capability changes replace relation objects instead of
+// mutating schemas in place), and the full MKB state — join constraints, PC
+// constraints with their selection conditions intact (conditions are
+// immutable values, so sharing them is safe), per-relation cardinality
+// overrides and local selectivities, and the global statistics defaults.
+// Listeners are NOT cloned: the clone is a fresh, independent space and
+// whoever drives it subscribes its own.
+//
+// Clone exists for shared-nothing replication (internal/shard gives every
+// warehouse shard its own replica): unlike a persist.Export/Import round
+// trip, which degrades PC selection conditions to selection-free fragments
+// with σ preserved — changing misd.EqualMapping's routing decisions — a
+// clone routes and evolves exactly like the original.
+func (sp *Space) Clone() *Space {
+	out := New()
+	out.mkb.DefaultJoinSelectivity = sp.mkb.DefaultJoinSelectivity
+	out.mkb.DefaultSelectivity = sp.mkb.DefaultSelectivity
+	out.mkb.BlockingFactor = sp.mkb.BlockingFactor
+	for _, sname := range sp.order {
+		src := sp.sources[sname]
+		out.AddSource(sname) //nolint:errcheck // fresh space, no duplicates
+		for _, rname := range src.order {
+			//nolint:errcheck // fresh space, same registration order
+			out.AddRelation(sname, src.relations[rname].Clone())
+		}
+	}
+	for _, jc := range sp.mkb.AllJoinConstraints() {
+		out.mkb.AddJoinConstraint(jc) //nolint:errcheck // valid in source MKB
+	}
+	for _, pc := range sp.mkb.AllPCConstraints() {
+		out.mkb.AddPCConstraint(pc) //nolint:errcheck // valid in source MKB
+	}
+	// AddRelation registered each clone with its actual extent cardinality;
+	// restore the source MKB's advertised cards and local selectivities,
+	// which analytic scenarios set independently of the extents.
+	for _, info := range sp.mkb.Relations() {
+		if oi := out.mkb.Relation(info.Ref.Rel); oi != nil {
+			oi.Card = info.Card
+			oi.LocalSelectivity = info.LocalSelectivity
+		}
+	}
+	return out
+}
+
 // Subscribe registers a capability-change listener; the space invokes it
 // after each applied change ("the EVE system is notified when a ... change
 // occurs").

@@ -2,11 +2,49 @@ package warehouse
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/maintain"
 	"repro/internal/space"
 )
+
+// Phase identifies one timed stage of the pipeline for Observer.OnPhase:
+// the per-view synchronize-and-rank search, the per-view rewriting
+// adoption, the per-view incremental maintenance of a data-update batch,
+// and the routed execution of an ad-hoc query. The observed wall-clock
+// timings are the measured counterparts of the QC-Model's analytic cost
+// factors — the feed a learned cost model recalibrates against.
+type Phase int
+
+// Pipeline phases, in the order a change/update/query flows through them.
+const (
+	// PhaseSync is one view's synchronize-and-rank search (RankFor).
+	PhaseSync Phase = iota
+	// PhaseAdopt is one view's rewriting adoption incl. re-materialization.
+	PhaseAdopt
+	// PhaseMaintain is one view's incremental delta maintenance.
+	PhaseMaintain
+	// PhaseQuery is one routed ad-hoc query: route decision plus execution.
+	PhaseQuery
+	numPhases
+)
+
+// String names the phase for logs and benchmark metric labels.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSync:
+		return "sync"
+	case PhaseAdopt:
+		return "adopt"
+	case PhaseMaintain:
+		return "maintain"
+	case PhaseQuery:
+		return "query"
+	default:
+		return "unknown"
+	}
+}
 
 // Observer receives notifications from the synchronize→rank→adopt pipeline
 // as it runs — the instrumentation seam of the v2 API. One observer serves
@@ -41,6 +79,13 @@ type Observer interface {
 	// the number of source updates in the batch (before collapsing);
 	// metrics is the summed measured maintenance cost.
 	OnUpdate(updates int, metrics maintain.Metrics)
+	// OnPhase fires once per timed pipeline stage with its measured
+	// wall-clock duration: per view for PhaseSync (alongside OnSync),
+	// PhaseAdopt (alongside OnAdopt), and PhaseMaintain, and per routed
+	// query for PhaseQuery (from Version.Query and the shard front-end).
+	// Like the other hooks it may fire from worker goroutines,
+	// concurrently.
+	OnPhase(p Phase, d time.Duration)
 }
 
 // NopObserver is the default Observer: every hook is a no-op. Embed it to
@@ -62,11 +107,23 @@ func (NopObserver) OnDecease(string, space.Change) {}
 // OnUpdate implements Observer.
 func (NopObserver) OnUpdate(int, maintain.Metrics) {}
 
+// OnPhase implements Observer.
+func (NopObserver) OnPhase(Phase, time.Duration) {}
+
 // MetricsObserver counts pipeline events with atomic counters — the
 // ready-made Observer for dashboards and tests. The zero value is ready to
 // use and safe for concurrent use.
 type MetricsObserver struct {
 	changes, syncs, adopts, deceases, updates atomic.Uint64
+
+	// Per-phase latency accounting: total observed nanoseconds and the
+	// number of observations, per Phase. Totals and counts are separate
+	// atomics, so a concurrent reader may see a count that is one ahead of
+	// the total (or vice versa) — fine for the mean-latency dashboards and
+	// benchmark metrics this feeds; reconcile after quiescing for exact
+	// numbers.
+	phaseNs [numPhases]atomic.Int64
+	phaseN  [numPhases]atomic.Uint64
 }
 
 // OnChange implements Observer.
@@ -100,3 +157,38 @@ func (m *MetricsObserver) Deceases() uint64 { return m.deceases.Load() }
 
 // Updates returns the number of source data updates applied.
 func (m *MetricsObserver) Updates() uint64 { return m.updates.Load() }
+
+// OnPhase implements Observer.
+func (m *MetricsObserver) OnPhase(p Phase, d time.Duration) {
+	if p < 0 || p >= numPhases {
+		return
+	}
+	m.phaseNs[p].Add(int64(d))
+	m.phaseN[p].Add(1)
+}
+
+// PhaseCount returns the number of timed observations of phase p.
+func (m *MetricsObserver) PhaseCount(p Phase) uint64 {
+	if p < 0 || p >= numPhases {
+		return 0
+	}
+	return m.phaseN[p].Load()
+}
+
+// PhaseTotal returns the summed observed wall-clock time of phase p.
+func (m *MetricsObserver) PhaseTotal(p Phase) time.Duration {
+	if p < 0 || p >= numPhases {
+		return 0
+	}
+	return time.Duration(m.phaseNs[p].Load())
+}
+
+// PhaseMean returns the mean observed latency of phase p, zero when the
+// phase was never observed.
+func (m *MetricsObserver) PhaseMean(p Phase) time.Duration {
+	n := m.PhaseCount(p)
+	if n == 0 {
+		return 0
+	}
+	return m.PhaseTotal(p) / time.Duration(n)
+}

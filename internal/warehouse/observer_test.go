@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/maintain"
 	"repro/internal/misd"
 	"repro/internal/relation"
 	"repro/internal/space"
@@ -104,5 +105,59 @@ func TestObserverNopByDefault(t *testing.T) {
 	}
 	if got := w.View("V").Def.From[0].Rel; got != "S" {
 		t.Fatalf("adopted %q, want S", got)
+	}
+}
+
+// TestObserverPhaseTimings drives one change, one update batch, and one
+// routed query through an observed warehouse and checks that every pipeline
+// stage reports wall-clock timings consistent with the event counters:
+// PhaseSync observations match ranked searches, PhaseAdopt matches
+// adoptions, PhaseMaintain fires per maintained view, and PhaseQuery fires
+// per routed query, with totals >= means and zero for untouched phases.
+func TestObserverPhaseTimings(t *testing.T) {
+	sp := observedSpace(t)
+	w := New(sp)
+	m := &MetricsObserver{}
+	w.SetObserver(m)
+	if _, err := w.DefineView(`CREATE VIEW V AS SELECT R.A (AR = true) FROM R (RR = true)`); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PhaseCount(PhaseQuery); got != 0 {
+		t.Fatalf("PhaseQuery observed %d times before any query", got)
+	}
+
+	if _, err := w.ApplyUpdates(context.Background(), []maintain.Update{{
+		Rel: "R", Kind: maintain.Insert,
+		Tuple: relation.Tuple{relation.Int(9), relation.String("y")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PhaseCount(PhaseMaintain); got != 1 {
+		t.Errorf("PhaseMaintain count = %d, want 1 (one live view maintained)", got)
+	}
+
+	if _, err := w.Acquire().Query(context.Background(), "SELECT R.A FROM R"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PhaseCount(PhaseQuery); got != 1 {
+		t.Errorf("PhaseQuery count = %d, want 1", got)
+	}
+
+	if _, err := w.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "R"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, syncs := m.PhaseCount(PhaseSync), m.Syncs(); got != syncs {
+		t.Errorf("PhaseSync count = %d, want %d (one per ranked search)", got, syncs)
+	}
+	if got, adopts := m.PhaseCount(PhaseAdopt), m.Adopts(); got != adopts {
+		t.Errorf("PhaseAdopt count = %d, want %d (one per adoption)", got, adopts)
+	}
+	for _, p := range []Phase{PhaseSync, PhaseAdopt, PhaseMaintain, PhaseQuery} {
+		if m.PhaseTotal(p) < m.PhaseMean(p) {
+			t.Errorf("%v: total %v < mean %v", p, m.PhaseTotal(p), m.PhaseMean(p))
+		}
+	}
+	if m.PhaseMean(Phase(99)) != 0 || m.PhaseCount(Phase(-1)) != 0 || m.PhaseTotal(numPhases) != 0 {
+		t.Error("out-of-range phases must read as zero")
 	}
 }

@@ -3,6 +3,7 @@ package warehouse
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/esql"
@@ -126,14 +127,59 @@ func (v *Version) RouteDef(q *esql.ViewDef) (*Route, error) {
 	return r, nil
 }
 
-// Query parses, routes, and executes sql at this version — the one-call
-// serving surface behind System.Query and eved's /query endpoint.
-func (v *Version) Query(ctx context.Context, sql string) (*relation.Relation, error) {
-	r, err := v.RouteQuery(sql)
+// RouteDefBase routes an already-parsed query to this version's base
+// relations unconditionally, skipping view matching: the always-correct
+// fallback priced by the same cost model (Route.Kind is RouteBase). It
+// exists for the shard front-end, whose cluster-level FROM-compatibility
+// index can prove that none of this shard's views (indeed, none of any
+// shard's views) could match the query, making the per-view scan of route()
+// pure waste; it still anchors the fan-out with an executable base plan.
+// Cached per qualified query signature like RouteDef, under a disjoint key.
+func (v *Version) RouteDefBase(q *esql.ViewDef) (*Route, error) {
+	qq, err := exec.QualifyWith(q, func(rel string) *relation.Schema {
+		if r := v.rels[rel]; r != nil {
+			return r.Schema()
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return r.Execute(ctx)
+	key := "base\x00" + qq.Signature()
+	if r, ok := v.routes.Load(key); ok {
+		return r.(*Route), nil
+	}
+	base, err := plan.CompileCatalog(qq, versionCatalog{v})
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: route %s: %w", qq.Name, err)
+	}
+	cm := v.stats.CostModel()
+	r := &Route{Kind: RouteBase, plan: base, Cost: cm.RoutePages(base.EstRowCounts())}
+	r.BaseCost = r.Cost
+	v.routes.Store(key, r)
+	return r, nil
+}
+
+// Query parses, routes, and executes sql at this version — the one-call
+// serving surface behind System.Query and eved's /query endpoint. The
+// routed execution (decision plus run, parse excluded) is timed and
+// reported as PhaseQuery to the observer captured at publication.
+func (v *Version) Query(ctx context.Context, sql string) (*relation.Relation, error) {
+	q, err := esql.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r, err := v.RouteDef(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	v.obs.OnPhase(PhaseQuery, time.Since(start))
+	return res, nil
 }
 
 // route prices the base-relation plan and every live view's candidate

@@ -2,6 +2,7 @@ package warehouse
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/esql"
@@ -172,11 +173,14 @@ func (w *Warehouse) RankFor(ctx context.Context, v *View, c space.Change, snap *
 }
 
 func (w *Warehouse) rankFor(ctx context.Context, v *View, c space.Change, snap *Snapshot) (*core.Ranking, error) {
+	start := time.Now()
 	ranking, err := w.searchFor(ctx, v, c, snap)
 	if err != nil {
 		return nil, err
 	}
-	w.obs().OnSync(v.Def.Name, ranking)
+	obs := w.obs()
+	obs.OnPhase(PhaseSync, time.Since(start))
+	obs.OnSync(v.Def.Name, ranking)
 	return ranking, nil
 }
 

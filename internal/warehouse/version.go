@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/esql"
 	"repro/internal/misd"
@@ -64,6 +65,12 @@ type Version struct {
 	seq   uint64
 	epoch uint64
 	stats *Snapshot
+	// obs is the warehouse observer as installed at publication time, the
+	// per-phase latency feed for reads served off this version (PhaseQuery).
+	// An observer swapped in after publication only sees versions published
+	// from then on — reads are lock-free, so they cannot chase a mutable
+	// observer field without a synchronization point.
+	obs Observer
 
 	views  []*VersionView
 	byName map[string]*VersionView
@@ -145,6 +152,26 @@ func (v *Version) View(name string) *VersionView { return v.byName[name] }
 // commit point, or nil. Schema changes replace relation objects, so the
 // returned relation reflects exactly this version's schema state.
 func (v *Version) Relation(name string) *relation.Relation { return v.rels[name] }
+
+// RelationNames lists the base relations captured at this version's commit
+// point, sorted — the version-pinned analogue of Space.RelationNames, used
+// by serving front-ends (eved's /relations) to describe the queryable
+// schema without touching the live, mutable space.
+func (v *Version) RelationNames() []string {
+	out := make([]string, 0, len(v.rels))
+	for name := range v.rels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ObservePhase reports one timed pipeline stage to the observer captured at
+// this version's publication (Observer.OnPhase) — the hook serving
+// front-ends that execute routes directly (internal/shard's fan-out/merge
+// layer) use to feed query latencies into the same observer the writer's
+// phases report to. A no-op when no observer is installed.
+func (v *Version) ObservePhase(p Phase, d time.Duration) { v.obs.OnPhase(p, d) }
 
 // lookup resolves a view name to its live capture, mapping unknown names to
 // ErrViewNotFound and deceased views to ErrViewDeceased.
@@ -242,6 +269,7 @@ func (w *Warehouse) publish(snap *Snapshot) *Version {
 		seq:    w.versionSeq.Add(1),
 		epoch:  w.viewEpoch.Load(),
 		stats:  snap,
+		obs:    w.obs(),
 		byName: make(map[string]*VersionView),
 		rels:   make(map[string]*relation.Relation),
 		cards:  make(map[string]int),

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/conc"
 	"repro/internal/core"
@@ -319,7 +320,9 @@ func (w *Warehouse) ApplyUpdates(ctx context.Context, updates []maintain.Update)
 	}
 	mctx := context.WithoutCancel(ctx)
 	for _, v := range w.Live() {
+		start := time.Now()
 		m, err := v.maintainer.ApplyDeltas(mctx, deltas, pre)
+		w.obs().OnPhase(PhaseMaintain, time.Since(start))
 		total.Add(m)
 		if err != nil {
 			return total, err
@@ -688,6 +691,8 @@ func (w *Warehouse) AdoptRewriting(v *View, rw *synchronize.Rewriting, c space.C
 // change landed, and a half-adopted view would break the adopted-prefix
 // consistency guarantee cancellation promises.
 func (w *Warehouse) adopt(v *View, rw *synchronize.Rewriting, c space.Change) error {
+	start := time.Now()
+	defer func() { w.obs().OnPhase(PhaseAdopt, time.Since(start)) }()
 	def := rw.View.Clone()
 	def.Name = v.Def.Name
 	q, err := exec.Qualify(def, w.Space)

@@ -19,6 +19,21 @@ type (
 	NopObserver = warehouse.NopObserver
 	// MetricsObserver counts pipeline events (changes landed, searches
 	// ranked, adoptions, deceases, data updates applied) with atomic
-	// counters; its zero value is ready to use.
+	// counters, and accounts per-phase wall-clock latency (totals, counts,
+	// means per Phase) for the OnPhase feed; its zero value is ready to use.
 	MetricsObserver = warehouse.MetricsObserver
+	// Phase identifies one timed pipeline stage for Observer.OnPhase — the
+	// measured counterparts of the QC-Model's analytic cost factors.
+	Phase = warehouse.Phase
+)
+
+// Timed pipeline phases (Observer.OnPhase): the per-view rewriting search,
+// the per-view adoption (including re-materialization), the per-view
+// incremental maintenance of a data-update batch, and the routed execution
+// of one ad-hoc query.
+const (
+	PhaseSync     = warehouse.PhaseSync
+	PhaseAdopt    = warehouse.PhaseAdopt
+	PhaseMaintain = warehouse.PhaseMaintain
+	PhaseQuery    = warehouse.PhaseQuery
 )

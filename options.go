@@ -23,6 +23,7 @@ type config struct {
 	space           *space.Space
 	topK            int
 	workers         int
+	shards          int // 0 = unset (1 for NewCluster; New rejects > 1)
 	tradeoff        core.Tradeoff
 	cost            core.CostModel
 	dropVariants    bool
@@ -128,6 +129,23 @@ func WithMaxDropVariants(n int) Option {
 	}
 }
 
+// WithShards sets the cluster size for NewCluster: registered views
+// partition across n warehouse shards by a stable hash of their definition
+// signature, base data replicates to every shard, and reads fan out and
+// merge deterministically (see eve.Cluster). n must be at least 1;
+// NewCluster without this option builds a single-shard cluster. New (the
+// single-system constructor) accepts WithShards(1) as a no-op and rejects
+// larger values — a multi-shard system is a Cluster, not a System.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return optionErrf("WithShards(%d): n must be >= 1", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
 // WithObserver installs an Observer on the synchronization pipeline. Hooks
 // fire from worker goroutines, so the observer must be safe for concurrent
 // use (see Observer). A nil observer is an error — omit the option instead.
@@ -162,7 +180,28 @@ func WithObserver(o Observer) Option {
 // longer compile: the knobs are unexported behind the knob mutex, so a
 // tuner can no longer tear a running pass.
 func New(opts ...Option) (*System, error) {
-	c := config{
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.shards > 1 {
+		return nil, optionErrf("WithShards(%d): a multi-shard system is a Cluster — use NewCluster", c.shards)
+	}
+	sp := c.space
+	if sp == nil {
+		sp = space.New()
+	}
+	w := warehouse.New(sp)
+	if err := c.configure(w); err != nil {
+		return nil, err
+	}
+	return &System{Warehouse: w}, nil
+}
+
+// buildConfig folds the option list into one validated config — the shared
+// front half of New and NewCluster.
+func buildConfig(opts []Option) (*config, error) {
+	c := &config{
 		tradeoff: core.DefaultTradeoff(),
 		cost:     core.DefaultCostModel(),
 	}
@@ -170,7 +209,7 @@ func New(opts ...Option) (*System, error) {
 		if opt == nil {
 			return nil, optionErrf("nil Option")
 		}
-		if err := opt(&c); err != nil {
+		if err := opt(c); err != nil {
 			return nil, err
 		}
 	}
@@ -180,11 +219,13 @@ func New(opts ...Option) (*System, error) {
 	if c.maxDropSet && !c.dropVariants {
 		return nil, optionErrf("WithMaxDropVariants requires WithDropVariants(true)")
 	}
-	sp := c.space
-	if sp == nil {
-		sp = space.New()
-	}
-	w := warehouse.New(sp)
+	return c, nil
+}
+
+// configure applies the frozen config to one warehouse — the shared back
+// half of New and NewCluster (which runs it once per shard, sharing one
+// observer so its atomic counters aggregate cluster-wide).
+func (c *config) configure(w *warehouse.Warehouse) error {
 	w.SetTradeoff(c.tradeoff)
 	w.SetCostModel(c.cost)
 	w.SetTopK(c.topK)
@@ -200,5 +241,5 @@ func New(opts ...Option) (*System, error) {
 	// landed; republish so a reader sampling Snapshot().Stats() at startup
 	// sees the configured knob state, not the defaults.
 	w.PublishVersion(nil)
-	return &System{Warehouse: w}, nil
+	return nil
 }

@@ -1,0 +1,232 @@
+package eve
+
+// BenchmarkClusterScale measures sharded scale-out serving: the aggregate
+// routed-read throughput of an N-shard Cluster under mixed traffic, over
+// the shards × readers grid. A writer goroutine churns continuously for
+// the whole measurement — capability renames (spare and view-referenced
+// family attributes alternating) interleaved with incremental data-update
+// batches — while R reader goroutines issue ad-hoc routed queries whose
+// target family and predicate constant rotate every request, so no read
+// can hide in a version's route cache.
+//
+// What scaling buys on this workload is matching work, not parallelism:
+// the cluster's FROM-compatibility index sends each query only to the
+// shard whose views could answer it, so a single routed read scans ~V/N
+// candidate views instead of all V — the shard-local analogue of the
+// paper's query/view matching cost. Base data is replicated, writes are
+// fanned out N ways (the cluster's true write amplification, visible in
+// the flatter scaling of the write-heavy phases), and reads merge
+// checksum-identically to the unsharded system, which the differential
+// suite in internal/shard proves.
+//
+// Aggregate read throughput is the reads/s metric; the observer's
+// per-phase latency means are attached as query-us / sync-us /
+// maintain-us. `make bench-scale` records the grid in BENCH_scale.json.
+// The acceptance bar: at 16 readers, 4 shards serve ≥2x the routed reads/s
+// of 1 shard under the same churning writer.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// scaleBenchParams is the shared workload shape: many view families so the
+// unsharded matching loop has real work to prune, small extents so routed
+// execution does not drown the matching cost being measured.
+var scaleBenchParams = scenario.ChurnParams{
+	Families:       48,
+	TwinsPerFamily: 2,
+	Width:          6,
+	Donors:         2,
+	Spares:         4,
+	SpareAttrs:     4,
+	Changes:        1, // the space/view recipe is used; the writer generates its own stream
+	Seed:           42,
+}
+
+// scaleBenchRows keeps extents small so routed execution stays cheap
+// relative to the matching work the cluster prunes.
+const scaleBenchRows = 30
+
+// scaleBenchCluster builds the populated N-shard cluster with a shared
+// metrics observer.
+func scaleBenchCluster(b testing.TB, shards int, m *MetricsObserver) *Cluster {
+	b.Helper()
+	h, err := scenario.Churn(scaleBenchParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := h.BuildSpace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := scenario.Populate(sp, scaleBenchRows); err != nil {
+		b.Fatal(err)
+	}
+	cl, err := NewCluster(WithShards(shards), WithSpace(sp), WithObserver(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, def := range h.Views() {
+		if _, _, err := cl.RegisterView(def); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cl
+}
+
+// scaleChurnWriter runs the mixed write stream until done closes: spare
+// renames (cheap passes), every 16th change a view-referenced family
+// attribute rename (full synchronize→adopt over that family's twins), and
+// every 3rd an 8-update insert/delete batch into a rotating family.
+// Queries only read A1/A2, which the writer never touches, so the read
+// workload stays valid throughout.
+func scaleChurnWriter(b *testing.B, cl *Cluster, done <-chan struct{}, wrote *atomic.Int64) {
+	famAttr := map[string]string{} // family -> current name of its A6
+	spAttr := map[string]string{}  // spare -> current name of its B{n}_1
+	ctx := context.Background()
+	updArity := scaleBenchParams.Width + 1
+	insert := true
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		var err error
+		switch {
+		case i%16 == 15: // view-referenced rename: full sync over the family's twins
+			fam := fmt.Sprintf("W%d", 1+(i/16)%scaleBenchParams.Families)
+			cur, next := famAttr[fam], fmt.Sprintf("T%d", i)
+			if cur == "" {
+				cur = fmt.Sprintf("A%d", scaleBenchParams.Width)
+			} else if cur != fmt.Sprintf("A%d", scaleBenchParams.Width) {
+				next = fmt.Sprintf("A%d", scaleBenchParams.Width) // rename back
+			}
+			famAttr[fam] = next
+			_, err = cl.EvolveBatch(ctx, []Change{RenameAttribute(fam, cur, next)})
+		case i%3 == 2: // data updates: 8-tuple batch into a rotating family
+			fam := fmt.Sprintf("W%d", 1+i%scaleBenchParams.Families)
+			batch := make([]Update, 8)
+			for j := range batch {
+				tup := make(Tuple, updArity)
+				tup[0] = Int(int64(900_000 + j))
+				for k := 1; k < updArity; k++ {
+					tup[k] = Int(int64(k))
+				}
+				if insert {
+					batch[j] = InsertTuple(fam, tup)
+				} else {
+					batch[j] = DeleteTuple(fam, tup)
+				}
+			}
+			if i%(3*scaleBenchParams.Families) == 3*scaleBenchParams.Families-1 {
+				insert = !insert // flip after a full family rotation
+			}
+			_, err = cl.ApplyUpdates(ctx, batch)
+		default: // spare rename: a change no view references
+			sp := fmt.Sprintf("SP%d", 1+i%scaleBenchParams.Spares)
+			cur, next := spAttr[sp], fmt.Sprintf("S%d", i)
+			if cur == "" {
+				cur = fmt.Sprintf("B%d_1", 1+i%scaleBenchParams.Spares)
+			} else if cur[0] != 'B' {
+				next = fmt.Sprintf("B%d_1", 1+i%scaleBenchParams.Spares)
+			}
+			spAttr[sp] = next
+			_, err = cl.EvolveBatch(ctx, []Change{RenameAttribute(sp, cur, next)})
+		}
+		if err != nil {
+			b.Errorf("writer %d: %v", i, err)
+			return
+		}
+		wrote.Add(1)
+		// The stream is continuous but paced in wall time: real churn
+		// arrives at an interval (eved defaults to 250ms), and a fixed
+		// 5ms gap keeps churn-per-second identical across cells instead
+		// of scaling with however long a cell's measurement window runs.
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func BenchmarkClusterScale(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, readers := range []int{1, 4, 16, 64} {
+			b.Run(fmt.Sprintf("shards=%d/readers=%d", shards, readers), func(b *testing.B) {
+				m := &MetricsObserver{}
+				cl := scaleBenchCluster(b, shards, m)
+				done := make(chan struct{})
+				writerDone := make(chan struct{})
+				var wrote atomic.Int64
+				go func() {
+					defer close(writerDone)
+					scaleChurnWriter(b, cl, done, &wrote)
+				}()
+
+				// Ad-hoc routed read: the family rotates and the predicate
+				// constant never repeats, so every read is a distinct query
+				// that routes afresh against the current snapshot — the
+				// route cache (keyed by query signature, which embeds the
+				// constant) can never hide the matching cost this benchmark
+				// measures.
+				read := func(i int) error {
+					fam := 1 + i%scaleBenchParams.Families
+					c := i
+					sql := fmt.Sprintf("SELECT W%[1]d.A1, W%[1]d.A2 FROM W%[1]d WHERE W%[1]d.A1 > %d", fam, c)
+					res, err := cl.Query(context.Background(), sql)
+					if err != nil {
+						return fmt.Errorf("read %d (%s): %w", i, sql, err)
+					}
+					if res.Card() < 0 {
+						panic("unreachable")
+					}
+					return nil
+				}
+
+				b.ReportAllocs()
+				var next atomic.Int64
+				start := make(chan struct{})
+				var wg sync.WaitGroup
+				errs := make([]error, readers)
+				for r := 0; r < readers; r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						<-start
+						for {
+							i := int(next.Add(1)) - 1
+							if i >= b.N {
+								return
+							}
+							if err := read(i); err != nil {
+								errs[r] = err
+								return
+							}
+						}
+					}(r)
+				}
+				b.ResetTimer()
+				close(start)
+				wg.Wait()
+				b.StopTimer()
+				close(done)
+				<-writerDone
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+				b.ReportMetric(float64(wrote.Load())/b.Elapsed().Seconds(), "writes/s")
+				b.ReportMetric(float64(m.PhaseMean(PhaseQuery))/1e3, "query-us")
+				b.ReportMetric(float64(m.PhaseMean(PhaseSync))/1e3, "sync-us")
+				b.ReportMetric(float64(m.PhaseMean(PhaseMaintain))/1e3, "maintain-us")
+			})
+		}
+	}
+}
