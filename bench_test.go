@@ -36,7 +36,7 @@ import (
 func BenchmarkExp1Survival(b *testing.B) {
 	var last experiments.Exp1Result
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunExp1()
+		r, err := experiments.RunExp1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +81,7 @@ func BenchmarkExp3Distribution(b *testing.B) {
 func BenchmarkExp4Cardinality(b *testing.B) {
 	var last experiments.Exp4Result
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunExp4()
+		r, err := experiments.RunExp4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func BenchmarkExp4Cardinality(b *testing.B) {
 func BenchmarkExp5WorkloadM1(b *testing.B) {
 	var last experiments.Exp5Result
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunExp5()
+		r, err := experiments.RunExp5(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -111,7 +111,7 @@ func BenchmarkExp5WorkloadM1(b *testing.B) {
 func BenchmarkExp5WorkloadM3(b *testing.B) {
 	var last experiments.Exp5Result
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunExp5()
+		r, err := experiments.RunExp5(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +128,7 @@ func BenchmarkExp5WorkloadM3(b *testing.B) {
 func BenchmarkHeuristics(b *testing.B) {
 	var holds int
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunHeuristics()
+		r, err := experiments.RunHeuristics(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +241,7 @@ func BenchmarkIncrementalMaintenance(b *testing.B) {
 		if i%2 == 1 {
 			kind = maintain.Delete
 		}
-		if _, err := m.Apply(maintain.Update{Kind: kind, Rel: "FlightRes", Tuple: tuple}); err != nil {
+		if _, err := m.Apply(context.Background(), maintain.Update{Kind: kind, Rel: "FlightRes", Tuple: tuple}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -47,7 +47,7 @@ func TestEvolveBatchCancelWideScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	view, err := sys.RegisterView(scenario.WideView(width))
+	view, err := sys.RegisterView(context.Background(), scenario.WideView(width))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestApplyChangeCancelDuringPhase1(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	sys.SetObserver(&syncCanceller{cancel: cancel})
-	view, err := sys.DefineView(`
+	view, err := sys.DefineView(context.Background(), `
 		CREATE VIEW Catalog (VE = ~) AS
 		SELECT P.PartID (AR = true), P.Name (AR = true)
 		FROM Parts P (RR = true)`)

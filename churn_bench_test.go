@@ -53,7 +53,7 @@ func buildChurnSystem(b *testing.B, h *scenario.ChurnHistory) *System {
 	sys.Synchronizer.EnumerateDropVariants = true
 	sys.Synchronizer.MaxDropVariants = 256
 	for _, def := range h.Views() {
-		if _, err := sys.RegisterView(def); err != nil {
+		if _, err := sys.RegisterView(context.Background(), def); err != nil {
 			b.Fatal(err)
 		}
 	}

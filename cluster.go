@@ -18,7 +18,7 @@ import (
 //
 //	cl, err := eve.NewCluster(eve.WithShards(4), eve.WithSpace(sp))
 //	if err != nil { ... }
-//	if _, _, err := cl.DefineView(src); err != nil { ... }
+//	if _, _, err := cl.DefineView(context.Background(), src); err != nil { ... }
 //	res, err := cl.Query(ctx, "SELECT A1 FROM W1 WHERE A1 > 10")
 type Cluster struct {
 	*shard.Cluster

@@ -67,11 +67,11 @@ func TestNewClusterDropInParity(t *testing.T) {
 		t.Fatalf("cluster sizes = %d, %d", cl1.Shards(), cl3.Shards())
 	}
 	for _, def := range views {
-		if _, err := sys.RegisterView(def); err != nil {
+		if _, err := sys.RegisterView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 		for _, cl := range []*Cluster{cl1, cl3} {
-			if _, _, err := cl.RegisterView(def); err != nil {
+			if _, _, err := cl.RegisterView(context.Background(), def); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -118,7 +118,7 @@ func TestClusterObserverCountsReplicaWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, def := range views {
-		if _, _, err := cl.RegisterView(def); err != nil {
+		if _, _, err := cl.RegisterView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 	}

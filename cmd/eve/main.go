@@ -54,7 +54,7 @@ func main() {
 	}
 	wh := warehouse.New(sp)
 
-	view, err := wh.DefineView(scenario.AsiaCustomerESQL)
+	view, err := wh.DefineView(context.Background(), scenario.AsiaCustomerESQL)
 	fail(err)
 	fmt.Println("Registered view:")
 	fmt.Println(esql.Print(view.Def))

@@ -184,7 +184,7 @@ func buildDaemon(shards, changes int, seed int64) (*daemon, *scenario.ChurnHisto
 	}
 	d := &daemon{cl: cl, total: len(h.Changes)}
 	for _, def := range h.Views() {
-		if _, _, err := cl.RegisterView(def); err != nil {
+		if _, _, err := cl.RegisterView(context.Background(), def); err != nil {
 			return nil, nil, err
 		}
 	}

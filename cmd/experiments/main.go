@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +31,7 @@ func main() {
 	run := func(n int) bool { return *exp == 0 || *exp == n }
 
 	if run(1) {
-		r, err := experiments.RunExp1()
+		r, err := experiments.RunExp1(context.Background())
 		fail(err)
 		fmt.Println(r)
 	}
@@ -51,14 +52,14 @@ func main() {
 		}
 	}
 	if run(4) {
-		r, err := experiments.RunExp4()
+		r, err := experiments.RunExp4(context.Background())
 		fail(err)
 		fmt.Println(r)
 		if *charts {
 			fmt.Println(r.Figure())
 		}
 		if *empirical {
-			rows, err := experiments.Exp4Empirical(1)
+			rows, err := experiments.Exp4Empirical(context.Background(), 1)
 			fail(err)
 			fmt.Println("Experiment 4 — empirical divergences from materialized extents")
 			fmt.Printf("%-6s %8s %8s %8s\n", "rw", "DDattr", "DDext", "DD")
@@ -69,7 +70,7 @@ func main() {
 		}
 	}
 	if run(5) {
-		r, err := experiments.RunExp5()
+		r, err := experiments.RunExp5(context.Background())
 		fail(err)
 		fmt.Println(r)
 		if *charts {
@@ -77,12 +78,12 @@ func main() {
 		}
 	}
 	if run(6) {
-		r, err := experiments.RunHeuristics()
+		r, err := experiments.RunHeuristics(context.Background())
 		fail(err)
 		fmt.Println(r)
 	}
 	if run(7) {
-		r, err := experiments.RunCrossValidation(1, 20)
+		r, err := experiments.RunCrossValidation(context.Background(), 1, 20)
 		fail(err)
 		fmt.Println(r)
 	}

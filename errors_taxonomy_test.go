@@ -22,7 +22,7 @@ import (
 func taxonomySystem(t *testing.T) *System {
 	t.Helper()
 	sys := buildPartsSystem(t)
-	if _, err := sys.DefineView(`CREATE VIEW V AS SELECT P.Name FROM Parts P`); err != nil {
+	if _, err := sys.DefineView(context.Background(), `CREATE VIEW V AS SELECT P.Name FROM Parts P`); err != nil {
 		t.Fatal(err)
 	}
 	return sys
@@ -85,7 +85,7 @@ func TestErrorTaxonomySurvivesPublicEntryPoints(t *testing.T) {
 		{
 			name: "DefineView syntax error",
 			got: func(t *testing.T) error {
-				_, err := taxonomySystem(t).DefineView("CREATE GARBAGE")
+				_, err := taxonomySystem(t).DefineView(context.Background(), "CREATE GARBAGE")
 				return err
 			},
 			check: func(t *testing.T, err error) {
@@ -99,7 +99,7 @@ func TestErrorTaxonomySurvivesPublicEntryPoints(t *testing.T) {
 			name: "DefineView duplicate",
 			got: func(t *testing.T) error {
 				sys := taxonomySystem(t)
-				_, err := sys.DefineView(`CREATE VIEW V AS SELECT M.ID FROM PartsMirror M`)
+				_, err := sys.DefineView(context.Background(), `CREATE VIEW V AS SELECT M.ID FROM PartsMirror M`)
 				return err
 			},
 			want: ErrDuplicateView,

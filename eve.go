@@ -15,7 +15,7 @@
 //	if err != nil { ... }
 //	if _, err := sys.Space.AddSource("IS1"); err != nil { ... }
 //	// ... add relations and MKB constraints to sys.Space ...
-//	view, err := sys.DefineView(`CREATE VIEW V (VE = ~) AS
+//	view, err := sys.DefineView(context.Background(), `CREATE VIEW V (VE = ~) AS
 //	    SELECT R.A (AD = true, AR = true) FROM R (RR = true)`)
 //	if err != nil { ... }
 //	results, err := sys.ApplyChange(ctx, eve.DeleteRelation("R"))

@@ -53,7 +53,7 @@ func buildPartsSystem(t *testing.T) *System {
 
 func TestPublicAPIQuickstartFlow(t *testing.T) {
 	sys := buildPartsSystem(t)
-	view, err := sys.DefineView(`
+	view, err := sys.DefineView(context.Background(), `
 		CREATE VIEW Catalog (VE = ~) AS
 		SELECT P.PartID (AR = true), P.Name (AR = true), P.Price (AD = true)
 		FROM Parts P (RR = true)`)
@@ -85,20 +85,20 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 
 func TestPublicAPIUpdates(t *testing.T) {
 	sys := buildPartsSystem(t)
-	view, err := sys.DefineView(`CREATE VIEW V AS SELECT P.Name FROM Parts P WHERE P.Price > 15`)
+	view, err := sys.DefineView(context.Background(), `CREATE VIEW V AS SELECT P.Name FROM Parts P WHERE P.Price > 15`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if view.Extent.Card() != 2 {
 		t.Fatalf("initial extent = %d", view.Extent.Card())
 	}
-	if _, err := sys.ApplyUpdate(InsertTuple("Parts", Tuple{Int(9), Str("gear"), Int(99)})); err != nil {
+	if _, err := sys.ApplyUpdate(context.Background(), InsertTuple("Parts", Tuple{Int(9), Str("gear"), Int(99)})); err != nil {
 		t.Fatal(err)
 	}
 	if view.Extent.Card() != 3 {
 		t.Errorf("extent after insert = %d", view.Extent.Card())
 	}
-	if _, err := sys.ApplyUpdate(DeleteTuple("Parts", Tuple{Int(9), Str("gear"), Int(99)})); err != nil {
+	if _, err := sys.ApplyUpdate(context.Background(), DeleteTuple("Parts", Tuple{Int(9), Str("gear"), Int(99)})); err != nil {
 		t.Fatal(err)
 	}
 	if view.Extent.Card() != 2 {
@@ -154,7 +154,7 @@ func TestPublicAPIDefaults(t *testing.T) {
 
 func TestPublicAPIRenameKeepsViewWorking(t *testing.T) {
 	sys := buildPartsSystem(t)
-	view, err := sys.DefineView(`CREATE VIEW V AS SELECT Parts.Name FROM Parts WHERE Parts.Price > 15`)
+	view, err := sys.DefineView(context.Background(), `CREATE VIEW V AS SELECT Parts.Name FROM Parts WHERE Parts.Price > 15`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestPublicAPIRenameKeepsViewWorking(t *testing.T) {
 		t.Errorf("extent after rename = %d", view.Extent.Card())
 	}
 	// Data updates keep flowing to the renamed relation.
-	if _, err := sys.ApplyUpdate(InsertTuple("Inventory", Tuple{Int(8), Str("cog"), Int(80)})); err != nil {
+	if _, err := sys.ApplyUpdate(context.Background(), InsertTuple("Inventory", Tuple{Int(8), Str("cog"), Int(80)})); err != nil {
 		t.Fatal(err)
 	}
 	if view.Extent.Card() != 3 {
@@ -181,7 +181,7 @@ func TestPublicAPIRenameKeepsViewWorking(t *testing.T) {
 
 func TestPublicAPIExplain(t *testing.T) {
 	sys := buildPartsSystem(t)
-	view, err := sys.DefineView(`CREATE VIEW V AS
+	view, err := sys.DefineView(context.Background(), `CREATE VIEW V AS
 		SELECT P.Name, M.ID FROM Parts P, PartsMirror M
 		WHERE P.PartID = M.ID AND P.Price > 10`)
 	if err != nil {

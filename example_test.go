@@ -42,7 +42,7 @@ func buildSpace() *eve.Space {
 // its base relation, and let the QC-Model pick the replacement.
 func Example() {
 	sys := eve.NewSystemOver(buildSpace())
-	view, err := sys.DefineView(`
+	view, err := sys.DefineView(context.Background(), `
 		CREATE VIEW Open (VE = ~) AS
 		SELECT O.ID (AR = true), O.Item (AR = true)
 		FROM Orders O (RR = true)`)
@@ -107,7 +107,7 @@ func ExampleNew() {
 		fmt.Println(err)
 		return
 	}
-	if _, err := sys.DefineView(`
+	if _, err := sys.DefineView(context.Background(), `
 		CREATE VIEW Open (VE = ~) AS
 		SELECT O.ID (AR = true), O.Item (AR = true)
 		FROM Orders O (RR = true)`); err != nil {
@@ -138,7 +138,7 @@ func ExampleSystem_Stream() {
 		fmt.Println(err)
 		return
 	}
-	view, err := sys.DefineView(`
+	view, err := sys.DefineView(context.Background(), `
 		CREATE VIEW Open (VE = ~) AS
 		SELECT O.ID (AR = true), O.Item (AR = true)
 		FROM Orders O (RR = true)`)
@@ -176,7 +176,7 @@ func ExampleMetricsObserver() {
 	}
 	// This view has no evolution preferences at all, so losing its base
 	// relation leaves no legal rewriting: it deceases.
-	if _, err := sys.DefineView(`CREATE VIEW Doomed AS SELECT O.ID FROM Orders O`); err != nil {
+	if _, err := sys.DefineView(context.Background(), `CREATE VIEW Doomed AS SELECT O.ID FROM Orders O`); err != nil {
 		fmt.Println(err)
 		return
 	}

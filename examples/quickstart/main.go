@@ -62,7 +62,7 @@ func main() {
 
 	// 4. Define an evolvable view: Price is dispensable, the rest
 	//    replaceable, and the relation itself may be replaced.
-	view, err := sys.DefineView(`
+	view, err := sys.DefineView(context.Background(), `
 		CREATE VIEW Catalog (VE = ~) AS
 		SELECT P.PartID (AR = true), P.Name (AR = true), P.Price (AD = true)
 		FROM Parts P (RR = true)

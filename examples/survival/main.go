@@ -39,7 +39,7 @@ func run(w1, w2 float64) {
 		log.Fatal(err)
 	}
 
-	view, err := sys.RegisterView(scenario.Exp1View())
+	view, err := sys.RegisterView(context.Background(), scenario.Exp1View())
 	if err != nil {
 		log.Fatal(err)
 	}

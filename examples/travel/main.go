@@ -27,7 +27,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	view, err := sys.DefineView(scenario.AsiaCustomerESQL)
+	view, err := sys.DefineView(context.Background(), scenario.AsiaCustomerESQL)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func main() {
 	fmt.Printf("Extent: %d tuples, deceased=%v\n", view.Extent.Card(), view.Deceased)
 
 	// Data keeps flowing: route an insert through incremental maintenance.
-	metrics, err := sys.ApplyUpdate(eve.InsertTuple("FlightRes", eve.Tuple{
+	metrics, err := sys.ApplyUpdate(context.Background(), eve.InsertTuple("FlightRes", eve.Tuple{
 		eve.Str("Ahn"), eve.Str("Tokyo"), eve.Str("JL"), eve.Int(20260501),
 	}))
 	if err != nil {

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named invariant checker: a Run function applied to each
+// loaded package. The shape deliberately mirrors golang.org/x/tools/go/analysis
+// so the suite can migrate to the upstream framework wholesale if the
+// dependency ever becomes available; until then the stdlib-only driver in
+// this package (Loader, Run) plays the multichecker's role.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in evevet's -run flag.
+	Name string
+	// Doc is the one-paragraph description evevet -help prints: the
+	// invariant enforced and the bug class it pins down.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Report. A non-nil error aborts the whole check (reserved for
+	// analyzer-internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring analysis.Pass.
+type Pass struct {
+	// Analyzer is the analyzer this pass runs.
+	Analyzer *Analyzer
+	// Fset maps token positions for every file of the pass.
+	Fset *token.FileSet
+	// Files is the package's syntax: library files plus in-package test
+	// files (an external _test package forms its own pass).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+	// Path is the package's import path ("repro/internal/warehouse", or a
+	// fixture-relative path like "versionmut/a" under analysistest).
+	Path string
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	// Pos is the finding's position in Pass.Fset.
+	Pos token.Pos
+	// Message states the violated invariant, prefixed "name:" by the driver.
+	Message string
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, msg string) {
+	p.Report(Diagnostic{Pos: pos, Message: msg})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PathHasSegment reports whether a slash-separated import path contains seg
+// as a whole segment — the scoping predicate analyzers use so the same rule
+// covers both the real package ("repro/internal/warehouse") and its
+// analysistest fixture twin ("cowcheck/warehouse").
+func PathHasSegment(path, seg string) bool {
+	for part := range strings.SplitSeq(path, "/") {
+		if part == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// NamedOf unwraps pointers and aliases and returns t's named type, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// TypeIs reports whether t (after pointer/alias unwrapping) is the named
+// type name declared in a package whose import path contains pkgSeg as a
+// segment.
+func TypeIs(t types.Type, pkgSeg, name string) bool {
+	n := NamedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && PathHasSegment(n.Obj().Pkg().Path(), pkgSeg)
+}
+
+// enclosingFunc returns the name of the innermost top-level function or
+// method declaration containing pos ("" when none); closures inherit their
+// enclosing declaration's name, matching how the invariant allowlists are
+// phrased ("inside publish", including its helper literals).
+func enclosingFunc(files []*ast.File, pos token.Pos) string {
+	for _, f := range files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd.Name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// isErrorType reports whether t implements the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// errorIface is the built-in error interface type.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

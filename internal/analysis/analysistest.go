@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunFixture runs one analyzer over the fixture package at
+// internal/analysis/testdata/src/<rel> and checks its diagnostics against
+// the fixture's "// want" comments, analysistest-style: a line expecting a
+// diagnostic carries
+//
+//	// want `regexp`
+//
+// (several backquoted patterns when several diagnostics land on the line),
+// and every diagnostic must be wanted — unexpected findings and unmatched
+// expectations both fail the test.
+func RunFixture(t *testing.T, a *Analyzer, rel string) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	root := filepath.Join(l.ModRoot(), "internal", "analysis", "testdata", "src")
+	pkg, err := l.LoadFixture(root, rel)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", rel, err)
+	}
+	findings, err := RunAnalyzers(l.Fset, []*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	CheckWants(t, l.Fset, pkg.Files, findings)
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE captures each backquoted pattern of a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// CheckWants compares findings against the "// want" expectations in files,
+// reporting any unexpected finding and any unmatched expectation on t.
+func CheckWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []Finding) {
+	t.Helper()
+	wants, err := parseWants(fset, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if w := matchWant(wants, f); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", f)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the expectations from every comment containing a
+// "want" directive.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), " want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment (no backquoted pattern)", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %w", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// matchWant finds the first unmatched expectation on the finding's line
+// whose pattern matches the finding's message.
+func matchWant(wants []*want, f Finding) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one resolved diagnostic: an analyzer's message at a concrete
+// file position, ready to print or assert against.
+type Finding struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message is the diagnostic text.
+	Message string
+}
+
+// String formats the finding as "file:line:col: analyzer: message", with
+// the filename made relative to rel when possible.
+func (f Finding) String() string { return f.Relative("") }
+
+// Relative renders the finding with its filename relative to base (when
+// base is non-empty and the path allows it), the format CI logs use.
+func (f Finding) Relative(base string) string {
+	name := f.Pos.Filename
+	if base != "" {
+		if r, err := filepath.Rel(base, name); err == nil {
+			name = r
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// merged findings in deterministic (position, analyzer, message) order.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+			}
+			pass.Report = func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Pos:      fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	// Drop exact duplicates (the same site can be reached through both the
+	// augmented and external-test units when a fixture has test files).
+	dedup := findings[:0]
+	for i, f := range findings {
+		if i > 0 && f == findings[i-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup, nil
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DocCheck is the documentation contract from ISSUE 2, folded in from the
+// retired cmd/doclint so there is one analysis entry point. Rules stay
+// intentionally close to the classic golint/revive "exported" rule:
+//
+//   - every linted package needs a package comment on exactly one file
+//     (by convention doc.go);
+//   - every exported function, and every exported method on an exported
+//     receiver type, needs a doc comment;
+//   - every exported type, const, and var needs a doc comment either on its
+//     own spec or on the enclosing declaration group (a documented
+//     const/var block documents its members).
+//
+// Test files and main packages are ignored.
+var DocCheck = &Analyzer{
+	Name: "doccheck",
+	Doc: "flags exported identifiers without doc comments and packages " +
+		"without package comments (the ISSUE 2 documentation contract, " +
+		"formerly cmd/doclint)",
+	Run: runDocCheck,
+}
+
+// runDocCheck implements the doccheck analyzer.
+func runDocCheck(pass *Pass) error {
+	if pass.Pkg.Name() == "main" || strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil
+	}
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !pass.InTestFile(f.Pos()) {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	hasPkgDoc := false
+	for _, f := range files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		pass.Reportf(files[0].Name.Pos(), "package "+pass.Pkg.Name()+" should have a package comment")
+	}
+	exportedTypes := map[string]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.TYPE {
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if ts.Name.IsExported() {
+						exportedTypes[ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			docCheckDecl(pass, decl, exportedTypes)
+		}
+	}
+	return nil
+}
+
+// docCheckDecl reports the undocumented exported identifiers of one
+// top-level declaration.
+func docCheckDecl(pass *Pass, decl ast.Decl, exportedTypes map[string]bool) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return
+		}
+		if d.Recv != nil && !exportedTypes[receiverTypeName(d.Recv)] {
+			return // method on an unexported type: not API surface
+		}
+		if d.Doc == nil {
+			kind := "function"
+			name := d.Name.Name
+			if d.Recv != nil {
+				kind = "method"
+				name = receiverTypeName(d.Recv) + "." + name
+			}
+			pass.Reportf(d.Pos(), "exported "+kind+" "+name+" should have a doc comment")
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					pass.Reportf(s.Pos(), "exported type "+s.Name.Name+" should have a doc comment")
+				}
+			case *ast.ValueSpec:
+				if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						pass.Reportf(s.Pos(), "exported "+strings.ToLower(d.Tok.String())+" "+n.Name+" should have a doc comment")
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverTypeName extracts the base type name of a method receiver.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrLink enforces the typed-error taxonomy from the PR 5 audit: wrapping
+// an error operand with fmt.Errorf's %v or %s flattens it to text and
+// severs errors.Is/As matching — %w keeps the chain; and comparing an error
+// against an Err* sentinel with == or != misses wrapped errors — errors.Is
+// walks the chain. Custom Is methods (the one place == against a sentinel
+// is idiomatic) are exempt.
+var ErrLink = &Analyzer{
+	Name: "errlink",
+	Doc: "flags fmt.Errorf wrapping an error with %v/%s instead of %w, and " +
+		"==/!= comparison against Err* sentinels instead of errors.Is " +
+		"(the PR 5 typed-error taxonomy)",
+	Run: runErrLink,
+}
+
+// runErrLink implements the errlink analyzer.
+func runErrLink(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, x)
+			case *ast.BinaryExpr:
+				if x.Op == token.EQL || x.Op == token.NEQ {
+					checkSentinelCompare(pass, x.Pos(), x.X, x.Y)
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil || !isErrorType(pass.Info.TypeOf(x.Tag)) {
+					return true
+				}
+				for _, c := range x.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						checkSentinelCompare(pass, e.Pos(), x.Tag, e)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose %v/%s verb consumes an error
+// operand.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for _, v := range verbs {
+		if v.verb != 'v' && v.verb != 's' {
+			continue
+		}
+		argIdx := 1 + v.operand
+		if argIdx >= len(call.Args) {
+			continue
+		}
+		if isErrorType(pass.Info.TypeOf(call.Args[argIdx])) {
+			pass.Reportf(call.Args[argIdx].Pos(), fmt.Sprintf(
+				"fmt.Errorf wraps an error operand with %%%c; use %%w so errors.Is/As keep matching", v.verb))
+		}
+	}
+}
+
+// fmtVerb is one parsed format verb and the operand index it consumes
+// (0-based over the variadic operands).
+type fmtVerb struct {
+	verb    rune
+	operand int
+}
+
+// formatVerbs parses a Printf-style format string into its verbs, tracking
+// the operand each consumes: flags, width/precision (including * operands),
+// and explicit [n] argument indexes are all accounted for.
+func formatVerbs(format string) []fmtVerb {
+	var out []fmtVerb
+	next := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(rs) && rs[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(rs) && strings.ContainsRune("+-# 0", rs[i]) {
+			i++
+		}
+		// Explicit argument index: %[n]v (1-based).
+		if i < len(rs) && rs[i] == '[' {
+			j := i + 1
+			num := 0
+			for j < len(rs) && rs[j] >= '0' && rs[j] <= '9' {
+				num = num*10 + int(rs[j]-'0')
+				j++
+			}
+			if j < len(rs) && rs[j] == ']' && num > 0 {
+				next = num - 1
+				i = j + 1
+			}
+		}
+		// Width, possibly *.
+		for i < len(rs) && (rs[i] >= '0' && rs[i] <= '9') {
+			i++
+		}
+		if i < len(rs) && rs[i] == '*' {
+			next++
+			i++
+		}
+		// Precision.
+		if i < len(rs) && rs[i] == '.' {
+			i++
+			for i < len(rs) && (rs[i] >= '0' && rs[i] <= '9') {
+				i++
+			}
+			if i < len(rs) && rs[i] == '*' {
+				next++
+				i++
+			}
+		}
+		if i >= len(rs) {
+			break
+		}
+		out = append(out, fmtVerb{verb: rs[i], operand: next})
+		next++
+	}
+	return out
+}
+
+// checkSentinelCompare flags a comparison when either side resolves to a
+// package-level Err* sentinel of error type, unless the enclosing method is
+// a custom Is implementation.
+func checkSentinelCompare(pass *Pass, pos token.Pos, lhs, rhs ast.Expr) {
+	name := sentinelName(pass, lhs)
+	if name == "" {
+		name = sentinelName(pass, rhs)
+	}
+	if name == "" {
+		return
+	}
+	if enclosingFunc(pass.Files, pos) == "Is" {
+		return // custom errors.Is support method
+	}
+	pass.Reportf(pos, "comparison against sentinel "+name+" misses wrapped errors; use errors.Is")
+}
+
+// sentinelName returns the Err*-named package-level error variable e
+// resolves to, or "".
+func sentinelName(pass *Pass, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		if sel, isSel := e.(*ast.SelectorExpr); isSel {
+			id = sel.Sel
+		} else {
+			return ""
+		}
+	}
+	v, ok := pass.Info.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	name := v.Name()
+	if len(name) < 4 || !strings.HasPrefix(name, "Err") || name[3] < 'A' || name[3] > 'Z' {
+		return ""
+	}
+	if !isErrorType(v.Type()) {
+		return ""
+	}
+	return name
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// KnobGuard enforces the knob-access discipline from the PR 5 race fix:
+// structs that pair a knobMu mutex with tuning-knob fields (topK, workers,
+// tradeoff, cost) may only touch those fields inside methods of the same
+// struct that visibly take the mutex — any accessor (Set* or getter) added
+// without knobMu.Lock()/RLock(), or a bare field read elsewhere, races with
+// the concurrent tuner. Structs without a knobMu field (immutable
+// snapshots that copy the knob values once) are out of scope.
+var KnobGuard = &Analyzer{
+	Name: "knobguard",
+	Doc: "flags reads/writes of knob fields (topK, workers, tradeoff, cost) " +
+		"outside knobMu-holding accessor methods on the declaring struct " +
+		"(the PR 5 knob data-race fix)",
+	Run: runKnobGuard,
+}
+
+// knobFields are the guarded field names.
+var knobFields = map[string]bool{"topK": true, "workers": true, "tradeoff": true, "cost": true}
+
+// runKnobGuard implements the knobguard analyzer.
+func runKnobGuard(pass *Pass) error {
+	guarded := knobGuardedStructs(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !knobFields[sel.Sel.Name] {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			owner := NamedOf(s.Recv())
+			if owner == nil || !guarded[owner] {
+				return true
+			}
+			if fn := enclosingFuncDecl(pass.Files, sel.Pos()); fn != nil && knobLockedMethod(pass, fn, owner) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"access to knob field "+sel.Sel.Name+" of "+owner.Obj().Name()+
+					" outside a knobMu-locked accessor method; use the Set*/getter accessors (knob race, PR 5)")
+			return true
+		})
+	}
+	return nil
+}
+
+// knobGuardedStructs finds the named struct types in this package that
+// declare both a knobMu mutex and at least one knob field.
+func knobGuardedStructs(pass *Pass) map[*types.Named]bool {
+	guarded := map[*types.Named]bool{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		hasMu, hasKnob := false, false
+		for i := range st.NumFields() {
+			f := st.Field(i)
+			switch {
+			case f.Name() == "knobMu" && isSyncMutex(f.Type()):
+				hasMu = true
+			case knobFields[f.Name()]:
+				hasKnob = true
+			}
+		}
+		if hasMu && hasKnob {
+			guarded[named] = true
+		}
+	}
+	return guarded
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	return TypeIs(t, "sync", "Mutex") || TypeIs(t, "sync", "RWMutex")
+}
+
+// enclosingFuncDecl returns the top-level function declaration containing
+// pos, or nil.
+func enclosingFuncDecl(files []*ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, f := range files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// knobLockedMethod reports whether fn is a method on owner whose body
+// contains a knobMu.Lock() or knobMu.RLock() call.
+func knobLockedMethod(pass *Pass, fn *ast.FuncDecl, owner *types.Named) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	if NamedOf(pass.Info.TypeOf(fn.Recv.List[0].Type)) != owner {
+		return false
+	}
+	locked := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "knobMu" {
+				locked = true
+				return false
+			}
+		}
+		return true
+	})
+	return locked
+}

@@ -1,0 +1,10 @@
+package maintain
+
+import "relation"
+
+// land mirrors the PR 8 in-place landing bug: the base relation stays
+// reachable from a published space, yet the delta is inserted into it
+// directly, where a reader of an earlier version observes it mid-update.
+func land(sp *Space, adds []relation.Tuple) {
+	sp.Relation("base").Insert(adds[0])
+}

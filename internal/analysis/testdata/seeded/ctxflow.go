@@ -1,0 +1,9 @@
+package plan
+
+import "context"
+
+// Refresh manufactures its own context instead of threading the caller's,
+// severing the commit-point cancellation chain PR 4 established.
+func Refresh() context.Context {
+	return context.Background()
+}

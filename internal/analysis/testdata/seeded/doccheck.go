@@ -1,0 +1,3 @@
+package good
+
+func Gadget() {}

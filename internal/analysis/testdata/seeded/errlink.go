@@ -1,0 +1,14 @@
+package a
+
+import "fmt"
+
+// Wrap flattens its error operand to text with %v, breaking the
+// errors.Is/As chain the PR 5 audit proved intact.
+func Wrap(err error) error {
+	return fmt.Errorf("apply update: %v", err)
+}
+
+// Missing matches the sentinel with ==, so wrapped errors slip through.
+func Missing(err error) bool {
+	return err == ErrNotFound
+}

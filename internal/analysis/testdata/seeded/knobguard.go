@@ -1,0 +1,7 @@
+package a
+
+// Budget reads two knob fields directly, off the lock — the exact shape of
+// the tuner data race PR 5 fixed.
+func Budget(e *Engine) int {
+	return e.topK * e.workers
+}

@@ -1,0 +1,10 @@
+package warehouse
+
+// refresh mirrors the PR 8 "quiesce readers" bug: bringing a stale view up
+// to date by writing through the already published version instead of
+// publishing a fresh one.
+func refresh(w *Warehouse) {
+	v := w.Acquire()
+	v.views = append(v.views, &VersionView{Name: "stale", Extent: &Relation{}})
+	v.views[0].Extent.Insert(9)
+}

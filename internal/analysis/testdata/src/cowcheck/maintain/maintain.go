@@ -1,0 +1,43 @@
+// Package maintain is a fixture twin of repro/internal/maintain: it lands
+// deltas into relations that may be reachable from a published space, so
+// every in-place mutation of non-fresh relations must be flagged.
+package maintain
+
+import "relation"
+
+// Space hands out owned relations, like the real space/warehouse types.
+type Space struct {
+	base *relation.Relation
+}
+
+// Relation returns the owned base relation.
+func (s *Space) Relation(string) *relation.Relation { return s.base }
+
+// Maintainer owns a reference into the published structures.
+type Maintainer struct {
+	base *relation.Relation
+}
+
+// LandBad mutates published-reachable relations in place: all flagged.
+func (m *Maintainer) LandBad(sp *Space, r *relation.Relation, adds []relation.Tuple) {
+	for _, t := range adds {
+		r.Insert(t) // want `Insert on a relation reachable from a published space`
+	}
+	m.base.Delete(adds[0])                // want `Delete on a relation reachable from a published space`
+	sp.Relation("orders").Insert(adds[0]) // want `Insert on a relation reachable from a published space`
+	alias := r
+	alias.Insert(adds[0])   // want `Insert on a relation reachable from a published space`
+	r.Tuples()[0] = adds[0] // want `write into Tuples\(\) backing slice`
+}
+
+// LandGood builds the new contents copy-on-write: no findings.
+func (m *Maintainer) LandGood(r *relation.Relation, adds []relation.Tuple) *relation.Relation {
+	next := r.WithDelta(adds)
+	scratch := relation.New()
+	for _, t := range adds {
+		scratch.Insert(t) // fresh by construction
+	}
+	c := r.Clone()
+	c.Delete(adds[0]) // mutates the private copy
+	return next
+}

@@ -1,0 +1,13 @@
+// Package outside is not on the maintenance path (no maintain/warehouse
+// path segment), so cowcheck must stay silent even for in-place mutation:
+// builders and tests legitimately fill relations before publication.
+package outside
+
+import "relation"
+
+// Fill mutates a caller-supplied relation in place; out of cowcheck scope.
+func Fill(r *relation.Relation, adds []relation.Tuple) {
+	for _, t := range adds {
+		r.Insert(t)
+	}
+}

@@ -1,0 +1,9 @@
+// Command cmd shows the main-package exemption: entry points own their
+// lifecycle, so context.Background() is legitimate here.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background() // roots the process context; no finding
+}

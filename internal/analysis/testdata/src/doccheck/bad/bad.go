@@ -1,0 +1,25 @@
+package bad // want `package bad should have a package comment`
+
+// Specs below span two lines so the want expectation is not a trailing
+// line comment — doclint's rules (kept verbatim) count a trailing comment
+// on a one-line spec as documentation.
+
+type Gadget struct { // want `exported type Gadget should have a doc comment`
+	n int
+}
+
+func Run() {} // want `exported function Run should have a doc comment`
+
+func (g *Gadget) Spin() { g.n++ } // want `exported method Gadget.Spin should have a doc comment`
+
+var Limit = map[string]int{ // want `exported var Limit should have a doc comment`
+	"default": 10,
+}
+
+const Step = 2 + // want `exported const Step should have a doc comment`
+	1
+
+// documented is unexported; doc optional either way.
+func documented() {}
+
+func also() {} // unexported without doc: fine

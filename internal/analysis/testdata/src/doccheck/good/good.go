@@ -1,0 +1,31 @@
+// Package good is fully documented: no findings.
+package good
+
+// Widget is a documented exported type.
+type Widget struct {
+	// Size is a documented field (fields are not checked, but document
+	// them anyway).
+	Size int
+}
+
+// Grow is a documented exported method.
+func (w *Widget) Grow() { w.Size++ }
+
+// DefaultSize is a documented exported constant.
+const DefaultSize = 4
+
+// Exported variables may share one doc comment on the declaration group.
+var (
+	// Registry holds the widgets.
+	Registry []Widget
+	// Count mirrors len(Registry).
+	Count int
+)
+
+// helper is unexported: no doc needed (but welcome).
+func helper() {}
+
+type internalOnly struct{}
+
+// String is a method on an unexported type: not API surface.
+func (internalOnly) String() string { return "" }

@@ -1,0 +1,67 @@
+// Package a exercises the errlink taxonomy rules: wrap errors with %w and
+// match sentinels with errors.Is.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is the fixture sentinel.
+var ErrNotFound = errors.New("not found")
+
+// ErrBudget is a second sentinel for switch coverage.
+var ErrBudget = errors.New("budget exhausted")
+
+// errInternal is unexported and not part of the Err* taxonomy surface.
+var errInternal = errors.New("internal")
+
+// Wraps shows every wrapping shape.
+func Wraps(err error, n int) []error {
+	return []error{
+		fmt.Errorf("load: %w", err),          // correct
+		fmt.Errorf("load: %v", err),          // want `fmt.Errorf wraps an error operand with %v`
+		fmt.Errorf("load: %s", err),          // want `fmt.Errorf wraps an error operand with %s`
+		fmt.Errorf("%d rows: %v", n, err),    // want `fmt.Errorf wraps an error operand with %v`
+		fmt.Errorf("%-8s row: %v", "k", err), // want `fmt.Errorf wraps an error operand with %v`
+		fmt.Errorf("%[2]v: %[1]d", n, err),   // want `fmt.Errorf wraps an error operand with %v`
+		fmt.Errorf("%*d then %v", n, n, err), // want `fmt.Errorf wraps an error operand with %v`
+		fmt.Errorf("ok: %d %s", n, "text"),   // non-error operands are fine
+		fmt.Errorf("literal %% then %d", n),  // escaped percent consumes nothing
+	}
+}
+
+// Compare shows sentinel matching.
+func Compare(err error) int {
+	if errors.Is(err, ErrNotFound) { // correct
+		return 0
+	}
+	if err == ErrNotFound { // want `comparison against sentinel ErrNotFound misses wrapped errors`
+		return 1
+	}
+	if err != ErrBudget { // want `comparison against sentinel ErrBudget misses wrapped errors`
+		return 2
+	}
+	if err == errInternal { // unexported: not a taxonomy sentinel
+		return 3
+	}
+	switch err {
+	case ErrNotFound: // want `comparison against sentinel ErrNotFound misses wrapped errors`
+		return 4
+	case nil:
+		return 5
+	}
+	return 6
+}
+
+// tagged is a custom error that participates in errors.Is.
+type tagged struct{ kind int }
+
+// Error implements error.
+func (t *tagged) Error() string { return "tagged" }
+
+// Is is the one place == against a sentinel is idiomatic: it implements the
+// errors.Is protocol itself.
+func (t *tagged) Is(target error) bool {
+	return target == ErrBudget && t.kind == 1
+}

@@ -1,0 +1,64 @@
+// Package a exercises the knobguard discipline: knob fields of a struct
+// that declares knobMu may only be touched in methods of that struct that
+// visibly take the mutex.
+package a
+
+import "sync"
+
+// Engine pairs knobMu with the tuning knobs it guards.
+type Engine struct {
+	knobMu   sync.Mutex
+	topK     int
+	workers  int
+	tradeoff float64
+	cost     func() float64
+}
+
+// Snapshot copies the knob values once at construction; it has no knobMu,
+// so its same-named fields are immutable-by-convention and out of scope.
+type Snapshot struct {
+	topK    int
+	workers int
+}
+
+// SetTopK is a correct accessor: lock held around the write.
+func (e *Engine) SetTopK(k int) {
+	e.knobMu.Lock()
+	defer e.knobMu.Unlock()
+	e.topK = k
+}
+
+// TopK is a correct getter.
+func (e *Engine) TopK() int {
+	e.knobMu.Lock()
+	defer e.knobMu.Unlock()
+	return e.topK
+}
+
+// Workers was added without the mutex: the PR 5 race, reintroduced.
+func (e *Engine) Workers() int {
+	return e.workers // want `access to knob field workers of Engine outside a knobMu-locked accessor`
+}
+
+// SetTradeoff writes without the lock.
+func (e *Engine) SetTradeoff(v float64) {
+	e.tradeoff = v // want `access to knob field tradeoff of Engine outside a knobMu-locked accessor`
+}
+
+// Tune reads a knob from a free function.
+func Tune(e *Engine) int {
+	return e.topK + e.workers // want `access to knob field topK of Engine` `access to knob field workers of Engine`
+}
+
+// TakeSnapshot copies the knobs under the lock (correct), and reading the
+// snapshot's own fields afterwards is fine anywhere.
+func (e *Engine) TakeSnapshot() Snapshot {
+	e.knobMu.Lock()
+	defer e.knobMu.Unlock()
+	return Snapshot{topK: e.topK, workers: e.workers}
+}
+
+// Use reads the unguarded snapshot copy: no findings.
+func Use(s Snapshot) int {
+	return s.topK + s.workers
+}

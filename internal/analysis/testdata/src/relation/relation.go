@@ -1,0 +1,53 @@
+// Package relation is a minimal fixture twin of repro/internal/relation:
+// just enough surface (Tuple, ColumnBatch, mutators, COW constructors) for
+// the analyzers' type-based rules, which match by type name plus the
+// "relation" path segment.
+package relation
+
+// Tuple is one fixture row.
+type Tuple struct {
+	K, V int
+}
+
+// ColumnBatch is one fixture columnar batch.
+type ColumnBatch struct {
+	Cols [][]int
+}
+
+// Relation is a fixture relation with in-place mutators and COW builders.
+type Relation struct {
+	tuples []Tuple
+}
+
+// New returns a fresh empty relation.
+func New() *Relation { return &Relation{} }
+
+// Insert appends t in place.
+func (r *Relation) Insert(t Tuple) { r.tuples = append(r.tuples, t) }
+
+// Delete removes the first tuple equal to t in place.
+func (r *Relation) Delete(t Tuple) {
+	for i, x := range r.tuples {
+		if x == t {
+			r.tuples = append(r.tuples[:i], r.tuples[i+1:]...)
+			return
+		}
+	}
+}
+
+// Tuples exposes the backing slice.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Clone returns an independent copy.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{tuples: make([]Tuple, len(r.tuples))}
+	copy(c.tuples, r.tuples)
+	return c
+}
+
+// WithDelta returns a copy with adds applied.
+func (r *Relation) WithDelta(adds []Tuple) *Relation {
+	c := r.Clone()
+	c.tuples = append(c.tuples, adds...)
+	return c
+}

@@ -1,0 +1,24 @@
+// Package a mutates another package's published version through its
+// exported VersionView surface: every write must be flagged even though the
+// Version's own fields are out of reach.
+package a
+
+import "versionmut/warehouse"
+
+// Tamper writes through views handed out by a published version.
+func Tamper(w *warehouse.Warehouse) {
+	view := w.Acquire().Views()[0]
+	view.Extent = nil     // want `write through published warehouse.VersionView`
+	view.Extent.Insert(7) // want `Insert on relation reached from published warehouse.VersionView`
+	ext := view.Extent
+	ext.Delete() // want `Delete on relation reached from published warehouse.VersionView`
+}
+
+// Observe reads the same surface without mutating: no findings.
+func Observe(w *warehouse.Warehouse) int {
+	total := 0
+	for _, view := range w.Acquire().Views() {
+		total += len(view.Name)
+	}
+	return total
+}

@@ -1,0 +1,57 @@
+// Package warehouse is a fixture twin of repro/internal/warehouse: a
+// published, immutable Version with views, built only by publish.
+package warehouse
+
+// Relation is the fixture's mutable extent store.
+type Relation struct {
+	tuples []int
+}
+
+// Insert appends in place.
+func (r *Relation) Insert(v int) { r.tuples = append(r.tuples, v) }
+
+// Delete truncates in place.
+func (r *Relation) Delete() { r.tuples = r.tuples[:0] }
+
+// VersionView is one view of a published version; fields are exported like
+// the real warehouse.VersionView.
+type VersionView struct {
+	Name   string
+	Extent *Relation
+}
+
+// Version is the fixture's published snapshot.
+type Version struct {
+	epoch  int
+	views  []*VersionView
+	byName map[string]*VersionView
+}
+
+// Warehouse publishes versions.
+type Warehouse struct {
+	current *Version
+}
+
+// publish is the constructing function: writes through the Version under
+// construction are the one allowed mutation site.
+func (w *Warehouse) publish(names []string) *Version {
+	v := &Version{byName: map[string]*VersionView{}}
+	add := func(name string) { // closures inherit the constructor allowance
+		view := &VersionView{Name: name, Extent: &Relation{}}
+		view.Extent.Insert(0)
+		v.views = append(v.views, view)
+		v.byName[name] = view
+	}
+	for _, n := range names {
+		add(n)
+	}
+	v.epoch++
+	w.current = v
+	return v
+}
+
+// Acquire returns the current published version.
+func (w *Warehouse) Acquire() *Version { return w.current }
+
+// Views exposes the version's views.
+func (v *Version) Views() []*VersionView { return v.views }

@@ -17,8 +17,12 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // callers writing results into slot i of a pre-sized slice get
 // deterministic output ordering regardless of scheduling. After an error,
 // in-flight calls finish but no new indexes are claimed.
+//
+// ForEach is deliberately uncancellable — it is the pool the post-commit
+// phases run on, where a landed change must finish adopting on every view.
+// Work that should stop on cancellation goes through ForEachCtx.
 func ForEach(n, workers int, fn func(i int) error) error {
-	return ForEachCtx(context.Background(), n, workers, fn)
+	return forEach(nil, n, workers, fn)
 }
 
 // ForEachCtx is ForEach under a context: no new indexes are claimed once
@@ -30,6 +34,13 @@ func ForEach(n, workers int, fn func(i int) error) error {
 // fn is responsible for observing ctx inside long-running calls; ForEachCtx
 // guarantees promptness only at call boundaries.
 func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return forEach(ctx, n, workers, fn)
+}
+
+// forEach is the shared claim-loop; a nil ctx (the ForEach form) never
+// cancels, so no synthetic background context is manufactured for it.
+func forEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	cancelled := func() bool { return ctx != nil && ctx.Err() != nil }
 	if n <= 0 {
 		return nil
 	}
@@ -41,8 +52,8 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
+			if cancelled() {
+				return ctx.Err()
 			}
 			if err := fn(i); err != nil {
 				return err
@@ -64,7 +75,7 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error
 		go func() {
 			defer wg.Done()
 			for {
-				if ctx.Err() != nil {
+				if cancelled() {
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -84,7 +95,7 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error
 	if firstEr != nil {
 		return firstEr
 	}
-	if completed.Load() < int64(n) {
+	if completed.Load() < int64(n) && ctx != nil {
 		// Only cancellation can leave a shortfall without an fn error.
 		return ctx.Err()
 	}

@@ -43,13 +43,13 @@ func TestParseQueryNoWhere(t *testing.T) {
 
 func TestParseQueryRejects(t *testing.T) {
 	for _, src := range []string{
-		"",                              // empty
+		"",                                 // empty
 		"CREATE VIEW V AS SELECT A FROM R", // view header is not a query
-		"SELECT FROM R",                 // empty select
-		"SELECT A",                      // missing FROM
-		"SELECT A FROM R garbage :::",   // trailing junk
-		"SELECT A, A FROM R",            // duplicate output column
-		"SELECT R.A FROM S",             // unbound qualifier
+		"SELECT FROM R",                    // empty select
+		"SELECT A",                         // missing FROM
+		"SELECT A FROM R garbage :::",      // trailing junk
+		"SELECT A, A FROM R",               // duplicate output column
+		"SELECT R.A FROM S",                // unbound qualifier
 	} {
 		if _, err := ParseQuery(src); err == nil {
 			t.Errorf("ParseQuery(%q) succeeded, want error", src)

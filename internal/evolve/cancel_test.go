@@ -75,7 +75,7 @@ func buildCancelWarehouse(t *testing.T, h *scenario.ChurnHistory) *warehouse.War
 	w := warehouse.New(sp)
 	w.Synchronizer.EnumerateDropVariants = true
 	for _, def := range h.Views() {
-		if _, err := w.RegisterView(def); err != nil {
+		if _, err := w.RegisterView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 	}

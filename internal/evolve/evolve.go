@@ -262,7 +262,7 @@ func (s *Session) processGroup(ctx context.Context, group []*member) ([]StepResu
 		}
 	}
 
-	results, err := s.finish(group[:landed], units, snap)
+	results, err := s.finish(ctx, group[:landed], units, snap)
 	if landErr != nil {
 		// An adopt failure in the landed prefix must surface alongside the
 		// rejection — neither error may mask the other.
@@ -276,9 +276,10 @@ func (s *Session) processGroup(ctx context.Context, group []*member) ([]StepResu
 // post-group space — then prunes dead views, refreshes the footprint index,
 // and assembles per-change results. Units of changes that never landed are
 // discarded: their phase-1 rankings were computed but must not be adopted.
-// Like warehouse.ApplyChange's phase 2, finish runs under the background
-// context on purpose: the landed prefix is committed and must fully adopt.
-func (s *Session) finish(landed []*member, units []*unit, snap *warehouse.Snapshot) ([]StepResult, error) {
+// Like warehouse.ApplyChange's phase 2, finish runs past cancellation on
+// purpose (AdoptRewriting strips ctx at the commit point): the landed
+// prefix is committed and must fully adopt.
+func (s *Session) finish(ctx context.Context, landed []*member, units []*unit, snap *warehouse.Snapshot) ([]StepResult, error) {
 	in := make(map[*member]bool, len(landed))
 	for _, m := range landed {
 		in[m] = true
@@ -299,7 +300,7 @@ func (s *Session) finish(landed []*member, units []*unit, snap *warehouse.Snapsh
 		}
 		u.res.Ranking = ranking
 		chosen := ranking.Best()
-		if err := s.w.AdoptRewriting(u.v, chosen.Rewriting, u.m.c); err != nil {
+		if err := s.w.AdoptRewriting(ctx, u.v, chosen.Rewriting, u.m.c); err != nil {
 			return err
 		}
 		// Chosen is only reported once the adoption actually took effect,

@@ -54,7 +54,7 @@ func buildWarehouse(t *testing.T, h *scenario.ChurnHistory, topK int, enumerate 
 	w.SetTopK(topK)
 	w.Synchronizer.EnumerateDropVariants = enumerate
 	for _, def := range h.Views() {
-		if _, err := w.RegisterView(def); err != nil {
+		if _, err := w.RegisterView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 	}

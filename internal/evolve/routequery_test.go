@@ -96,7 +96,7 @@ func populatedWarehouse(t *testing.T, h *scenario.ChurnHistory) (*warehouse.Ware
 	w := warehouse.New(sp)
 	w.Synchronizer.EnumerateDropVariants = true
 	for _, def := range h.Views() {
-		if _, err := w.RegisterView(def); err != nil {
+		if _, err := w.RegisterView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 	}

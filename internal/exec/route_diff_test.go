@@ -134,7 +134,7 @@ func adversarialUniverse(t *testing.T) (*warehouse.Warehouse, *space.Space) {
 		`CREATE VIEW VB (VE = ~) AS SELECT T.K AS Key, T.F AS FF FROM T WHERE T.K > 20`,
 		`CREATE VIEW VJ (VE = ~) AS SELECT T.K, T.F, U.G AS G2 FROM T, T2 U WHERE T.K = U.K`,
 	} {
-		if _, err := wh.DefineView(def); err != nil {
+		if _, err := wh.DefineView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -257,7 +257,7 @@ func churnCases(t *testing.T) []diffCase {
 	}
 	wh := warehouse.New(sp)
 	for _, def := range h.Views() {
-		if _, err := wh.RegisterView(def); err != nil {
+		if _, err := wh.RegisterView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -286,8 +286,8 @@ func churnCases(t *testing.T) []diffCase {
 	}
 	for f := 1; f <= 2; f++ {
 		fam := fmt.Sprintf("W%d", f)
-		eqDonor := fmt.Sprintf("D%d_2", f)   // containment index 1 → Equal
-		supDonor := fmt.Sprintf("D%d_1", f)  // containment index 0 → Superset
+		eqDonor := fmt.Sprintf("D%d_2", f)  // containment index 1 → Equal
+		supDonor := fmt.Sprintf("D%d_1", f) // containment index 0 → Superset
 		add(fam+"-twin-exact", mk(fam, nil, attrsOf(4)...))
 		add(fam+"-subset", mk(fam, nil, "A2", "A3"))
 		add(fam+"-subset-filtered", mk(fam, []esql.CondItem{gt(fam, "A1", 100)}, "A1", "A4"))
@@ -335,7 +335,7 @@ func wideCases(t *testing.T) []diffCase {
 		t.Fatal(err)
 	}
 	wh := warehouse.New(sp)
-	if _, err := wh.RegisterView(scenario.WideView(6)); err != nil {
+	if _, err := wh.RegisterView(context.Background(), scenario.WideView(6)); err != nil {
 		t.Fatal(err)
 	}
 	var cases []diffCase

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunnersHonorCancellation pins the latent bug the PR 10 lint dogfood
+// surfaced: the experiment drivers used to manufacture context.Background()
+// internally, so a caller's cancel (cmd/experiments on interrupt) never
+// reached the rewriting searches and a run could only be killed, not
+// cancelled. With ctx threaded through, a pre-cancelled context must
+// surface context.Canceled from every driver instead of running the full
+// experiment.
+func TestRunnersHonorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"RunExp1", func() error { _, err := RunExp1(ctx); return err }},
+		{"RunExp4", func() error { _, err := RunExp4(ctx); return err }},
+		{"RunExp5", func() error { _, err := RunExp5(ctx); return err }},
+		{"RunHeuristics", func() error { _, err := RunHeuristics(ctx); return err }},
+		{"RunCrossValidation", func() error { _, err := RunCrossValidation(ctx, 1, 2); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.run(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s with a cancelled ctx = %v, want context.Canceled", tc.name, err)
+			}
+		})
+	}
+}

@@ -43,7 +43,7 @@ type CrossValResult struct {
 // exactly; bytes agree in trend but not exactly, since the analytic model
 // charges expected delta sizes (js-uniform) while the simulator ships the
 // actual tuples.
-func RunCrossValidation(seed int64, updatesPerConfig int) (CrossValResult, error) {
+func RunCrossValidation(ctx context.Context, seed int64, updatesPerConfig int) (CrossValResult, error) {
 	var res CrossValResult
 	p := scenario.DefaultParams()
 	p.Card = 40
@@ -78,7 +78,7 @@ func RunCrossValidation(seed int64, updatesPerConfig int) (CrossValResult, error
 		if err != nil {
 			return res, err
 		}
-		ext, err := exec.Evaluate(context.Background(), q, sp)
+		ext, err := exec.Evaluate(ctx, q, sp)
 		if err != nil {
 			return res, err
 		}
@@ -109,14 +109,14 @@ func RunCrossValidation(seed int64, updatesPerConfig int) (CrossValResult, error
 			for j := range tuple {
 				tuple[j] = relation.Int(rng.Int63n(domain))
 			}
-			met, err := m.Apply(maintain.Update{Kind: maintain.Insert, Rel: "R1", Tuple: tuple})
+			met, err := m.Apply(ctx, maintain.Update{Kind: maintain.Insert, Rel: "R1", Tuple: tuple})
 			if err != nil {
 				return res, err
 			}
 			measured.Add(met)
 			// Remove again so the space statistics stay stationary; the
 			// delete is a data update in its own right and is measured too.
-			met, err = m.Apply(maintain.Update{Kind: maintain.Delete, Rel: "R1", Tuple: tuple})
+			met, err = m.Apply(ctx, maintain.Update{Kind: maintain.Delete, Rel: "R1", Tuple: tuple})
 			if err != nil {
 				return res, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // simulator's measured per-update message count on every configuration —
 // the message protocol is deterministic, so any mismatch is a model bug.
 func TestCrossValidationMessagesExact(t *testing.T) {
-	res, err := RunCrossValidation(1, 10)
+	res, err := RunCrossValidation(context.Background(), 1, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestCrossValidationMessagesExact(t *testing.T) {
 // TestCrossValidationBytesTrend: measured bytes must grow with the number
 // of sites, in the same direction as the analytic CF_T.
 func TestCrossValidationBytesTrend(t *testing.T) {
-	res, err := RunCrossValidation(1, 10)
+	res, err := RunCrossValidation(context.Background(), 1, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +45,11 @@ func TestCrossValidationBytesTrend(t *testing.T) {
 
 // TestCrossValidationDeterministic: same seed, same measurements.
 func TestCrossValidationDeterministic(t *testing.T) {
-	a, err := RunCrossValidation(7, 5)
+	a, err := RunCrossValidation(context.Background(), 7, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunCrossValidation(7, 5)
+	b, err := RunCrossValidation(context.Background(), 7, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

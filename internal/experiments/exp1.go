@@ -45,10 +45,10 @@ type Exp1Result struct {
 // With w1 > w2 EVE prefers the replaceable attribute A (rewriting into S or
 // T, surviving a further deletion); with w2 > w1 it keeps the
 // non-replaceable B (and the next relevant change kills the view).
-func RunExp1() (Exp1Result, error) {
+func RunExp1(ctx context.Context) (Exp1Result, error) {
 	var res Exp1Result
 	for _, ws := range [][2]float64{{0.7, 0.3}, {0.3, 0.7}} {
-		o, err := runExp1Case(ws[0], ws[1])
+		o, err := runExp1Case(ctx, ws[0], ws[1])
 		if err != nil {
 			return res, err
 		}
@@ -57,7 +57,7 @@ func RunExp1() (Exp1Result, error) {
 	return res, nil
 }
 
-func runExp1Case(w1, w2 float64) (Exp1Outcome, error) {
+func runExp1Case(ctx context.Context, w1, w2 float64) (Exp1Outcome, error) {
 	out := Exp1Outcome{W1: w1, W2: w2}
 	sp, err := scenario.Exp1Space(1)
 	if err != nil {
@@ -72,7 +72,7 @@ func runExp1Case(w1, w2 float64) (Exp1Outcome, error) {
 	t.RhoQuality, t.RhoCost = 1, 0
 	wh.SetTradeoff(t)
 
-	v, err := wh.RegisterView(scenario.Exp1View())
+	v, err := wh.RegisterView(ctx, scenario.Exp1View())
 	if err != nil {
 		return out, err
 	}
@@ -85,7 +85,7 @@ func runExp1Case(w1, w2 float64) (Exp1Outcome, error) {
 	// outcomes (a guarantee the differential tests in internal/evolve pin).
 	sess := evolve.NewSession(wh)
 	apply := func(c space.Change) error {
-		res, err := sess.Evolve(context.Background(), c)
+		res, err := sess.Evolve(ctx, c)
 		if err != nil {
 			return err
 		}
@@ -170,7 +170,7 @@ func (r Exp1Result) String() string {
 // Exp1Ranking exposes the first-change ranking directly (all legal
 // rewritings of V0 after delete-attribute R.A with their QC scores), used
 // by tests and the CLI.
-func Exp1Ranking(w1, w2 float64) (*core.Ranking, []*synchronize.Rewriting, error) {
+func Exp1Ranking(ctx context.Context, w1, w2 float64) (*core.Ranking, []*synchronize.Rewriting, error) {
 	sp, err := scenario.Exp1Space(1)
 	if err != nil {
 		return nil, nil, err
@@ -182,7 +182,7 @@ func Exp1Ranking(w1, w2 float64) (*core.Ranking, []*synchronize.Rewriting, error
 
 	orig := scenario.Exp1View()
 	sy := synchronize.New(sp.MKB())
-	rws, err := sy.Synchronize(context.Background(), orig, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "A"})
+	rws, err := sy.Synchronize(ctx, orig, space.Change{Kind: space.DeleteAttribute, Rel: "R", Attr: "A"})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -44,10 +44,10 @@ type Exp4Result struct {
 // three quality/cost trade-off settings. The rewritings come from the real
 // synchronizer over the Table 3 MKB, and the divergences from the analytic
 // estimator — exactly the paper's methodology.
-func RunExp4() (Exp4Result, error) {
+func RunExp4(ctx context.Context) (Exp4Result, error) {
 	var res Exp4Result
 	for _, rhos := range [][2]float64{{0.9, 0.1}, {0.75, 0.25}, {0.5, 0.5}} {
-		c, err := runExp4Case(rhos[0], rhos[1])
+		c, err := runExp4Case(ctx, rhos[0], rhos[1])
 		if err != nil {
 			return res, err
 		}
@@ -56,7 +56,13 @@ func RunExp4() (Exp4Result, error) {
 	return res, nil
 }
 
-func runExp4Case(rhoQ, rhoC float64) (Exp4Case, error) {
+func runExp4Case(ctx context.Context, rhoQ, rhoC float64) (Exp4Case, error) {
+	// The Table 4 search is small enough to finish between the search's
+	// own ctx polls, so check upfront — a cancelled driver must not report
+	// a successful case.
+	if err := ctx.Err(); err != nil {
+		return Exp4Case{}, err
+	}
 	sp, err := scenario.Exp4Space(1, false)
 	if err != nil {
 		return Exp4Case{}, err
@@ -65,7 +71,7 @@ func runExp4Case(rhoQ, rhoC float64) (Exp4Case, error) {
 	preCards := map[string]int{"R1": 400, "R2": 4000}
 
 	sy := synchronize.New(sp.MKB())
-	rws, err := sy.Synchronize(context.Background(), orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
+	rws, err := sy.Synchronize(ctx, orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
 	if err != nil {
 		return Exp4Case{}, err
 	}
@@ -164,18 +170,18 @@ func (r Exp4Result) String() string {
 // extents instead of the analytic estimator, validating the estimates: it
 // builds the populated space, evaluates the original view and every
 // substitute rewriting, and measures DD_ext exactly.
-func Exp4Empirical(seed int64) ([]Exp4Row, error) {
+func Exp4Empirical(ctx context.Context, seed int64) ([]Exp4Row, error) {
 	sp, err := scenario.Exp4Space(seed, true)
 	if err != nil {
 		return nil, err
 	}
 	orig := scenario.Exp4View()
-	origExt, err := exec.Evaluate(context.Background(), orig, sp)
+	origExt, err := exec.Evaluate(ctx, orig, sp)
 	if err != nil {
 		return nil, err
 	}
 	sy := synchronize.New(sp.MKB())
-	rws, err := sy.Synchronize(context.Background(), orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
+	rws, err := sy.Synchronize(ctx, orig, space.Change{Kind: space.DeleteRelation, Rel: "R2"})
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +191,7 @@ func Exp4Empirical(seed int64) ([]Exp4Row, error) {
 	for _, rw := range ordered {
 		newDef := rw.View.Clone()
 		newDef.Name = "V" + rw.Replacements["R2"]
-		ext, err := exec.Evaluate(context.Background(), newDef, sp)
+		ext, err := exec.Evaluate(ctx, newDef, sp)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -49,9 +50,9 @@ type Exp5Result struct {
 // workload. Per Table 6 it uses the I/O lower bound, averages the
 // per-update factors over every Table 2 distribution (update at the first
 // IS), and multiplies by the 10·m updates of the workload.
-func RunExp5() (Exp5Result, error) {
+func RunExp5(ctx context.Context) (Exp5Result, error) {
 	var res Exp5Result
-	m1, err := runExp5M1()
+	m1, err := runExp5M1(ctx)
 	if err != nil {
 		return res, err
 	}
@@ -60,8 +61,8 @@ func RunExp5() (Exp5Result, error) {
 	return res, nil
 }
 
-func runExp5M1() ([]Exp5M1Row, error) {
-	c, err := runExp4Case(0.9, 0.1)
+func runExp5M1(ctx context.Context) ([]Exp5M1Row, error) {
+	c, err := runExp4Case(ctx, 0.9, 0.1)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 // TestExp4Table4Golden checks Experiment 4's Case 1 against the exact values
 // the paper reports in Table 4: DD, cost, QC, and the 3-2-1-4-5 rating.
 func TestExp4Table4Golden(t *testing.T) {
-	res, err := RunExp4()
+	res, err := RunExp4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestExp4Table4Golden(t *testing.T) {
 
 // TestExp5Table6Golden checks the M3 workload columns against Table 6.
 func TestExp5Table6Golden(t *testing.T) {
-	res, err := RunExp5()
+	res, err := RunExp5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestExp5Table6Golden(t *testing.T) {
 // TestExp5M1RankingUnchanged verifies the paper's M1 claim: scaling updates
 // with relation size leaves the final ranking identical to Table 4's.
 func TestExp5M1RankingUnchanged(t *testing.T) {
-	res, err := RunExp5()
+	res, err := RunExp5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestExp3Shapes(t *testing.T) {
 // TestExp1Figure12 verifies the life-span tree: w1 > w2 picks a replica and
 // survives two changes; w2 > w1 keeps R.B and dies at the next change.
 func TestExp1Figure12(t *testing.T) {
-	res, err := RunExp1()
+	res, err := RunExp1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestExp1Figure12(t *testing.T) {
 // (w1,w2) = (0.7,0.3) the replica rewritings score 1 − 0.3/1.0 = 0.7 and
 // the drop-A rewriting 1 − 0.7/1.0 = 0.3 (quality-only weighting).
 func TestExp1RankingScores(t *testing.T) {
-	ranking, rws, err := Exp1Ranking(0.7, 0.3)
+	ranking, rws, err := Exp1Ranking(context.Background(), 0.7, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestExp1RankingScores(t *testing.T) {
 		t.Errorf("best QC = %g, want 0.7", best.QC)
 	}
 	// Flipped weights prefer keeping B.
-	ranking2, _, err := Exp1Ranking(0.3, 0.7)
+	ranking2, _, err := Exp1Ranking(context.Background(), 0.3, 0.7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,11 +252,11 @@ func TestExp4EmpiricalMatchesAnalytic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("populated 6000-tuple space")
 	}
-	emp, err := Exp4Empirical(1)
+	emp, err := Exp4Empirical(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	analytic, err := runExp4Case(0.9, 0.1)
+	analytic, err := runExp4Case(context.Background(), 0.9, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestExp4EmpiricalMatchesAnalytic(t *testing.T) {
 
 // TestHeuristicsAllHold runs the Section 7.6 ablations.
 func TestHeuristicsAllHold(t *testing.T) {
-	res, err := RunHeuristics()
+	res, err := RunHeuristics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,28 +299,28 @@ func TestResultRenderings(t *testing.T) {
 	if !strings.Contains(e3.String(), "js = 0.005") {
 		t.Error("Exp3 rendering missing js")
 	}
-	e4, err := RunExp4()
+	e4, err := RunExp4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(e4.String(), "Table 4") {
 		t.Error("Exp4 rendering missing title")
 	}
-	e5, err := RunExp5()
+	e5, err := RunExp5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(e5.String(), "Table 6") {
 		t.Error("Exp5 rendering missing title")
 	}
-	e1, err := RunExp1()
+	e1, err := RunExp1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(e1.String(), "Figure 12") {
 		t.Error("Exp1 rendering missing title")
 	}
-	h, err := RunHeuristics()
+	h, err := RunHeuristics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,14 +21,14 @@ func TestFigureRenderings(t *testing.T) {
 	if !strings.Contains(e3.Figure(), "Figure 14") || !strings.Contains(e3.Figure(), "#") {
 		t.Error("Exp3 figure malformed")
 	}
-	e4, err := RunExp4()
+	e4, err := RunExp4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(e4.Figure(), "Figure 15") {
 		t.Error("Exp4 figure malformed")
 	}
-	e5, err := RunExp5()
+	e5, err := RunExp5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -46,7 +47,7 @@ func goldenCompare(t *testing.T, name, got string) {
 // evolution-session driver behind RunExp1 reproduces the reference loop's
 // steps, choices, and life spans byte for byte.
 func TestGoldenExp1(t *testing.T) {
-	res, err := RunExp1()
+	res, err := RunExp1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestGoldenExp3(t *testing.T) {
 
 // TestGoldenExp4 pins the Table 4 / Figure 15 ranking report.
 func TestGoldenExp4(t *testing.T) {
-	res, err := RunExp4()
+	res, err := RunExp4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestGoldenExp4(t *testing.T) {
 
 // TestGoldenExp5 pins the Table 5/6 workload report.
 func TestGoldenExp5(t *testing.T) {
-	res, err := RunExp5()
+	res, err := RunExp5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestGoldenExp5(t *testing.T) {
 // the v2 API migration so the context-threaded drivers' output stays
 // byte-identical to the pre-migration rendering.
 func TestGoldenHeuristics(t *testing.T) {
-	res, err := RunHeuristics()
+	res, err := RunHeuristics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestGoldenHeuristics(t *testing.T) {
 // TestGoldenCrossValidation pins the analytic-vs-measured cross-validation
 // report under a fixed seed, for the same reason.
 func TestGoldenCrossValidation(t *testing.T) {
-	res, err := RunCrossValidation(1, 20)
+	res, err := RunCrossValidation(context.Background(), 1, 20)
 	if err != nil {
 		t.Fatal(err)
 	}

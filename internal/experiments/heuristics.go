@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,7 +31,7 @@ type HeuristicsResult struct {
 //  4. Among superset replacements, the smallest superset always ranks best
 //     regardless of the trade-off parameters.
 //  5. Fewer relations in the FROM clause cost less.
-func RunHeuristics() (HeuristicsResult, error) {
+func RunHeuristics(ctx context.Context) (HeuristicsResult, error) {
 	var res HeuristicsResult
 	p := scenario.DefaultParams()
 	cm := core.DefaultCostModel()
@@ -54,7 +55,7 @@ func RunHeuristics() (HeuristicsResult, error) {
 
 	// 2. Smaller replacements cheaper: Experiment 4's cost column is
 	// increasing in substitute cardinality.
-	e4, err := runExp4Case(0.9, 0.1)
+	e4, err := runExp4Case(ctx, 0.9, 0.1)
 	if err != nil {
 		return res, err
 	}
@@ -91,7 +92,7 @@ func RunHeuristics() (HeuristicsResult, error) {
 	holds4 := true
 	var lastBest string
 	for _, rhos := range [][2]float64{{0.9, 0.1}, {0.75, 0.25}, {0.5, 0.5}} {
-		c, err := runExp4Case(rhos[0], rhos[1])
+		c, err := runExp4Case(ctx, rhos[0], rhos[1])
 		if err != nil {
 			return res, err
 		}

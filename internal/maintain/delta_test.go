@@ -115,7 +115,7 @@ func TestSiteVisitOrder(t *testing.T) {
 	m.onSite = func(source string) { visits = append(visits, source) }
 	// ΔR originates at IS1, which also hosts T; S sits at IS2. Although S
 	// precedes T in the FROM clause, the co-located T is joined first.
-	if _, err := m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(2), relation.Int(20)}}); err != nil {
+	if _, err := m.Apply(context.Background(), Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(2), relation.Int(20)}}); err != nil {
 		t.Fatal(err)
 	}
 	if len(visits) != 2 || visits[0] != "IS1" || visits[1] != "IS2" {
@@ -161,7 +161,7 @@ func TestSeedBoundClauseSkipsSites(t *testing.T) {
 	m.onSite = func(source string) { visits = append(visits, source) }
 	// B = 5 fails R.B > 100, a clause fully bound by ΔR: the propagation
 	// must stop at the seed.
-	metrics, err := m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(7), relation.Int(5)}})
+	metrics, err := m.Apply(context.Background(), Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(7), relation.Int(5)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestSeedBoundClauseSkipsSites(t *testing.T) {
 	}
 	recompute(t, sp, m)
 	// A qualifying tuple does propagate.
-	metrics, err = m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(7), relation.Int(300)}})
+	metrics, err = m.Apply(context.Background(), Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(7), relation.Int(300)}})
 	if err != nil {
 		t.Fatal(err)
 	}

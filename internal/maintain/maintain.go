@@ -230,17 +230,24 @@ func (m *Maintainer) bfr() int {
 // up to date, returning the measured metrics — the single-update
 // composition of Collapse, ApplyBase, and ApplyDeltas ("the view
 // maintainer brings the view extents up-to-date right after the IS data is
-// updated").
-func (m *Maintainer) Apply(u Update) (Metrics, error) {
+// updated"). ctx is checked before the base update lands; past that point
+// the propagation should be allowed to finish — callers owning published
+// state pass a post-commit context the way warehouse.ApplyUpdates does,
+// while measurement drivers over private spaces (experiments) may pass any
+// ctx since a torn cancel only tears their own scratch state.
+func (m *Maintainer) Apply(ctx context.Context, u Update) (Metrics, error) {
 	deltas, metrics, err := Collapse(m.Space, []Update{u})
 	if err != nil || len(deltas) == 0 {
+		return metrics, err
+	}
+	if err := ctx.Err(); err != nil {
 		return metrics, err
 	}
 	pre, err := ApplyBase(m.Space, deltas)
 	if err != nil {
 		return metrics, err
 	}
-	pm, err := m.ApplyDeltas(context.Background(), deltas, pre)
+	pm, err := m.ApplyDeltas(ctx, deltas, pre)
 	metrics.Add(pm)
 	return metrics, err
 }

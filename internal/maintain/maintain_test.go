@@ -61,7 +61,7 @@ func TestInsertPropagates(t *testing.T) {
 		t.Fatalf("initial extent = %d", m.Extent.Card())
 	}
 	// Insert R(3, 30): joins S(3, 300) → view gains (30, 300).
-	metrics, err := m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(3), relation.Int(30)}})
+	metrics, err := m.Apply(context.Background(), Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(3), relation.Int(30)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestInsertPropagates(t *testing.T) {
 
 func TestInsertNonJoiningTuple(t *testing.T) {
 	sp, m := joinSpace(t)
-	_, err := m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(99), relation.Int(0)}})
+	_, err := m.Apply(context.Background(), Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(99), relation.Int(0)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestInsertNonJoiningTuple(t *testing.T) {
 
 func TestDeletePropagates(t *testing.T) {
 	sp, m := joinSpace(t)
-	_, err := m.Apply(Update{Kind: Delete, Rel: "S", Tuple: relation.Tuple{relation.Int(1), relation.Int(100)}})
+	_, err := m.Apply(context.Background(), Update{Kind: Delete, Rel: "S", Tuple: relation.Tuple{relation.Int(1), relation.Int(100)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,14 +107,14 @@ func TestNoopUpdates(t *testing.T) {
 	sp, m := joinSpace(t)
 	// Inserting an existing tuple and deleting a missing tuple are no-ops
 	// beyond the notification.
-	metrics, err := m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(1), relation.Int(10)}})
+	metrics, err := m.Apply(context.Background(), Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(1), relation.Int(10)}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if metrics.Messages != 1 {
 		t.Errorf("no-op insert messages = %d, want 1", metrics.Messages)
 	}
-	metrics, err = m.Apply(Update{Kind: Delete, Rel: "S", Tuple: relation.Tuple{relation.Int(9), relation.Int(9)}})
+	metrics, err = m.Apply(context.Background(), Update{Kind: Delete, Rel: "S", Tuple: relation.Tuple{relation.Int(9), relation.Int(9)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestUpdateToUnreferencedRelation(t *testing.T) {
 	if err := sp.AddRelation("IS1", extra); err != nil {
 		t.Fatal(err)
 	}
-	_, err := m.Apply(Update{Kind: Insert, Rel: "X", Tuple: relation.Tuple{relation.Int(1)}})
+	_, err := m.Apply(context.Background(), Update{Kind: Insert, Rel: "X", Tuple: relation.Tuple{relation.Int(1)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestUpdateToUnreferencedRelation(t *testing.T) {
 
 func TestUnknownRelationErrors(t *testing.T) {
 	_, m := joinSpace(t)
-	if _, err := m.Apply(Update{Kind: Insert, Rel: "Nope", Tuple: relation.Tuple{relation.Int(1)}}); err == nil {
+	if _, err := m.Apply(context.Background(), Update{Kind: Insert, Rel: "Nope", Tuple: relation.Tuple{relation.Int(1)}}); err == nil {
 		t.Error("unknown relation should error")
 	}
 }
@@ -162,7 +162,7 @@ func TestUpdateStreamConvergence(t *testing.T) {
 		{Delete, "R", relation.Tuple{relation.Int(3), relation.Int(30)}},
 	}
 	for i, u := range stream {
-		if _, err := m.Apply(u); err != nil {
+		if _, err := m.Apply(context.Background(), u); err != nil {
 			t.Fatalf("step %d: %v", i, err)
 		}
 		fresh, err := exec.Evaluate(context.Background(), m.View, sp)
@@ -193,13 +193,13 @@ func TestLocalConditionFiltersDelta(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := New(sp, q, ext)
-	if _, err := m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(2), relation.Int(50)}}); err != nil {
+	if _, err := m.Apply(context.Background(), Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(2), relation.Int(50)}}); err != nil {
 		t.Fatal(err)
 	}
 	if m.Extent.Card() != 0 {
 		t.Errorf("filtered tuple leaked into the view: %d", m.Extent.Card())
 	}
-	if _, err := m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(3), relation.Int(500)}}); err != nil {
+	if _, err := m.Apply(context.Background(), Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(3), relation.Int(500)}}); err != nil {
 		t.Fatal(err)
 	}
 	if m.Extent.Card() != 1 {
@@ -213,7 +213,7 @@ func TestLocalConditionFiltersDelta(t *testing.T) {
 // notification counted): m = 2, n1 = 0 → 2(m−1) + 1 = 3.
 func TestMeasuredMessagesMatchAnalyticModel(t *testing.T) {
 	_, m := joinSpace(t)
-	metrics, err := m.Apply(Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(3), relation.Int(30)}})
+	metrics, err := m.Apply(context.Background(), Update{Kind: Insert, Rel: "R", Tuple: relation.Tuple{relation.Int(3), relation.Int(30)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestMultiSupportDelete(t *testing.T) {
 		{Insert, "R", relation.Tuple{relation.Int(5), relation.Int(10)}},
 		{Insert, "S", relation.Tuple{relation.Int(5), relation.Int(100)}},
 	} {
-		if _, err := m.Apply(u); err != nil {
+		if _, err := m.Apply(context.Background(), u); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -241,7 +241,7 @@ func TestMultiSupportDelete(t *testing.T) {
 		t.Fatal("setup failed: view row missing")
 	}
 	// Delete one derivation; the row must survive.
-	if _, err := m.Apply(Update{Kind: Delete, Rel: "R", Tuple: relation.Tuple{relation.Int(1), relation.Int(10)}}); err != nil {
+	if _, err := m.Apply(context.Background(), Update{Kind: Delete, Rel: "R", Tuple: relation.Tuple{relation.Int(1), relation.Int(10)}}); err != nil {
 		t.Fatal(err)
 	}
 	if !m.Extent.Contains(relation.Tuple{relation.Int(10), relation.Int(100)}) {
@@ -249,7 +249,7 @@ func TestMultiSupportDelete(t *testing.T) {
 	}
 	recompute(t, sp, m)
 	// Delete the second derivation; now the row must go.
-	if _, err := m.Apply(Update{Kind: Delete, Rel: "R", Tuple: relation.Tuple{relation.Int(5), relation.Int(10)}}); err != nil {
+	if _, err := m.Apply(context.Background(), Update{Kind: Delete, Rel: "R", Tuple: relation.Tuple{relation.Int(5), relation.Int(10)}}); err != nil {
 		t.Fatal(err)
 	}
 	if m.Extent.Contains(relation.Tuple{relation.Int(10), relation.Int(100)}) {

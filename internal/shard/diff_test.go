@@ -57,11 +57,11 @@ func buildUniverse(t *testing.T, name string, sp *space.Space, views []*esql.Vie
 	u.ref = warehouse.New(sp)
 	u.session = evolve.NewSession(u.ref)
 	for _, def := range views {
-		if _, err := u.ref.RegisterView(def); err != nil {
+		if _, err := u.ref.RegisterView(context.Background(), def); err != nil {
 			t.Fatalf("%s: reference register: %v", name, err)
 		}
 		for _, c := range u.clusters {
-			if _, _, err := c.RegisterView(def); err != nil {
+			if _, _, err := c.RegisterView(context.Background(), def); err != nil {
 				t.Fatalf("%s: cluster register: %v", name, err)
 			}
 		}
@@ -339,7 +339,7 @@ func TestPrefixConsistencyDuringEvolution(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, def := range h.Views() {
-		if _, _, err := c.RegisterView(def); err != nil {
+		if _, _, err := c.RegisterView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 	}

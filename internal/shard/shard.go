@@ -236,19 +236,20 @@ func (c *Cluster) buildIndex() *routeIndex {
 
 // DefineView parses an E-SQL CREATE VIEW and registers it on its owning
 // shard. Returns the registered view and the shard index that owns it.
-func (c *Cluster) DefineView(src string) (*warehouse.View, int, error) {
+// ctx bounds the initial materialization scan.
+func (c *Cluster) DefineView(ctx context.Context, src string) (*warehouse.View, int, error) {
 	def, err := esql.Parse(src)
 	if err != nil {
 		return nil, 0, err
 	}
-	return c.RegisterView(def)
+	return c.RegisterView(ctx, def)
 }
 
 // RegisterView places def on the shard selected by the FNV-1a hash of its
 // definition signature — name-independent, so structural twins co-locate —
 // registers and materializes it there, and appends it to the global
 // registration log. View names are unique cluster-wide.
-func (c *Cluster) RegisterView(def *esql.ViewDef) (*warehouse.View, int, error) {
+func (c *Cluster) RegisterView(ctx context.Context, def *esql.ViewDef) (*warehouse.View, int, error) {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	reg := c.reg.Load()
@@ -256,7 +257,7 @@ func (c *Cluster) RegisterView(def *esql.ViewDef) (*warehouse.View, int, error) 
 		return nil, 0, fmt.Errorf("shard: view %q: %w", def.Name, warehouse.ErrDuplicateView)
 	}
 	si := int(fnv64(def.Signature()) % uint64(len(c.shards)))
-	v, err := c.shards[si].RegisterView(def)
+	v, err := c.shards[si].RegisterView(ctx, def)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -293,6 +294,17 @@ func firstErr(errs []error) error {
 	return nil
 }
 
+// writerCtx returns the context cluster writes fan out under once their
+// upfront admission check has passed: the caller's values with
+// cancellation stripped. Replicated writes must run every shard to
+// completion — a mid-fan-out cancel honored on some shards but not others
+// would diverge the replicas, the one state no merge can repair. This is
+// one of the two sanctioned context.WithoutCancel sites the ctxflow
+// analyzer (internal/analysis) allows; new uses go through this helper.
+func writerCtx(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
 // ApplyChange lands one capability change on every shard (each shard's
 // space is a full replica) and synchronizes each shard's own views — the
 // cluster form of warehouse.ApplyChange. Results merge across shards into
@@ -305,7 +317,7 @@ func (c *Cluster) ApplyChange(ctx context.Context, ch space.Change) ([]warehouse
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	wctx := context.WithoutCancel(ctx)
+	wctx := writerCtx(ctx)
 	results := make([][]warehouse.SyncResult, len(c.shards))
 	errs := c.fanOut(func(i int) error {
 		var err error
@@ -348,7 +360,7 @@ func (c *Cluster) EvolveBatch(ctx context.Context, changes []space.Change) ([]ev
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	wctx := context.WithoutCancel(ctx)
+	wctx := writerCtx(ctx)
 	steps := make([][]evolve.StepResult, len(c.shards))
 	errs := c.fanOut(func(i int) error {
 		var err error
@@ -394,7 +406,7 @@ func (c *Cluster) ApplyUpdates(ctx context.Context, updates []maintain.Update) (
 	if err := ctx.Err(); err != nil {
 		return total, err
 	}
-	wctx := context.WithoutCancel(ctx)
+	wctx := writerCtx(ctx)
 	metrics := make([]maintain.Metrics, len(c.shards))
 	errs := c.fanOut(func(i int) error {
 		var err error

@@ -33,7 +33,7 @@ func churnCluster(t *testing.T, n int, p scenario.ChurnParams) (*shard.Cluster, 
 		t.Fatal(err)
 	}
 	for _, def := range h.Views() {
-		if _, _, err := c.RegisterView(def); err != nil {
+		if _, _, err := c.RegisterView(context.Background(), def); err != nil {
 			t.Fatalf("register %s: %v", def.Name, err)
 		}
 	}
@@ -105,13 +105,13 @@ func TestPlacementDeterministicTwinsColocate(t *testing.T) {
 func TestDuplicateViewRejectedClusterWide(t *testing.T) {
 	c, h := churnCluster(t, 4, smallChurnParams())
 	dup := h.Views()[0]
-	if _, _, err := c.RegisterView(dup); !errors.Is(err, warehouse.ErrDuplicateView) {
+	if _, _, err := c.RegisterView(context.Background(), dup); !errors.Is(err, warehouse.ErrDuplicateView) {
 		t.Fatalf("duplicate register: err = %v, want ErrDuplicateView", err)
 	}
 	// Same shape under a fresh name is fine (a third twin).
 	clone := *dup
 	clone.Name = "VX_EXTRA"
-	if _, _, err := c.RegisterView(&clone); err != nil {
+	if _, _, err := c.RegisterView(context.Background(), &clone); err != nil {
 		t.Fatalf("fresh-name register: %v", err)
 	}
 }
@@ -283,7 +283,7 @@ func TestSnapshotPinsRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.RegisterView(def); err != nil {
+	if _, _, err := c.RegisterView(context.Background(), def); err != nil {
 		t.Fatal(err)
 	}
 	if old.View("VLATE") != nil {

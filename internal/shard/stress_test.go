@@ -42,7 +42,7 @@ func TestStressClusterMixedTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, def := range h.Views() {
-		if _, _, err := c.RegisterView(def); err != nil {
+		if _, _, err := c.RegisterView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 	}

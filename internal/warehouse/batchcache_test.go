@@ -16,7 +16,7 @@ import (
 // pointer equality across Evaluate calls is the observable contract.
 func TestVersionBatchCacheStable(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	v := wh.Acquire()
@@ -55,7 +55,7 @@ func TestVersionBatchCacheStable(t *testing.T) {
 // relation whose batch reflects the new data.
 func TestVersionBatchCacheInvalidatedByUpdate(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	v := wh.Acquire()
@@ -65,7 +65,7 @@ func TestVersionBatchCacheInvalidatedByUpdate(t *testing.T) {
 	if _, err := v.Evaluate(ctx, "V"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := wh.ApplyUpdate(maintain.Update{
+	if _, err := wh.ApplyUpdate(context.Background(), maintain.Update{
 		Kind:  maintain.Insert,
 		Rel:   "R",
 		Tuple: relation.IntRows([]int64{4, 40})[0],
@@ -96,7 +96,7 @@ func TestVersionBatchCacheInvalidatedByUpdate(t *testing.T) {
 	}
 	// Deleting the tuple again replaces the relation once more; v2 keeps
 	// its own snapshot.
-	if _, err := wh.ApplyUpdate(maintain.Update{
+	if _, err := wh.ApplyUpdate(context.Background(), maintain.Update{
 		Kind:  maintain.Delete,
 		Rel:   "R",
 		Tuple: relation.IntRows([]int64{4, 40})[0],
@@ -118,7 +118,7 @@ func TestVersionBatchCacheInvalidatedByUpdate(t *testing.T) {
 // old version still serves its captured state.
 func TestVersionBatchCacheAcrossVersions(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	v1 := wh.Acquire()
@@ -155,7 +155,7 @@ func TestVersionBatchCacheAcrossVersions(t *testing.T) {
 	// A data update replaces Rep copy-on-write: both previously acquired
 	// versions keep their captured 3-row relation (v2 even keeps the warm
 	// batch), and only the next Acquire sees the 4-row replacement.
-	if _, err := wh.ApplyUpdate(maintain.Update{
+	if _, err := wh.ApplyUpdate(context.Background(), maintain.Update{
 		Kind:  maintain.Insert,
 		Rel:   "Rep",
 		Tuple: relation.IntRows([]int64{5, 50})[0],

@@ -79,7 +79,7 @@ func TestKnobSnapshotUnderConcurrentTuner(t *testing.T) {
 	rec := &tradeoffRecorder{}
 	w.SetObserver(rec)
 	for _, def := range h.Views() {
-		if _, err := w.RegisterView(def); err != nil {
+		if _, err := w.RegisterView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -55,10 +55,10 @@ func TestObserverHooksFireThroughApplyChange(t *testing.T) {
 	w.SetObserver(m)
 
 	// Survivor adopts S; Doomed has no replaceable relation and deceases.
-	if _, err := w.DefineView(`CREATE VIEW Survivor AS SELECT R.A (AR = true) FROM R (RR = true)`); err != nil {
+	if _, err := w.DefineView(context.Background(), `CREATE VIEW Survivor AS SELECT R.A (AR = true) FROM R (RR = true)`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.DefineView(`CREATE VIEW Doomed AS SELECT R.A FROM R`); err != nil {
+	if _, err := w.DefineView(context.Background(), `CREATE VIEW Doomed AS SELECT R.A FROM R`); err != nil {
 		t.Fatal(err)
 	}
 	results, err := w.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "R"})
@@ -96,7 +96,7 @@ func TestObserverHooksFireThroughApplyChange(t *testing.T) {
 func TestObserverNopByDefault(t *testing.T) {
 	sp := observedSpace(t)
 	w := New(sp)
-	if _, err := w.DefineView(`CREATE VIEW V AS SELECT R.A (AR = true) FROM R (RR = true)`); err != nil {
+	if _, err := w.DefineView(context.Background(), `CREATE VIEW V AS SELECT R.A (AR = true) FROM R (RR = true)`); err != nil {
 		t.Fatal(err)
 	}
 	// No observer installed: the pass must run exactly as before.
@@ -119,7 +119,7 @@ func TestObserverPhaseTimings(t *testing.T) {
 	w := New(sp)
 	m := &MetricsObserver{}
 	w.SetObserver(m)
-	if _, err := w.DefineView(`CREATE VIEW V AS SELECT R.A (AR = true) FROM R (RR = true)`); err != nil {
+	if _, err := w.DefineView(context.Background(), `CREATE VIEW V AS SELECT R.A (AR = true) FROM R (RR = true)`); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.PhaseCount(PhaseQuery); got != 0 {

@@ -16,7 +16,7 @@ func registerFleet(t *testing.T, wh *Warehouse, n int) {
 		src := fmt.Sprintf(`CREATE VIEW V%d (VE = ~)
 			AS SELECT R.A (AR = true), R.B (AD = true, AR = true)
 			FROM R (RR = true) WHERE (R.A > 1) (CR = true)`, i)
-		if _, err := wh.DefineView(src); err != nil {
+		if _, err := wh.DefineView(context.Background(), src); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -66,14 +66,14 @@ func TestApplyChangeConcurrentMixedOutcomes(t *testing.T) {
 	wh.SetWorkers(8)
 	// 4 survivors, 4 rigid views that will decease, 4 bystanders.
 	for i := 0; i < 4; i++ {
-		if _, err := wh.DefineView(fmt.Sprintf(`CREATE VIEW Live%d (VE = ~)
+		if _, err := wh.DefineView(context.Background(), fmt.Sprintf(`CREATE VIEW Live%d (VE = ~)
 			AS SELECT R.A (AR = true) FROM R (RR = true)`, i)); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := wh.DefineView(fmt.Sprintf("CREATE VIEW Rigid%d AS SELECT R.B FROM R", i)); err != nil {
+		if _, err := wh.DefineView(context.Background(), fmt.Sprintf("CREATE VIEW Rigid%d AS SELECT R.B FROM R", i)); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := wh.DefineView(fmt.Sprintf("CREATE VIEW Aside%d AS SELECT Rep.A FROM Rep", i)); err != nil {
+		if _, err := wh.DefineView(context.Background(), fmt.Sprintf("CREATE VIEW Aside%d AS SELECT Rep.A FROM Rep", i)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -38,7 +38,7 @@ func routeParity(t *testing.T, wh *Warehouse, q *esql.ViewDef, got *relation.Rel
 
 func TestRouteQueryViewExtent(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	v := wh.Acquire()
@@ -65,7 +65,7 @@ func TestRouteQueryViewExtent(t *testing.T) {
 
 func TestRouteQueryResidual(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	v := wh.Acquire()
@@ -91,7 +91,7 @@ func TestRouteQueryResidual(t *testing.T) {
 
 func TestRouteQueryBaseFallback(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	v := wh.Acquire()
@@ -123,7 +123,7 @@ func TestRouteQueryBaseFallback(t *testing.T) {
 // (A, B).
 func TestRouteQuerySubstitution(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	v := wh.Acquire()
@@ -144,7 +144,7 @@ func TestRouteQuerySubstitution(t *testing.T) {
 
 func TestRouteQueryCachedPerSignature(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	v := wh.Acquire()
@@ -167,7 +167,7 @@ func TestRouteQueryCachedPerSignature(t *testing.T) {
 // answers still match naive base evaluation.
 func TestRouteDefInexpressibleConstants(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	v := wh.Acquire()

@@ -17,7 +17,7 @@ import (
 // by the post-update version.
 func TestRouteCacheInvalidatedByUpdate(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
@@ -42,7 +42,7 @@ func TestRouteCacheInvalidatedByUpdate(t *testing.T) {
 		t.Fatalf("pre-update card = %d, want 2", res1.Card())
 	}
 
-	if _, err := wh.ApplyUpdate(maintain.Update{
+	if _, err := wh.ApplyUpdate(context.Background(), maintain.Update{
 		Kind:  maintain.Insert,
 		Rel:   "R",
 		Tuple: relation.IntRows([]int64{4, 40})[0],

@@ -16,7 +16,7 @@ import (
 // are skipped (rejecting garbage is the parser's own test surface).
 func FuzzQueryRoute(f *testing.F) {
 	wh := New(replicaSpace(f))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		f.Fatal(err)
 	}
 	for _, seed := range []string{

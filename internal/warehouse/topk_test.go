@@ -255,7 +255,7 @@ func TestApplyChangeTopKAgreesWithExhaustive(t *testing.T) {
 		w := New(sp)
 		w.SetTopK(topK)
 		w.Synchronizer.EnumerateDropVariants = true
-		if _, err := w.RegisterView(scenario.WideView(6)); err != nil {
+		if _, err := w.RegisterView(context.Background(), scenario.WideView(6)); err != nil {
 			return nil, err
 		}
 		return w, nil

@@ -24,7 +24,7 @@ func TestVersionPublication(t *testing.T) {
 		t.Errorf("initial version: seq=%d views=%d, want 1/0", v0.Seq(), len(v0.Views()))
 	}
 
-	view, err := wh.DefineView(replicaView)
+	view, err := wh.DefineView(context.Background(), replicaView)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestVersionPublication(t *testing.T) {
 
 	// Decease the view; the next version reports it deceased while the old
 	// version still serves it.
-	if _, err := wh.DefineView(`CREATE VIEW Rigid AS SELECT R.B FROM R`); err != nil {
+	if _, err := wh.DefineView(context.Background(), `CREATE VIEW Rigid AS SELECT R.B FROM R`); err != nil {
 		t.Fatal(err)
 	}
 	preChange := wh.Acquire()
@@ -95,7 +95,7 @@ func TestVersionPublication(t *testing.T) {
 // after the view adopted a rewriting.
 func TestVersionSnapshotIsolation(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	before := wh.Acquire()
@@ -148,7 +148,7 @@ func TestConcurrentReadersVsApplyChange(t *testing.T) {
 	w := New(sp)
 	w.Synchronizer.EnumerateDropVariants = true
 	for _, def := range h.Views() {
-		if _, err := w.RegisterView(def); err != nil {
+		if _, err := w.RegisterView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 	}

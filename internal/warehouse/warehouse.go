@@ -111,17 +111,20 @@ func New(sp *space.Space) *Warehouse {
 }
 
 // DefineView parses, qualifies, materializes, and registers an E-SQL view.
-func (w *Warehouse) DefineView(src string) (*View, error) {
+// ctx bounds the initial materialization scan; a cancelled registration
+// registers nothing.
+func (w *Warehouse) DefineView(ctx context.Context, src string) (*View, error) {
 	def, err := esql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return w.RegisterView(def)
+	return w.RegisterView(ctx, def)
 }
 
 // RegisterView registers an already-built definition and publishes a new
-// warehouse version including it.
-func (w *Warehouse) RegisterView(def *esql.ViewDef) (*View, error) {
+// warehouse version including it. ctx bounds the initial materialization
+// scan; a cancelled registration registers nothing.
+func (w *Warehouse) RegisterView(ctx context.Context, def *esql.ViewDef) (*View, error) {
 	if w.View(def.Name) != nil {
 		return nil, fmt.Errorf("warehouse: view %q: %w", def.Name, ErrDuplicateView)
 	}
@@ -129,7 +132,7 @@ func (w *Warehouse) RegisterView(def *esql.ViewDef) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	ext, err := exec.Evaluate(context.Background(), q, w.Space)
+	ext, err := exec.Evaluate(ctx, q, w.Space)
 	if err != nil {
 		return nil, err
 	}
@@ -288,6 +291,18 @@ func (w *Warehouse) Live() []*View {
 	return out
 }
 
+// postCommit returns the context a pass runs under past its commit point:
+// the caller's values with cancellation stripped. Once a base change has
+// landed, adoption and maintenance must run to completion even if the
+// caller gives up — a half-adopted view or a stale extent would break the
+// landed-prefix guarantee the PR 4 cancellation rule promises. This is one
+// of the two sanctioned context.WithoutCancel sites the ctxflow analyzer
+// (internal/analysis) allows; new uses go through this helper, not through
+// fresh WithoutCancel calls.
+func postCommit(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
 // ApplyUpdates lands a batch of data updates and incrementally maintains
 // every live view, returning the summed measured metrics. The batch is
 // first collapsed into net per-relation deltas (charging each update's
@@ -318,7 +333,7 @@ func (w *Warehouse) ApplyUpdates(ctx context.Context, updates []maintain.Update)
 	if err != nil {
 		return total, err
 	}
-	mctx := context.WithoutCancel(ctx)
+	mctx := postCommit(ctx)
 	for _, v := range w.Live() {
 		start := time.Now()
 		m, err := v.maintainer.ApplyDeltas(mctx, deltas, pre)
@@ -339,8 +354,8 @@ func (w *Warehouse) ApplyUpdates(ctx context.Context, updates []maintain.Update)
 
 // ApplyUpdate routes one data update through ApplyUpdates — the
 // single-update convenience the experiments and examples drive.
-func (w *Warehouse) ApplyUpdate(u maintain.Update) (maintain.Metrics, error) {
-	return w.ApplyUpdates(context.Background(), []maintain.Update{u})
+func (w *Warehouse) ApplyUpdate(ctx context.Context, u maintain.Update) (maintain.Metrics, error) {
+	return w.ApplyUpdates(ctx, []maintain.Update{u})
 }
 
 // SyncResult reports one view's synchronization outcome for a capability
@@ -524,7 +539,8 @@ func (w *Warehouse) ApplyChange(ctx context.Context, c space.Change) ([]SyncResu
 
 	// Phase 2: adopt or decease, concurrently — re-materialization reads
 	// the shared post-change space, but each worker writes only its view.
-	// Deliberately not under ctx: see the commit-point note above.
+	// Deliberately past cancellation: see the commit-point note above.
+	pctx := postCommit(ctx)
 	err = conc.ForEach(len(work), snap.workers, func(i int) error {
 		p := work[i]
 		if !p.affected {
@@ -535,7 +551,7 @@ func (w *Warehouse) ApplyChange(ctx context.Context, c space.Change) ([]SyncResu
 			p.res.Deceased = true
 			return nil
 		}
-		if err := w.adopt(p.v, p.res.Chosen.Rewriting, c); err != nil {
+		if err := w.adopt(pctx, p.v, p.res.Chosen.Rewriting, c); err != nil {
 			return err
 		}
 		w.obs().OnAdopt(p.v.Def.Name, p.res.Chosen)
@@ -680,17 +696,18 @@ func (w *Warehouse) ScenarioFor(def *esql.ViewDef, snap *Snapshot) core.UpdateSc
 // re-materializes its extent from the (post-change) space — phase 2 of the
 // synchronization pipeline, exported for the evolution-session engine in
 // internal/evolve. It writes only v's own fields and reads the shared
-// space, so concurrent workers may adopt into distinct views.
-func (w *Warehouse) AdoptRewriting(v *View, rw *synchronize.Rewriting, c space.Change) error {
-	return w.adopt(v, rw, c)
+// space, so concurrent workers may adopt into distinct views. Adoption
+// only happens after the base change landed, so ctx's cancellation is
+// stripped (postCommit): a half-adopted view would break the
+// adopted-prefix consistency guarantee cancellation promises.
+func (w *Warehouse) AdoptRewriting(ctx context.Context, v *View, rw *synchronize.Rewriting, c space.Change) error {
+	return w.adopt(postCommit(ctx), v, rw, c)
 }
 
 // adopt replaces the view definition with the chosen rewriting and
-// re-materializes the extent from the post-change space. Adoption runs
-// under the background context on purpose: it only happens after the base
-// change landed, and a half-adopted view would break the adopted-prefix
-// consistency guarantee cancellation promises.
-func (w *Warehouse) adopt(v *View, rw *synchronize.Rewriting, c space.Change) error {
+// re-materializes the extent from the post-change space. Callers pass a
+// postCommit context: adoption runs past the pass's commit point.
+func (w *Warehouse) adopt(ctx context.Context, v *View, rw *synchronize.Rewriting, c space.Change) error {
 	start := time.Now()
 	defer func() { w.obs().OnPhase(PhaseAdopt, time.Since(start)) }()
 	def := rw.View.Clone()
@@ -699,7 +716,7 @@ func (w *Warehouse) adopt(v *View, rw *synchronize.Rewriting, c space.Change) er
 	if err != nil {
 		return err
 	}
-	ext, err := exec.Evaluate(context.Background(), q, w.Space)
+	ext, err := exec.Evaluate(ctx, q, w.Space)
 	if err != nil {
 		return err
 	}

@@ -51,7 +51,7 @@ WHERE (R.A > 1) (CR = true)
 
 func TestDefineViewMaterializes(t *testing.T) {
 	wh := New(replicaSpace(t))
-	v, err := wh.DefineView(replicaView)
+	v, err := wh.DefineView(context.Background(), replicaView)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,17 +64,17 @@ func TestDefineViewMaterializes(t *testing.T) {
 	if got := wh.ViewNames(); len(got) != 1 || got[0] != "V" {
 		t.Errorf("ViewNames = %v", got)
 	}
-	if _, err := wh.DefineView(replicaView); err == nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err == nil {
 		t.Error("duplicate view name should fail")
 	}
-	if _, err := wh.DefineView("garbage"); err == nil {
+	if _, err := wh.DefineView(context.Background(), "garbage"); err == nil {
 		t.Error("unparseable view should fail")
 	}
 }
 
 func TestApplyChangeSubstitutes(t *testing.T) {
 	wh := New(replicaSpace(t))
-	v, err := wh.DefineView(replicaView)
+	v, err := wh.DefineView(context.Background(), replicaView)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestApplyChangeDeceases(t *testing.T) {
 	sp := replicaSpace(t)
 	wh := New(sp)
 	// Non-replaceable relation: no rewriting can exist.
-	v, err := wh.DefineView(`CREATE VIEW V AS SELECT R.A FROM R`)
+	v, err := wh.DefineView(context.Background(), `CREATE VIEW V AS SELECT R.A FROM R`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestApplyChangeDeceases(t *testing.T) {
 
 func TestApplyChangeUnaffected(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil {
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil {
 		t.Fatal(err)
 	}
 	results, err := wh.ApplyChange(context.Background(), space.Change{Kind: space.DeleteRelation, Rel: "Rep"})
@@ -148,11 +148,11 @@ func TestApplyChangeUnaffected(t *testing.T) {
 
 func TestApplyUpdateRoutesThroughMaintenance(t *testing.T) {
 	wh := New(replicaSpace(t))
-	v, err := wh.DefineView(replicaView)
+	v, err := wh.DefineView(context.Background(), replicaView)
 	if err != nil {
 		t.Fatal(err)
 	}
-	metrics, err := wh.ApplyUpdate(maintain.Update{
+	metrics, err := wh.ApplyUpdate(context.Background(), maintain.Update{
 		Kind: maintain.Insert, Rel: "R",
 		Tuple: relation.Tuple{relation.Int(7), relation.Int(70)},
 	})
@@ -167,7 +167,7 @@ func TestApplyUpdateRoutesThroughMaintenance(t *testing.T) {
 	}
 	// Updates with no registered views still mutate the base data.
 	wh2 := New(replicaSpace(t))
-	if _, err := wh2.ApplyUpdate(maintain.Update{
+	if _, err := wh2.ApplyUpdate(context.Background(), maintain.Update{
 		Kind: maintain.Insert, Rel: "R",
 		Tuple: relation.Tuple{relation.Int(9), relation.Int(90)},
 	}); err != nil {
@@ -186,11 +186,11 @@ func TestApplyUpdateRoutesThroughMaintenance(t *testing.T) {
 // both extents must match a full recompute after inserts and deletes.
 func TestApplyUpdatesMaintainsEveryLiveView(t *testing.T) {
 	wh := New(replicaSpace(t))
-	first, err := wh.DefineView(replicaView)
+	first, err := wh.DefineView(context.Background(), replicaView)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := wh.DefineView(`CREATE VIEW W AS SELECT R.B FROM R`)
+	second, err := wh.DefineView(context.Background(), `CREATE VIEW W AS SELECT R.B FROM R`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestApplyUpdatesMaintainsEveryLiveView(t *testing.T) {
 
 func TestScenarioForPlacement(t *testing.T) {
 	wh := New(replicaSpace(t))
-	v, err := wh.DefineView(`CREATE VIEW V2 AS SELECT R.A, Rep.B FROM R, Rep WHERE R.A = Rep.A`)
+	v, err := wh.DefineView(context.Background(), `CREATE VIEW V2 AS SELECT R.A, Rep.B FROM R, Rep WHERE R.A = Rep.A`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,15 +261,15 @@ func TestScenarioForPlacement(t *testing.T) {
 // the other deceases — while a third, unrelated view stays untouched.
 func TestMultiViewSynchronization(t *testing.T) {
 	wh := New(replicaSpace(t))
-	flexible, err := wh.DefineView(replicaView) // replaceable → survives
+	flexible, err := wh.DefineView(context.Background(), replicaView) // replaceable → survives
 	if err != nil {
 		t.Fatal(err)
 	}
-	rigid, err := wh.DefineView(`CREATE VIEW Rigid AS SELECT R.B FROM R`) // dies
+	rigid, err := wh.DefineView(context.Background(), `CREATE VIEW Rigid AS SELECT R.B FROM R`) // dies
 	if err != nil {
 		t.Fatal(err)
 	}
-	bystander, err := wh.DefineView(`CREATE VIEW Bystander AS SELECT Rep.A FROM Rep`)
+	bystander, err := wh.DefineView(context.Background(), `CREATE VIEW Bystander AS SELECT Rep.A FROM Rep`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,13 +304,13 @@ func TestMultiViewSynchronization(t *testing.T) {
 // reachable for its History.
 func TestViewNamesPrunesDeceased(t *testing.T) {
 	wh := New(replicaSpace(t))
-	if _, err := wh.DefineView(replicaView); err != nil { // "V", survives
+	if _, err := wh.DefineView(context.Background(), replicaView); err != nil { // "V", survives
 		t.Fatal(err)
 	}
-	if _, err := wh.DefineView(`CREATE VIEW Rigid AS SELECT R.B FROM R`); err != nil { // dies
+	if _, err := wh.DefineView(context.Background(), `CREATE VIEW Rigid AS SELECT R.B FROM R`); err != nil { // dies
 		t.Fatal(err)
 	}
-	if _, err := wh.DefineView(`CREATE VIEW Bystander AS SELECT Rep.A FROM Rep`); err != nil {
+	if _, err := wh.DefineView(context.Background(), `CREATE VIEW Bystander AS SELECT Rep.A FROM Rep`); err != nil {
 		t.Fatal(err)
 	}
 	if got := wh.ViewNames(); len(got) != 3 {
@@ -359,7 +359,7 @@ func TestEndToEndExp1Lifecycle(t *testing.T) {
 	to.RhoAttr, to.RhoExt = 1, 0
 	to.RhoQuality, to.RhoCost = 1, 0
 	wh.SetTradeoff(to)
-	v, err := wh.RegisterView(scenario.Exp1View())
+	v, err := wh.RegisterView(context.Background(), scenario.Exp1View())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +402,7 @@ func TestTravelScenarioEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	wh := New(sp)
-	v, err := wh.DefineView(scenario.AsiaCustomerESQL)
+	v, err := wh.DefineView(context.Background(), scenario.AsiaCustomerESQL)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,7 +47,7 @@ func TestKnobPokesMidEvolveBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, def := range h.Views() {
-		if _, err := sys.RegisterView(def); err != nil {
+		if _, err := sys.RegisterView(context.Background(), def); err != nil {
 			t.Fatal(err)
 		}
 	}

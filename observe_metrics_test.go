@@ -72,7 +72,7 @@ func TestMetricsObserverConcurrentSessionsAndReaders(t *testing.T) {
 				return
 			}
 			for _, def := range h.Views() {
-				if _, err := sys.RegisterView(def); err != nil {
+				if _, err := sys.RegisterView(context.Background(), def); err != nil {
 					fail(err)
 					return
 				}

@@ -96,7 +96,7 @@ func TestNewSystemWorksEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	view, err := sys.DefineView(`
+	view, err := sys.DefineView(context.Background(), `
 		CREATE VIEW Catalog (VE = ~) AS
 		SELECT P.PartID (AR = true), P.Name (AR = true), P.Price (AD = true)
 		FROM Parts P (RR = true)`)
@@ -116,7 +116,7 @@ func TestNewSystemWorksEndToEnd(t *testing.T) {
 
 func TestGetViewTypedErrors(t *testing.T) {
 	sys := buildPartsSystem(t)
-	if _, err := sys.DefineView(`CREATE VIEW V AS SELECT P.Name FROM Parts P`); err != nil {
+	if _, err := sys.DefineView(context.Background(), `CREATE VIEW V AS SELECT P.Name FROM Parts P`); err != nil {
 		t.Fatal(err)
 	}
 	if v, err := sys.GetView("V"); err != nil || v == nil {
@@ -140,7 +140,7 @@ func TestGetViewTypedErrors(t *testing.T) {
 		t.Errorf("GetView(V) err = %v, want ErrViewDeceased", err)
 	}
 	// Duplicate registration.
-	if _, err := sys.DefineView(`CREATE VIEW V AS SELECT M.ID FROM PartsMirror M`); !errors.Is(err, ErrDuplicateView) {
+	if _, err := sys.DefineView(context.Background(), `CREATE VIEW V AS SELECT M.ID FROM PartsMirror M`); !errors.Is(err, ErrDuplicateView) {
 		t.Errorf("duplicate DefineView err = %v, want ErrDuplicateView", err)
 	}
 }

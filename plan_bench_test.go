@@ -132,7 +132,7 @@ func BenchmarkApplyChangePipeline(b *testing.B) {
 				for v := 0; v < 32; v++ {
 					def := scenario.Exp1View()
 					def.Name = fmt.Sprintf("V%d", v)
-					if _, err := wh.RegisterView(def); err != nil {
+					if _, err := wh.RegisterView(context.Background(), def); err != nil {
 						b.Fatal(err)
 					}
 				}

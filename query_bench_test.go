@@ -52,7 +52,7 @@ func queryBenchSystem(b *testing.B, n int) *System {
 		}
 		sys.Space.MKB().SetCard(name, n)
 	}
-	if _, err := sys.DefineView(`CREATE VIEW V4 (VE = ~) AS
+	if _, err := sys.DefineView(context.Background(), `CREATE VIEW V4 (VE = ~) AS
 		SELECT R1.K, R1.A1, R2.A2, R3.A3, R4.A4
 		FROM R1, R2, R3, R4
 		WHERE R1.K = R2.K AND R2.K = R3.K AND R3.K = R4.K`); err != nil {

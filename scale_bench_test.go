@@ -74,7 +74,7 @@ func scaleBenchCluster(b testing.TB, shards int, m *MetricsObserver) *Cluster {
 		b.Fatal(err)
 	}
 	for _, def := range h.Views() {
-		if _, _, err := cl.RegisterView(def); err != nil {
+		if _, _, err := cl.RegisterView(context.Background(), def); err != nil {
 			b.Fatal(err)
 		}
 	}

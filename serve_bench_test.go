@@ -72,7 +72,7 @@ func serveBenchSystem(b testing.TB) *System {
 		b.Fatal(err)
 	}
 	for _, def := range h.Views() {
-		if _, err := sys.RegisterView(def); err != nil {
+		if _, err := sys.RegisterView(context.Background(), def); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -72,7 +72,7 @@ func TestStressConcurrentSessions(t *testing.T) {
 			sys := NewSystemOver(sp)
 			sys.Synchronizer.EnumerateDropVariants = true
 			for _, def := range h.Views() {
-				if _, err := sys.RegisterView(def); err != nil {
+				if _, err := sys.RegisterView(context.Background(), def); err != nil {
 					errs[g] = err
 					return
 				}
